@@ -1,0 +1,48 @@
+// Command bench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	bench              # run all experiments (E1..E8), print tables
+//	bench -exp e5      # run one experiment
+//	bench -quick       # smaller workloads
+//	bench -seed 7      # change the base seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "", "experiment id (e1..e8); empty = all")
+	quick := flag.Bool("quick", false, "smaller workloads")
+	seed := flag.Int64("seed", 42, "base PRNG seed")
+	flag.Parse()
+
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	var tables []bench.Table
+	if *exp == "" {
+		tables = bench.All(opts)
+	} else {
+		t, ok := bench.ByID(*exp, opts)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (want e1..e8)\n", *exp)
+			return 2
+		}
+		tables = []bench.Table{t}
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t.Format())
+	}
+	return 0
+}

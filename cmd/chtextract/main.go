@@ -1,0 +1,134 @@
+// Command chtextract demonstrates the paper's necessity direction (§4,
+// Appendix B): it builds the failure-detector-sample DAG of the reduction's
+// communication task (Figure 1), explores the induced simulation tree
+// (Figure 2), locates k-bivalent vertices and decision gadgets (Figures 3–5),
+// and runs the round-by-round leader extraction (Figure 6), printing the
+// emulated Ω outputs as they stabilize.
+//
+// Examples:
+//
+//	chtextract                       # EC variant, eventual Ω, 4 rounds
+//	chtextract -variant classical    # Appendix-B variant
+//	chtextract -show dag             # print the DAG (Figure 1/2 material)
+//	chtextract -show tree            # tree statistics and the first bivalent vertex
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cht"
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		variant = flag.String("variant", "ec", "ec | classical")
+		omega   = flag.String("omega", "eventual", "stable | eventual")
+		samples = flag.Int("samples", 3, "detector samples per process")
+		rounds  = flag.Int("rounds", 4, "extraction growth rounds")
+		seed    = flag.Int64("seed", 17, "PRNG seed")
+		show    = flag.String("show", "", "dag | tree | gadget (extra detail)")
+		crashAt = flag.Int64("crash", 0, "crash p1 at this time (0 = no crash)")
+	)
+	flag.Parse()
+
+	const n = 2
+	fp := model.NewFailurePattern(n)
+	if *crashAt > 0 {
+		fp.Crash(1, model.Time(*crashAt))
+	}
+	var det fd.Detector
+	leader := fp.MinCorrect()
+	if *omega == "stable" {
+		det = fd.NewOmegaStable(fp, leader)
+	} else {
+		if fp.IsCorrect(2) {
+			leader = 2
+		}
+		det = fd.NewOmegaEventual(fp, leader, 35)
+	}
+
+	var alg cht.Algorithm
+	classical := *variant == "classical"
+	if classical {
+		alg = cht.NewEC4(1)
+	} else {
+		alg = cht.NewEC4(2)
+	}
+
+	fmt.Printf("reduction input: A=%s, D=%s, F=%v\n\n", alg.Name(), det.Name(), fp)
+
+	g := cht.BuildDAG(fp, det, cht.BuildOptions{SamplesPerProcess: *samples, Seed: *seed})
+	fmt.Printf("DAG (Figure 1): %d vertices", g.Len())
+	if bad := g.CheckProperties(fp, det); len(bad) == 0 {
+		fmt.Println(", properties (1)-(3) verified")
+	} else {
+		fmt.Printf(", PROPERTY VIOLATIONS: %v\n", bad)
+		return 1
+	}
+	if *show == "dag" {
+		fmt.Println(g.String())
+	}
+
+	if *show == "tree" || *show == "gadget" {
+		ex := cht.NewExplorer(alg, n, g, nil, 0)
+		if err := ex.Build(); err != nil {
+			fmt.Fprintf(os.Stderr, "chtextract: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nsimulation tree (Figure 2): %d nodes\n", ex.Len())
+		nd, k, ok := ex.FirstBivalent()
+		if !ok {
+			fmt.Println("no k-bivalent vertex in this finite prefix (grow -samples)")
+		} else {
+			fmt.Printf("first k-bivalent vertex: instance k=%d (node order %d)\n", k, 0)
+			if *show == "gadget" {
+				if gd, found := ex.FindGadget(nd, k); found {
+					fmt.Printf("decision gadget (Figures 3-5): %v\n", gd)
+				} else {
+					fmt.Println("no decision gadget in this finite prefix")
+				}
+			}
+		}
+	}
+
+	fmt.Printf("\nextraction rounds (Figure 6):\n")
+	rs, err := cht.EmulateOmega(alg, fp, det, cht.EmulateOptions{
+		Rounds:      *rounds,
+		Classical:   classical,
+		BaseSamples: *samples,
+		Build:       cht.BuildOptions{Seed: *seed},
+		ViewLag:     1,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chtextract: %v\n", err)
+		return 1
+	}
+	for _, r := range rs {
+		l, agreed := r.Agreed(fp.Correct())
+		verdict := "diverged"
+		if agreed {
+			verdict = fmt.Sprintf("agreed on %v (correct=%v)", l, fp.IsCorrect(l))
+		}
+		fmt.Printf("  round %d (samples=%d, %6d tree nodes): ", r.Round, r.Samples, r.Nodes)
+		for _, p := range fp.Correct() {
+			fmt.Printf("%v->%v[%s] ", p, r.Outputs[p], r.Hows[p])
+		}
+		fmt.Printf("=> %s\n", verdict)
+	}
+	final := rs[len(rs)-1]
+	l, agreed := final.Agreed(fp.Correct())
+	if !agreed || !fp.IsCorrect(l) {
+		fmt.Println("\nWARNING: extraction did not stabilize on a correct leader within the rounds")
+		return 1
+	}
+	fmt.Printf("\nΩ emulated: all correct processes output %v permanently — Lemma 1 witnessed.\n", l)
+	return 0
+}

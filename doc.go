@@ -1,0 +1,16 @@
+// Package repro is the root of a complete Go reproduction of
+// "The Weakest Failure Detector for Eventual Consistency"
+// (Dubois, Guerraoui, Kuznetsov, Petit, Sens — PODC 2015, arXiv:1505.03469).
+//
+// The library implements the paper's abstractions (eventual consensus,
+// eventual total order broadcast, eventual irrevocable consensus), all seven
+// of its algorithms, the generalized CHT reduction of its necessity proof,
+// and the strong-consistency baselines it compares against, over a
+// deterministic simulator and a live goroutine runtime.
+//
+// Start with README.md (overview and quickstart), DESIGN.md (system
+// inventory, per-experiment index, design decisions), and EXPERIMENTS.md
+// (paper-vs-measured for every claim). The root package holds the benchmark
+// suite (bench_test.go, ablation_bench_test.go) and cross-module
+// integration/fuzz tests (integration_test.go).
+package repro

@@ -1,0 +1,72 @@
+// chat: a replicated chat log ordered by the paper's ETOB (Algorithm 5),
+// demonstrating §5 property 3: causal order — a reply never appears before
+// the message it quotes — holds at every replica at ALL times, including
+// while Ω outputs different leaders at different replicas.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/etob"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+type message struct {
+	id      string
+	from    model.ProcID
+	at      model.Time
+	replyTo string
+}
+
+func main() {
+	const n = 4
+	fp := model.NewFailurePattern(n)
+	// Split brain until t=2500.
+	det := fd.NewOmegaSplit(fp, 2, 1, 1, 2500)
+	rec := trace.NewRecorder(n)
+	k := sim.New(fp, det, etob.Factory(), sim.Options{Seed: 99})
+	k.SetObserver(rec)
+
+	thread := []message{
+		{id: "alice: anyone up for lunch?", from: 1, at: 30},
+		{id: "bob: yes! where?", from: 2, at: 160, replyTo: "alice: anyone up for lunch?"},
+		{id: "carol: new ramen place", from: 3, at: 290, replyTo: "bob: yes! where?"},
+		{id: "dave: +1 ramen", from: 4, at: 292, replyTo: "bob: yes! where?"},
+		{id: "alice: 12:30 then", from: 1, at: 420, replyTo: "carol: new ramen place"},
+	}
+	var ids []string
+	for _, m := range thread {
+		in := model.BroadcastInput{ID: m.id}
+		if m.replyTo != "" {
+			in.Deps = []string{m.replyTo}
+		}
+		ids = append(ids, m.id)
+		k.ScheduleInput(m.from, m.at, in)
+	}
+
+	k.RunUntil(30000, func(k *sim.Kernel) bool {
+		return k.Now() > 3000 && rec.AllDelivered(fp.Correct(), ids)
+	})
+	k.Run(k.Now() + 500)
+
+	fmt.Println("final chat log at every replica:")
+	for i, line := range rec.FinalSeq(1) {
+		fmt.Printf("  %2d. %s\n", i+1, line)
+	}
+
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{})
+	fmt.Printf("\ncausal order held at all times: %v (checked over %d snapshots)\n",
+		rep.CausalOrder.OK, countSnapshots(rec, n))
+	fmt.Printf("replicas disagreed on interleavings until tau=%d, then converged (Ω stabilized at 2500)\n", rep.Tau)
+}
+
+func countSnapshots(rec *trace.Recorder, n int) int {
+	total := 0
+	for _, p := range model.Procs(n) {
+		total += len(rec.Seqs(p))
+	}
+	return total
+}

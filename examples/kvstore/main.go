@@ -1,0 +1,56 @@
+// kvstore: the Dynamo-style scenario that motivates the paper (§1, §6) — an
+// eventually consistent replicated key-value store that keeps accepting
+// writes during a split-brain period (Ω outputs different leaders at
+// different replicas), diverges, and converges once Ω stabilizes.
+//
+// The run is deterministic (simulated); it prints each replica's view during
+// the split and after convergence, and the (E)TOB property report with the
+// measured stabilization time τ.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func main() {
+	svc := core.NewSimService(core.Config{
+		N: 4,
+		// Split brain until t=2000: evens trust p2, odds trust p1.
+		Omega: core.OmegaSpec{Pre: core.PreSplit, Stabilization: 2000},
+		Sim:   sim.Options{Seed: 7},
+	})
+
+	// Concurrent writes to the same keys from both sides of the split.
+	svc.Submit(1, 30, "set cart apple")
+	svc.Submit(2, 31, "set cart banana")
+	svc.Submit(3, 150, "set qty 2")
+	svc.Submit(4, 151, "set qty 7")
+	svc.Submit(1, 400, "append log checkout")
+
+	// Look at the replicas mid-split: they may disagree.
+	svc.Run(1500)
+	fmt.Println("during the split (t=1500):")
+	for _, p := range model.Procs(4) {
+		fmt.Printf("  %v: %q\n", p, svc.Snapshot(p))
+	}
+
+	// Let Ω stabilize and the service converge.
+	if !svc.RunUntilConverged(30000) {
+		fmt.Println("did not converge")
+		return
+	}
+	fmt.Printf("\nafter convergence (t=%d):\n", svc.Kernel().Now())
+	for _, p := range model.Procs(4) {
+		fmt.Printf("  %v: %q  (rebuilds: %d)\n", p, svc.Snapshot(p), svc.Rebuilds(p))
+	}
+
+	rep := svc.Report()
+	fmt.Printf("\nETOB report: safety ok=%v, stabilization tau=%d (Ω stabilized at 2000)\n",
+		rep.NoCreation.OK && rep.NoDuplication.OK && rep.CausalOrder.OK, rep.Tau)
+	fmt.Println("the same state machine over the strong (Paxos) service would have")
+	fmt.Println("blocked nothing here — but see examples/partition for where it does.")
+}

@@ -1,0 +1,59 @@
+// ledger: one workload, two consistency levels. A replicated account ledger
+// runs once over the paper's ETOB (eventual, Ω only, 2 communication steps)
+// and once over a Paxos log (strong, majority quorums, 3 communication
+// steps), with identical commands and a fixed link delay so the paper's
+// latency gap (§5 property 1, §7) is directly visible.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/smr"
+)
+
+func main() {
+	const delay = 1000 // fixed link delay D; tick = 1
+
+	for _, consistency := range []core.Consistency{core.Eventual, core.Strong} {
+		svc := core.NewSimService(core.Config{
+			N:           5,
+			Consistency: consistency,
+			Machine:     smr.CounterFactory,
+			Sim:         sim.Options{Seed: 3, MinDelay: delay, MaxDelay: delay, TickInterval: 1, MaxTime: 1 << 40},
+		})
+		// Isolated deposits from non-leader replicas, far apart in time.
+		times := []model.Time{10_000, 20_000, 30_000}
+		for i, at := range times {
+			svc.Submit(model.ProcID(2+i), at, "inc balance 100")
+		}
+		// Run past the last submission first: RunUntilConverged would otherwise
+		// stop as soon as the FIRST deposit (the only broadcast so far) lands.
+		svc.Run(42_000)
+		if !svc.RunUntilConverged(80_000) {
+			fmt.Printf("%v: did not converge\n", consistency)
+			continue
+		}
+		// Latency of each deposit in communication steps.
+		fmt.Printf("%s service (n=5, D=%d):\n", consistency, delay)
+		var sum float64
+		rec := svc.Recorder()
+		for i, b := range rec.Broadcasts() {
+			worst := model.Time(0)
+			for _, p := range model.Procs(5) {
+				if st, ok := rec.StableDeliveryTime(p, b.ID); ok && st-times[i] > worst {
+					worst = st - times[i]
+				}
+			}
+			steps := float64(worst) / float64(delay)
+			sum += steps
+			fmt.Printf("  deposit %d committed everywhere after %.1f communication steps\n", i+1, steps)
+		}
+		fmt.Printf("  mean: %.1f steps; final balance at p1: %s\n\n",
+			sum/float64(len(times)), svc.Snapshot(1))
+	}
+	fmt.Println("eventual consistency saves exactly one message delay per operation —")
+	fmt.Println("the gap the paper proves is bought by giving up Σ (see examples/partition).")
+}

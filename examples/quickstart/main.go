@@ -1,0 +1,38 @@
+// Quickstart: a 3-replica eventually consistent key-value store in a few
+// lines, running live (goroutine per replica, heartbeat Ω — the weakest
+// failure detector the paper proves sufficient).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/runtime"
+)
+
+func main() {
+	svc := core.NewLiveService(3, core.Eventual, nil, runtime.Options{})
+	defer svc.Stop()
+
+	// Submit commands at different replicas.
+	svc.Submit(1, "set user alice")
+	svc.Submit(2, "set city paris")
+	svc.Submit(3, "set lang go")
+
+	// Eventual consistency: all replicas converge to the same state.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s1, s2, s3 := svc.Snapshot(1), svc.Snapshot(2), svc.Snapshot(3)
+		if s1 == s2 && s2 == s3 && s1 != "" {
+			fmt.Println("replicas converged:")
+			for _, p := range model.Procs(3) {
+				fmt.Printf("  %v: %s\n", p, svc.Snapshot(p))
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("replicas did not converge in time")
+}

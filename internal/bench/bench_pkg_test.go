@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tbl := Table{
+		ID:     "EX",
+		Title:  "demo",
+		Claim:  "c",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"x", "y"}, {"wider-cell", "z"}},
+		Notes:  []string{"n1"},
+	}
+	out := tbl.Format()
+	for _, want := range []string{"EX — demo", "Claim: c", "| a ", "long-column", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	opts := Options{Quick: true}
+	for _, id := range []string{"e1", "E2", "e3", "e4", "e5", "e6", "e7", "e8"} {
+		if _, ok := ByID(id, opts); !ok {
+			t.Errorf("ByID(%q) not found", id)
+		}
+	}
+	if _, ok := ByID("e99", opts); ok {
+		t.Error("unknown ID must not resolve")
+	}
+}
+
+// The substantive checks: every experiment's rows must support the paper's
+// claim, not merely run.
+
+func TestE1StepCounts(t *testing.T) {
+	tbl := E1Latency(Options{Quick: true})
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %v", tbl.Rows)
+	}
+	etobSteps, paxosSteps := tbl.Rows[0][1], tbl.Rows[1][1]
+	if !strings.HasPrefix(etobSteps, "2.") && etobSteps != "2.0" {
+		t.Errorf("ETOB steps = %s, want ~2", etobSteps)
+	}
+	if !strings.HasPrefix(paxosSteps, "3.") && paxosSteps != "3.0" {
+		t.Errorf("Paxos steps = %s, want ~3", paxosSteps)
+	}
+}
+
+func TestE2AllEnvironmentsOK(t *testing.T) {
+	tbl := E2AnyEnvironment(Options{Quick: true})
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "yes" {
+			t.Errorf("EC spec failed in %s / %s", row[0], row[1])
+		}
+	}
+}
+
+func TestE3AllStacksOK(t *testing.T) {
+	tbl := E3Equivalence(Options{Quick: true})
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %v", tbl.Rows)
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "yes" {
+			t.Errorf("stack %s failed its spec", row[0])
+		}
+	}
+}
+
+func TestE4FinalRoundsAgreeAndCorrect(t *testing.T) {
+	tbl := E4Extraction(Options{Quick: true})
+	// The LAST round of every scenario must agree on a correct process.
+	last := map[string][]string{}
+	for _, row := range tbl.Rows {
+		last[row[0]+row[1]] = row
+	}
+	for k, row := range last {
+		if row[5] != "yes" || row[6] != "yes" {
+			t.Errorf("scenario %s final round: agreed=%s correct=%s (%v)", k, row[5], row[6], row)
+		}
+	}
+}
+
+func TestE5GapShape(t *testing.T) {
+	tbl := E5SigmaGap(Options{Quick: true})
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row
+	}
+	mustLive := []string{"ETOB (Alg 5)", "Paxos log, Sigma quorums", "ABD register, Sigma quorums"}
+	mustBlock := []string{"Paxos log, majority", "ABD register, majority"}
+	for _, name := range mustLive {
+		if byName[name][4] != "yes" {
+			t.Errorf("%s must be live with a correct minority: %v", name, byName[name])
+		}
+	}
+	for _, name := range mustBlock {
+		if byName[name][3] != "0" {
+			t.Errorf("%s must complete 0 ops with a correct minority: %v", name, byName[name])
+		}
+	}
+}
+
+func TestE6AllStrong(t *testing.T) {
+	tbl := E6StableOmega(Options{Quick: true})
+	for _, row := range tbl.Rows {
+		if row[4] != "yes" || row[3] != "0" {
+			t.Errorf("stable omega run not strong TOB: %v", row)
+		}
+	}
+}
+
+func TestE7CausalAlwaysHolds(t *testing.T) {
+	tbl := E7CausalOrder(Options{Quick: true})
+	divergedSomewhere := false
+	for _, row := range tbl.Rows {
+		if row[1] != "yes" {
+			t.Errorf("causal order violated: %v", row)
+		}
+		if row[5] != "yes" {
+			t.Errorf("run did not converge: %v", row)
+		}
+		if row[3] == "yes" {
+			divergedSomewhere = true
+		}
+	}
+	if !divergedSomewhere {
+		t.Error("expected at least one run with real divergence (tau > 0)")
+	}
+}
+
+func TestE8BothDirectionsOK(t *testing.T) {
+	tbl := E8EIC(Options{Quick: true})
+	for _, row := range tbl.Rows {
+		if row[2] != "yes" {
+			t.Errorf("EIC stack failed: %v", row)
+		}
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	tables := All(Options{Quick: true})
+	if len(tables) != 8 {
+		t.Fatalf("All returned %d tables", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s has no rows", tbl.ID)
+		}
+		if tbl.Format() == "" {
+			t.Errorf("%s formats empty", tbl.ID)
+		}
+	}
+}

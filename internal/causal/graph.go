@@ -1,0 +1,206 @@
+// Package causal implements the causality-dependency graph of Algorithm 5
+// (ETOB): a DAG over message identifiers where an edge (m1, m2) means
+// "m2 causally depends on m1" (m1 ∈ C(m2)), together with the three
+// functions the algorithm manipulates it with:
+//
+//	UpdateCG(m, C(m))   → (*Graph).Add
+//	UnionCG(CG_j)       → (*Graph).Union
+//	UpdatePromote()     → (*Graph).Extend
+//
+// Extend implements the paper's specification exactly: it returns a sequence
+// s such that the given prefix is a prefix of s, s contains every message of
+// the graph exactly once, and for every edge (m1, m2), m1 appears before m2.
+// Ties are broken deterministically (lexicographically by message ID), which
+// makes promote sequences reproducible across runs — see DESIGN.md decision 3.
+package causal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a DAG over message IDs. The zero value is not usable; use New.
+type Graph struct {
+	preds map[string][]string // preds[m] = C(m), the direct causal predecessors
+	nodes []string            // insertion order (stable, deduplicated)
+	index map[string]int      // node → position in nodes
+}
+
+// New returns an empty causality graph.
+func New() *Graph {
+	return &Graph{
+		preds: make(map[string][]string),
+		index: make(map[string]int),
+	}
+}
+
+// Add inserts message m with direct causal predecessors deps (UpdateCG).
+// Predecessors not yet present are inserted as nodes too, so the graph stays
+// closed under dependency. Re-adding an existing node merges dependency sets.
+func (g *Graph) Add(m string, deps []string) {
+	g.addNode(m)
+	for _, d := range deps {
+		g.addNode(d)
+		if d == m {
+			continue // self-loops are meaningless; drop defensively
+		}
+		if !containsStr(g.preds[m], d) {
+			g.preds[m] = append(g.preds[m], d)
+		}
+	}
+}
+
+func (g *Graph) addNode(m string) {
+	if _, ok := g.index[m]; ok {
+		return
+	}
+	g.index[m] = len(g.nodes)
+	g.nodes = append(g.nodes, m)
+	if _, ok := g.preds[m]; !ok {
+		g.preds[m] = nil
+	}
+}
+
+// Union merges other into g (UnionCG).
+func (g *Graph) Union(other *Graph) {
+	if other == nil {
+		return
+	}
+	for _, m := range other.nodes {
+		g.Add(m, other.preds[m])
+	}
+}
+
+// Has reports whether m is a node of the graph.
+func (g *Graph) Has(m string) bool {
+	_, ok := g.index[m]
+	return ok
+}
+
+// Len returns the number of messages in the graph.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Nodes returns the messages in insertion order (copy).
+func (g *Graph) Nodes() []string {
+	return append([]string(nil), g.nodes...)
+}
+
+// Deps returns the direct causal predecessors of m (copy).
+func (g *Graph) Deps(m string) []string {
+	return append([]string(nil), g.preds[m]...)
+}
+
+// Clone returns a deep copy of the graph. Protocol messages carry clones so
+// that in-memory kernels cannot alias mutable state across processes.
+func (g *Graph) Clone() *Graph {
+	cp := New()
+	cp.nodes = append(cp.nodes, g.nodes...)
+	for m, i := range g.index {
+		cp.index[m] = i
+	}
+	for m, ds := range g.preds {
+		cp.preds[m] = append([]string(nil), ds...)
+	}
+	return cp
+}
+
+// Extend implements UpdatePromote: it returns a sequence that (a) has prefix
+// as a prefix, (b) contains every node of g exactly once, and (c) respects
+// every edge of g. Nodes already in prefix keep their positions; missing
+// nodes are appended in Kahn topological order with lexicographic tie-breaks.
+//
+// Extend reports an error if the graph has a dependency cycle or if prefix
+// itself already violates an edge of the graph between two prefix members
+// (neither can arise from Algorithm 5's closed-graph updates; the error guards
+// against protocol bugs).
+func (g *Graph) Extend(prefix []string) ([]string, error) {
+	inPrefix := make(map[string]int, len(prefix))
+	for i, m := range prefix {
+		if _, dup := inPrefix[m]; dup {
+			return nil, fmt.Errorf("causal: prefix contains %q twice", m)
+		}
+		inPrefix[m] = i
+	}
+	// Check prefix consistency against edges among prefix members.
+	for m, i := range inPrefix {
+		for _, d := range g.preds[m] {
+			if j, ok := inPrefix[d]; ok && j > i {
+				return nil, fmt.Errorf("causal: prefix violates edge (%q before %q)", d, m)
+			}
+		}
+	}
+
+	out := append(make([]string, 0, len(g.nodes)+len(prefix)), prefix...)
+
+	// Kahn's algorithm over the nodes not in prefix. Edges from prefix nodes
+	// are already satisfied.
+	indeg := make(map[string]int)
+	succs := make(map[string][]string)
+	var missing []string
+	for _, m := range g.nodes {
+		if _, ok := inPrefix[m]; ok {
+			continue
+		}
+		missing = append(missing, m)
+		for _, d := range g.preds[m] {
+			if _, ok := inPrefix[d]; ok {
+				continue
+			}
+			indeg[m]++
+			succs[d] = append(succs[d], m)
+		}
+	}
+	var ready []string
+	for _, m := range missing {
+		if indeg[m] == 0 {
+			ready = append(ready, m)
+		}
+	}
+	sort.Strings(ready)
+	appended := 0
+	for len(ready) > 0 {
+		m := ready[0]
+		ready = ready[1:]
+		out = append(out, m)
+		appended++
+		newly := make([]string, 0, len(succs[m]))
+		for _, s := range succs[m] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newly = append(newly, s)
+			}
+		}
+		if len(newly) > 0 {
+			ready = append(ready, newly...)
+			sort.Strings(ready)
+		}
+	}
+	if appended != len(missing) {
+		return nil, fmt.Errorf("causal: dependency cycle among %d messages", len(missing)-appended)
+	}
+	return out, nil
+}
+
+// String renders the graph as "m1<-{}; m2<-{m1}; ..." in insertion order.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for i, m := range g.nodes {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		deps := append([]string(nil), g.preds[m]...)
+		sort.Strings(deps)
+		fmt.Fprintf(&b, "%s<-{%s}", m, strings.Join(deps, ","))
+	}
+	return b.String()
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,251 @@
+package causal
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndHas(t *testing.T) {
+	g := New()
+	g.Add("m2", []string{"m1"})
+	if !g.Has("m1") || !g.Has("m2") {
+		t.Fatal("Add must insert the message and its dependencies")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if deps := g.Deps("m2"); len(deps) != 1 || deps[0] != "m1" {
+		t.Fatalf("Deps(m2) = %v, want [m1]", deps)
+	}
+	if deps := g.Deps("m1"); len(deps) != 0 {
+		t.Fatalf("Deps(m1) = %v, want empty", deps)
+	}
+}
+
+func TestAddMergesDeps(t *testing.T) {
+	g := New()
+	g.Add("m3", []string{"m1"})
+	g.Add("m3", []string{"m2", "m1"}) // re-add merges, no duplicates
+	deps := g.Deps("m3")
+	if len(deps) != 2 {
+		t.Fatalf("Deps(m3) = %v, want 2 distinct deps", deps)
+	}
+}
+
+func TestAddDropsSelfLoop(t *testing.T) {
+	g := New()
+	g.Add("m", []string{"m"})
+	if len(g.Deps("m")) != 0 {
+		t.Fatal("self-dependency must be dropped")
+	}
+	if _, err := g.Extend(nil); err != nil {
+		t.Fatalf("Extend after self-loop drop: %v", err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g1 := New()
+	g1.Add("a", nil)
+	g1.Add("b", []string{"a"})
+	g2 := New()
+	g2.Add("c", []string{"a"})
+	g1.Union(g2)
+	if g1.Len() != 3 {
+		t.Fatalf("union Len = %d, want 3", g1.Len())
+	}
+	if deps := g1.Deps("c"); len(deps) != 1 || deps[0] != "a" {
+		t.Fatalf("Deps(c) = %v after union", deps)
+	}
+	g1.Union(nil) // must be a no-op
+	if g1.Len() != 3 {
+		t.Fatal("Union(nil) changed the graph")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New()
+	g.Add("a", nil)
+	cp := g.Clone()
+	cp.Add("b", []string{"a"})
+	if g.Has("b") {
+		t.Fatal("mutating clone affected original")
+	}
+	if !cp.Has("b") {
+		t.Fatal("clone lost an added node")
+	}
+}
+
+func TestExtendEmptyGraph(t *testing.T) {
+	g := New()
+	out, err := g.Extend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("Extend of empty graph = %v", out)
+	}
+}
+
+func TestExtendRespectsEdgesAndPrefix(t *testing.T) {
+	g := New()
+	g.Add("m1", nil)
+	g.Add("m2", []string{"m1"})
+	g.Add("m3", []string{"m1"})
+	g.Add("m4", []string{"m2", "m3"})
+
+	out, err := g.Extend([]string{"m1", "m3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "m1" || out[1] != "m3" {
+		t.Fatalf("prefix not preserved: %v", out)
+	}
+	assertTopo(t, g, out)
+	if len(out) != 4 {
+		t.Fatalf("Extend must contain all nodes once: %v", out)
+	}
+}
+
+func TestExtendDeterministicTieBreak(t *testing.T) {
+	g := New()
+	g.Add("z", nil)
+	g.Add("a", nil)
+	g.Add("k", nil)
+	out, err := g.Extend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "k", "z"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Extend = %v, want lexicographic %v", out, want)
+		}
+	}
+}
+
+func TestExtendErrorOnBadPrefix(t *testing.T) {
+	g := New()
+	g.Add("m2", []string{"m1"})
+	if _, err := g.Extend([]string{"m2", "m1"}); err == nil {
+		t.Fatal("prefix violating an edge must be rejected")
+	}
+	if _, err := g.Extend([]string{"m1", "m1"}); err == nil {
+		t.Fatal("duplicate prefix entry must be rejected")
+	}
+}
+
+func TestExtendErrorOnCycle(t *testing.T) {
+	g := New()
+	g.Add("a", []string{"b"})
+	g.Add("b", []string{"a"})
+	if _, err := g.Extend(nil); err == nil {
+		t.Fatal("cycle must be detected")
+	}
+}
+
+func TestExtendPrefixStability(t *testing.T) {
+	// Growing the graph and re-extending must keep the old sequence as a
+	// prefix — the exact invariant ETOB-Stability rests on.
+	g := New()
+	seq := []string(nil)
+	rng := rand.New(rand.NewSource(42))
+	var ids []string
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("m%02d", i)
+		// Random deps among earlier messages.
+		var deps []string
+		for _, prev := range ids {
+			if rng.Intn(4) == 0 {
+				deps = append(deps, prev)
+			}
+		}
+		ids = append(ids, id)
+		g.Add(id, deps)
+		next, err := g.Extend(seq)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		for j := range seq {
+			if next[j] != seq[j] {
+				t.Fatalf("step %d: old promote not a prefix of the new one", i)
+			}
+		}
+		assertTopo(t, g, next)
+		seq = next
+	}
+	if len(seq) != 60 {
+		t.Fatalf("final sequence has %d messages, want 60", len(seq))
+	}
+}
+
+func TestExtendQuick(t *testing.T) {
+	// Property: for a random DAG built from a random seed, Extend(nil) is a
+	// permutation of the nodes that respects every edge.
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		ids := make([]string, 0, size)
+		for i := 0; i < size; i++ {
+			id := fmt.Sprintf("n%03d", i)
+			var deps []string
+			for _, prev := range ids {
+				if rng.Intn(3) == 0 {
+					deps = append(deps, prev)
+				}
+			}
+			g.Add(id, deps)
+			ids = append(ids, id)
+		}
+		out, err := g.Extend(nil)
+		if err != nil || len(out) != size {
+			return false
+		}
+		return isTopo(g, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New()
+	g.Add("a", nil)
+	g.Add("b", []string{"a"})
+	s := g.String()
+	if !strings.Contains(s, "b<-{a}") {
+		t.Errorf("String() = %q, want it to mention b<-{a}", s)
+	}
+}
+
+func assertTopo(t *testing.T, g *Graph, seq []string) {
+	t.Helper()
+	if !isTopo(g, seq) {
+		t.Fatalf("sequence %v violates an edge of %v", seq, g)
+	}
+}
+
+func isTopo(g *Graph, seq []string) bool {
+	pos := make(map[string]int, len(seq))
+	for i, m := range seq {
+		if _, dup := pos[m]; dup {
+			return false
+		}
+		pos[m] = i
+	}
+	for _, m := range g.Nodes() {
+		pm, ok := pos[m]
+		if !ok {
+			return false
+		}
+		for _, d := range g.Deps(m) {
+			if pos[d] > pm {
+				return false
+			}
+		}
+	}
+	return true
+}

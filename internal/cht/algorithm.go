@@ -1,0 +1,161 @@
+package cht
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+// SimMsg is a message of the simulated algorithm A in transit.
+type SimMsg struct {
+	From, To model.ProcID
+	Payload  string
+}
+
+func (m SimMsg) String() string {
+	return fmt.Sprintf("%v->%v:%s", m.From, m.To, m.Payload)
+}
+
+// Decided is a response of the simulated algorithm: process returned Value
+// to proposeEC_Instance.
+type Decided struct {
+	Instance int
+	Value    int // 0 or 1
+}
+
+// Algorithm is a deterministic algorithm A solving (eventual) consensus with
+// some failure detector D, in the form the simulation tree can execute
+// exhaustively: states are canonical strings, steps are pure functions.
+type Algorithm interface {
+	// Name identifies the algorithm in logs.
+	Name() string
+	// MaxInstance is the number of consensus instances simulated (the L cap;
+	// the paper's construction is unbounded, see DESIGN.md decision 4).
+	MaxInstance() int
+	// InitState is the state of process p before it invokes proposeEC_1.
+	InitState(p model.ProcID, n int) string
+	// Invoke applies proposeEC_instance(value) to the state, returning the
+	// new state and messages to send.
+	Invoke(p model.ProcID, n int, state string, instance, value int) (string, []SimMsg)
+	// Step applies one atomic step: receive m (nil = λ), see detector value
+	// d, transition, send messages, possibly return responses.
+	Step(p model.ProcID, n int, state string, m *SimMsg, d any) (string, []SimMsg, []Decided)
+}
+
+// EC4 is Algorithm 4 (EC from Ω) in simulatable form — the algorithm A the
+// extraction is demonstrated on, with D the Ω detector itself (the identity
+// case of "if D implements EC, Ω is extractable from D").
+//
+// State encoding: "c<count>/d<decidedUpTo>/r<recv>" where recv lists
+// proc:inst:val triples sorted lexicographically.
+type EC4 struct {
+	L int
+}
+
+var _ Algorithm = (*EC4)(nil)
+
+// NewEC4 returns the Algorithm 4 simulator capped at maxInstance instances.
+func NewEC4(maxInstance int) *EC4 {
+	if maxInstance < 1 {
+		maxInstance = 1
+	}
+	return &EC4{L: maxInstance}
+}
+
+// Name implements Algorithm.
+func (a *EC4) Name() string { return "Algorithm4-EC-from-Omega" }
+
+// MaxInstance implements Algorithm.
+func (a *EC4) MaxInstance() int { return a.L }
+
+type ec4State struct {
+	count   int
+	decided int            // instances 1..decided have been responded to
+	recv    map[string]int // "q:inst" → value
+}
+
+func (a *EC4) decode(s string) ec4State {
+	st := ec4State{recv: make(map[string]int)}
+	parts := strings.Split(s, "/")
+	for _, part := range parts {
+		switch {
+		case strings.HasPrefix(part, "c"):
+			st.count, _ = strconv.Atoi(part[1:])
+		case strings.HasPrefix(part, "d"):
+			st.decided, _ = strconv.Atoi(part[1:])
+		case strings.HasPrefix(part, "r") && len(part) > 1:
+			for _, ent := range strings.Split(part[1:], ",") {
+				kv := strings.Split(ent, "=")
+				if len(kv) == 2 {
+					v, _ := strconv.Atoi(kv[1])
+					st.recv[kv[0]] = v
+				}
+			}
+		}
+	}
+	return st
+}
+
+func (a *EC4) encode(st ec4State) string {
+	keys := make([]string, 0, len(st.recv))
+	for k := range st.recv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ents := make([]string, 0, len(keys))
+	for _, k := range keys {
+		ents = append(ents, fmt.Sprintf("%s=%d", k, st.recv[k]))
+	}
+	return fmt.Sprintf("c%d/d%d/r%s", st.count, st.decided, strings.Join(ents, ","))
+}
+
+// InitState implements Algorithm.
+func (a *EC4) InitState(model.ProcID, int) string {
+	return a.encode(ec4State{recv: make(map[string]int)})
+}
+
+// Invoke implements Algorithm: count := ℓ; send promote(v, ℓ) to all.
+func (a *EC4) Invoke(p model.ProcID, n int, state string, instance, value int) (string, []SimMsg) {
+	st := a.decode(state)
+	st.count = instance
+	payload := fmt.Sprintf("%d:%d", instance, value)
+	msgs := make([]SimMsg, 0, n)
+	for _, q := range model.Procs(n) {
+		msgs = append(msgs, SimMsg{From: p, To: q, Payload: payload})
+	}
+	return a.encode(st), msgs
+}
+
+// Step implements Algorithm.
+func (a *EC4) Step(p model.ProcID, n int, state string, m *SimMsg, d any) (string, []SimMsg, []Decided) {
+	st := a.decode(state)
+	if m != nil {
+		// promote(v, ℓ) from m.From.
+		var inst, val int
+		if _, err := fmt.Sscanf(m.Payload, "%d:%d", &inst, &val); err == nil {
+			key := fmt.Sprintf("%v:%d", m.From, inst)
+			if _, dup := st.recv[key]; !dup {
+				st.recv[key] = val
+			}
+		}
+		return a.encode(st), nil, nil
+	}
+	// λ-step = local timeout: decide if the current leader's value arrived.
+	if st.count == 0 || st.decided >= st.count {
+		return state, nil, nil
+	}
+	leader, ok := fd.LeaderOf(d)
+	if !ok {
+		return state, nil, nil
+	}
+	v, have := st.recv[fmt.Sprintf("%v:%d", leader, st.count)]
+	if !have {
+		return state, nil, nil
+	}
+	st.decided = st.count
+	return a.encode(st), nil, []Decided{{Instance: st.count, Value: v}}
+}

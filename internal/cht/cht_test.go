@@ -1,0 +1,384 @@
+package cht
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+func TestBuildDAGProperties(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	fp.Crash(3, 45) // crashes mid-construction
+	det := fd.NewOmegaEventual(fp, 1, 60)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 4, Seed: 7})
+	if g.Len() == 0 {
+		t.Fatal("empty DAG")
+	}
+	if bad := g.CheckProperties(fp, det); len(bad) != 0 {
+		t.Fatalf("DAG properties violated: %v", bad)
+	}
+	// Crashed process stops sampling.
+	if got := len(g.ByProc(3)); got >= 4 {
+		t.Errorf("crashed p3 has %d samples, want < 4", got)
+	}
+	// Correct processes sample fully.
+	for _, p := range []model.ProcID{1, 2} {
+		if got := len(g.ByProc(p)); got != 4 {
+			t.Errorf("%v has %d samples, want 4", p, got)
+		}
+	}
+}
+
+func TestDAGPrefixIsValid(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 5, Seed: 3})
+	for m := 1; m <= g.Len(); m++ {
+		sub := g.Prefix(m)
+		if sub.Len() != m {
+			t.Fatalf("Prefix(%d).Len() = %d", m, sub.Len())
+		}
+		if bad := sub.CheckProperties(fp, det); len(bad) != 0 {
+			t.Fatalf("prefix %d invalid: %v", m, bad)
+		}
+	}
+}
+
+func TestDAGMonotoneGrowth(t *testing.T) {
+	// Same seed, more samples: the smaller DAG must be a prefix of the larger
+	// (the reduction's ever-growing G).
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 2)
+	small := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 3, Seed: 11})
+	large := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 5, Seed: 11})
+	if small.Len() >= large.Len() {
+		t.Fatal("larger build must add vertices")
+	}
+	for i := 0; i < small.Len(); i++ {
+		a, b := small.Vertex(i), large.Vertex(i)
+		if a.P != b.P || a.K != b.K || a.Time != b.Time {
+			t.Fatalf("vertex %d differs between growth stages: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestEC4StateRoundtrip(t *testing.T) {
+	a := NewEC4(2)
+	s0 := a.InitState(1, 2)
+	s1, msgs := a.Invoke(1, 2, s0, 1, 1)
+	if len(msgs) != 2 {
+		t.Fatalf("invoke must promote to all: %v", msgs)
+	}
+	// Deliver own promote, then decide on a λ-step with leader p1.
+	s2, _, dec := a.Step(1, 2, s1, &SimMsg{From: 1, To: 1, Payload: "1:1"}, nil)
+	if len(dec) != 0 {
+		t.Fatal("receive step must not decide")
+	}
+	s3, _, dec := a.Step(1, 2, s2, nil, fd.OmegaValue(1))
+	if len(dec) != 1 || dec[0].Instance != 1 || dec[0].Value != 1 {
+		t.Fatalf("λ-step with leader's value must decide 1: %v", dec)
+	}
+	// Deciding again must be a no-op.
+	_, _, dec = a.Step(1, 2, s3, nil, fd.OmegaValue(1))
+	if len(dec) != 0 {
+		t.Fatal("double decision")
+	}
+	// Unknown leader value: no decision.
+	_, _, dec = a.Step(1, 2, s2, nil, fd.OmegaValue(2))
+	if len(dec) != 0 {
+		t.Fatal("must not decide without the leader's promote")
+	}
+}
+
+// stableDAG builds a small failure-free DAG with a stable leader.
+func stableDAG(n int, leader model.ProcID, samples int) (*model.FailurePattern, *DAG) {
+	fp := model.NewFailurePattern(n)
+	det := fd.NewOmegaStable(fp, leader)
+	return fp, BuildDAG(fp, det, BuildOptions{SamplesPerProcess: samples, Seed: 5})
+}
+
+func TestClassicalExtractionStableLeader(t *testing.T) {
+	// With D = stable Ω, the consensus outcome is fixed by the leader's
+	// input, so the critical index is univalent and equals the leader:
+	// extraction must output exactly the leader.
+	for _, leader := range []model.ProcID{1, 2} {
+		_, g := stableDAG(2, leader, 3)
+		ext, err := ExtractClassical(NewEC4(1), 2, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.Found {
+			t.Fatalf("leader %v: extraction found nothing", leader)
+		}
+		if ext.Leader != leader {
+			t.Fatalf("leader %v: extracted %v via %s", leader, ext.Leader, ext.How)
+		}
+		if ext.How != "univalent-critical" {
+			t.Errorf("expected univalent critical, got %s", ext.How)
+		}
+		if ext.CriticalIndex != int(leader) {
+			t.Errorf("critical index = %d, want %d", ext.CriticalIndex, int(leader))
+		}
+	}
+}
+
+func TestClassicalExtractionThreeProcs(t *testing.T) {
+	// A decision takes three steps of one process (invoke, receive the
+	// leader's promote, λ-decide), so each process needs >= 3 samples.
+	for _, leader := range []model.ProcID{1, 2, 3} {
+		_, g := stableDAG(3, leader, 3)
+		ext, err := ExtractClassical(NewEC4(1), 3, g, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.Found || ext.Leader != leader {
+			t.Fatalf("leader %v: got %+v", leader, ext)
+		}
+	}
+}
+
+// waitP is a one-shot 2-process consensus algorithm using the perfect
+// detector P (range: sets of suspected processes): broadcast your input,
+// wait until you hold the input of every unsuspected process, then decide
+// the smallest-ID input you HOLD (a crashed process's input still counts if
+// it arrived in time). For n = 2 this solves consensus with P, and a mid-DAG
+// crash makes the simulation forest genuinely bivalent: whether the survivor
+// receives the crashed process's input before suspecting it decides the
+// outcome — the classical decision-gadget scenario (Figures 3–5).
+type waitP struct{}
+
+func (waitP) Name() string                       { return "wait-for-unsuspected(P)" }
+func (waitP) MaxInstance() int                   { return 1 }
+func (waitP) InitState(model.ProcID, int) string { return "u//" }
+
+func (waitP) Invoke(p model.ProcID, n int, state string, _, value int) (string, []SimMsg) {
+	msgs := make([]SimMsg, 0, n)
+	payload := fmt.Sprintf("%d:%d", int(p), value)
+	for _, q := range model.Procs(n) {
+		msgs = append(msgs, SimMsg{From: p, To: q, Payload: payload})
+	}
+	return fmt.Sprintf("u/%d/", value), msgs
+}
+
+func (waitP) Step(p model.ProcID, n int, state string, m *SimMsg, d any) (string, []SimMsg, []Decided) {
+	parts := strings.SplitN(state, "/", 3)
+	own, recvStr := parts[1], parts[2]
+	if own == "" || strings.HasPrefix(parts[0], "D") {
+		return state, nil, nil // not invoked yet, or already decided
+	}
+	recv := map[int]int{}
+	if recvStr != "" {
+		for _, ent := range strings.Split(recvStr, ",") {
+			var q, v int
+			fmt.Sscanf(ent, "%d:%d", &q, &v)
+			recv[q] = v
+		}
+	}
+	if m != nil {
+		var q, v int
+		fmt.Sscanf(m.Payload, "%d:%d", &q, &v)
+		recv[q] = v
+		return encodeWaitP("u", own, recv), nil, nil
+	}
+	// λ-step: wait-set = unsuspected processes; decide when all arrived.
+	suspects, ok := d.(fd.SuspectValue)
+	if !ok {
+		return state, nil, nil
+	}
+	suspected := map[model.ProcID]bool{}
+	for _, s := range suspects {
+		suspected[s] = true
+	}
+	ownV, _ := strconv.Atoi(own)
+	recv[int(p)] = ownV
+	for _, q := range model.Procs(n) {
+		if suspected[q] {
+			continue
+		}
+		if _, have := recv[int(q)]; !have {
+			return encodeWaitP("u", own, recv), nil, nil // still waiting
+		}
+	}
+	// Decide the smallest-ID input held, including suspected senders' inputs.
+	decideFrom := int(p)
+	for q := range recv {
+		if q < decideFrom {
+			decideFrom = q
+		}
+	}
+	return encodeWaitP("D", own, recv), nil, []Decided{{Instance: 1, Value: recv[decideFrom]}}
+}
+
+func encodeWaitP(tag, own string, recv map[int]int) string {
+	keys := make([]int, 0, len(recv))
+	for k := range recv {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	ents := make([]string, 0, len(keys))
+	for _, k := range keys {
+		ents = append(ents, fmt.Sprintf("%d:%d", k, recv[k]))
+	}
+	return fmt.Sprintf("%s/%s/%s", tag, own, strings.Join(ents, ","))
+}
+
+func TestClassicalExtractionBivalentGadget(t *testing.T) {
+	// p1 crashes mid-construction; D = P. Υ^1 (p1 proposes 1, p2 proposes 0)
+	// is bivalent: p2 decides 1 if it receives p1's input before suspecting
+	// it, 0 otherwise. The extraction must go through a decision gadget and
+	// its deciding process must be correct (= p2).
+	fp := model.NewFailurePattern(2)
+	fp.Crash(1, 35) // after p1's second sample (samples at t=10,30,50,...)
+	det := fd.NewPerfect(fp)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 4, Seed: 9})
+	ext, err := ExtractClassical(waitP{}, 2, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Found {
+		t.Fatal("no gadget found in bivalent tree")
+	}
+	if ext.How == "univalent-critical" {
+		t.Fatalf("expected a decision gadget, got %s", ext.How)
+	}
+	if ext.Leader != 2 {
+		t.Fatalf("extracted %v via %s, want the survivor p2", ext.Leader, ext.How)
+	}
+	t.Logf("extracted %v via %s (critical index %d, %d nodes)", ext.Leader, ext.How, ext.CriticalIndex, ext.Nodes)
+}
+
+func TestECExtractionFindsCorrectLeader(t *testing.T) {
+	// The paper's §4 variant: algorithm = EC (Algorithm 4, 2 instances),
+	// detector = eventual Ω. The first k-bivalent vertex and its gadget must
+	// yield a correct process.
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaEventual(fp, 1, 35)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 3, Seed: 13})
+	ext, err := ExtractEC(NewEC4(2), 2, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Found {
+		t.Fatal("EC extraction found nothing")
+	}
+	if !fp.IsCorrect(ext.Leader) {
+		t.Fatalf("extracted faulty process %v", ext.Leader)
+	}
+	t.Logf("extracted %v via %s at instance %d (%d nodes)", ext.Leader, ext.How, ext.Instance, ext.Nodes)
+}
+
+func TestECExtractionStableOmegaIsInputDriven(t *testing.T) {
+	// With a stable-leader detector the outcome depends only on the leader's
+	// proposals: bivalence comes from input branching, and the gadget's
+	// deciding process must be the leader itself.
+	for _, leader := range []model.ProcID{1, 2} {
+		_, g := stableDAG(2, leader, 3)
+		ext, err := ExtractEC(NewEC4(2), 2, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.Found {
+			t.Fatalf("leader %v: nothing found", leader)
+		}
+		if ext.Leader != leader {
+			t.Fatalf("leader %v: extracted %v via %s", leader, ext.Leader, ext.How)
+		}
+	}
+}
+
+func TestEmulateOmegaStabilizes(t *testing.T) {
+	// The full reduction loop: per-process lagged DAG views, growing round by
+	// round. Eventually all correct processes output the same correct leader.
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaEventual(fp, 2, 35)
+	rounds, err := EmulateOmega(NewEC4(2), fp, det, EmulateOptions{
+		Rounds:      4,
+		BaseSamples: 2,
+		Build:       BuildOptions{Seed: 17},
+		ViewLag:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 4 {
+		t.Fatalf("got %d rounds", len(rounds))
+	}
+	last := rounds[len(rounds)-1]
+	leader, agreed := last.Agreed(fp.Correct())
+	if !agreed {
+		t.Fatalf("correct processes disagree in the last round: %v", last.Outputs)
+	}
+	if !fp.IsCorrect(leader) {
+		t.Fatalf("emulated Ω output a faulty process: %v", leader)
+	}
+	for _, r := range rounds {
+		t.Logf("round %d (samples=%d, nodes=%d): outputs=%v how=%v", r.Round, r.Samples, r.Nodes, r.Outputs, r.Hows)
+	}
+}
+
+func TestEmulateOmegaClassical(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	rounds, err := EmulateOmega(NewEC4(1), fp, det, EmulateOptions{
+		Rounds:      3,
+		Classical:   true,
+		BaseSamples: 2,
+		Build:       BuildOptions{Seed: 23},
+		ViewLag:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rounds[len(rounds)-1]
+	leader, agreed := last.Agreed(fp.Correct())
+	if !agreed || leader != 1 {
+		t.Fatalf("classical emulation: outputs=%v, want unanimous p1", last.Outputs)
+	}
+}
+
+func TestExplorerNodeCap(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 4, Seed: 1})
+	ex := NewExplorer(NewEC4(2), 2, g, nil, 50)
+	if err := ex.Build(); err == nil {
+		t.Fatal("tiny cap must trigger the truncation error")
+	}
+	if !ex.Truncated() {
+		t.Fatal("Truncated() must report the cap hit")
+	}
+}
+
+func TestExtractClassicalRejectsMultiInstance(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 2, Seed: 1})
+	if _, err := ExtractClassical(NewEC4(2), 2, g, 0); err == nil {
+		t.Fatal("classical extraction must reject L>1")
+	}
+}
+
+func TestKTagsMonotoneUnderGrowth(t *testing.T) {
+	// Growing the DAG can only ADD values to a vertex's k-tag (valencies
+	// stabilize, Appendix B.5): check root tags across growth stages.
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaEventual(fp, 1, 35)
+	var prev uint8
+	for samples := 2; samples <= 4; samples++ {
+		g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: samples, Seed: 29})
+		ex := NewExplorer(NewEC4(1), 2, g, []int{1, 0}, 0)
+		if err := ex.Build(); err != nil {
+			t.Fatal(err)
+		}
+		tag := ex.KTag(ex.Root(), 1)
+		if tag&prev != prev {
+			t.Fatalf("tag lost bits under growth: %b -> %b", prev, tag)
+		}
+		prev = tag
+	}
+}

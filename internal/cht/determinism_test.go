@@ -1,0 +1,108 @@
+package cht
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+func TestExtractionDeterministic(t *testing.T) {
+	// The reduction must be a deterministic function of the DAG: repeated
+	// extraction over the same view yields the identical result — the
+	// property that lets all correct processes converge on the SAME leader.
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaEventual(fp, 2, 35)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 4, Seed: 31})
+	first, err := ExtractEC(NewEC4(2), 2, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := ExtractEC(NewEC4(2), 2, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("extraction not deterministic: %+v vs %+v", first, again)
+		}
+	}
+}
+
+func TestExtractionStableUnderGrowth(t *testing.T) {
+	// Once the extraction finds a leader, growing the DAG (same seed) must
+	// keep extracting the same leader — the stabilization Lemma 1 needs.
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaEventual(fp, 2, 35)
+	var stable model.ProcID
+	for samples := 3; samples <= 6; samples++ {
+		g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: samples, Seed: 31})
+		ext, err := ExtractEC(NewEC4(2), 2, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.Found {
+			continue
+		}
+		if stable == model.NoProc {
+			stable = ext.Leader
+			continue
+		}
+		if ext.Leader != stable {
+			t.Fatalf("samples=%d: leader flipped from %v to %v", samples, stable, ext.Leader)
+		}
+	}
+	if stable == model.NoProc {
+		t.Fatal("extraction never found a leader")
+	}
+	if !fp.IsCorrect(stable) {
+		t.Fatalf("stabilized on faulty %v", stable)
+	}
+}
+
+func TestViewPrefixesConvergeToSameLeader(t *testing.T) {
+	// Different processes see different-length prefixes of the same DAG;
+	// once both prefixes are long enough, both must extract the same leader
+	// (the agreement half of the emulation).
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaEventual(fp, 1, 35)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 6, Seed: 41})
+	full, err := ExtractEC(NewEC4(2), 2, g, 0)
+	if err != nil || !full.Found {
+		t.Fatalf("full view: %+v err=%v", full, err)
+	}
+	lagged, err := ExtractEC(NewEC4(2), 2, g.Prefix(g.Len()-1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lagged.Found && lagged.Leader != full.Leader {
+		t.Fatalf("views disagree: full=%v lagged=%v", full.Leader, lagged.Leader)
+	}
+}
+
+func TestGadgetDecidingProcessAlwaysCorrectAcrossSeeds(t *testing.T) {
+	// Lemma 8 in the aggregate: across many DAG seeds, whenever a gadget is
+	// found its deciding process is correct.
+	fp := model.NewFailurePattern(2)
+	fp.Crash(1, 55)
+	det := fd.NewOmegaEventual(fp, 2, 35)
+	found := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 4, Seed: seed})
+		ext, err := ExtractEC(NewEC4(2), 2, g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.Found {
+			continue
+		}
+		found++
+		if !fp.IsCorrect(ext.Leader) {
+			t.Fatalf("seed %d: extracted faulty %v via %s", seed, ext.Leader, ext.How)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no seed produced a gadget")
+	}
+	t.Logf("gadgets found in %d/12 seeds, all deciding processes correct", found)
+}

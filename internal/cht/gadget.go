@@ -1,0 +1,146 @@
+package cht
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// GadgetKind identifies the decision-gadget shape (Figure 3).
+type GadgetKind string
+
+// The gadget shapes. Forks and hooks are the paper's Figure 3; input forks
+// are the analogous shape at input-accepting steps, which arise in the EC
+// variant where proposal values branch inside the single simulation tree
+// (§4, footnote 2) — the deciding process is correct by the same argument as
+// Lemma 8 (only it distinguishes the two branches).
+const (
+	GadgetFork      GadgetKind = "fork"
+	GadgetHook      GadgetKind = "hook"
+	GadgetInputFork GadgetKind = "input-fork"
+)
+
+// Gadget is a located decision gadget: its pivot node, shape, instance, and
+// the deciding process (provably correct, Lemma 8).
+type Gadget struct {
+	Kind     GadgetKind
+	Instance int
+	Pivot    *node
+	Deciding model.ProcID
+}
+
+// String renders a description for logs.
+func (g Gadget) String() string {
+	return fmt.Sprintf("%s@node%d k=%d deciding=%v", g.Kind, g.Pivot.id, g.Instance, g.Deciding)
+}
+
+// stepLabel identifies a step (q, m, ·) ignoring the detector value, to group
+// fork candidates: two edges with the same label but different DAG vertices
+// are "two different steps by the same process consuming the same message".
+func stepLabel(e *Explorer, ed edge) (string, model.ProcID) {
+	q := e.dag.Vertex(ed.vertex).P
+	switch ed.kind {
+	case edgeMsg:
+		return fmt.Sprintf("m|%v|%d>%s", q, ed.msg.From, ed.msg.Payload), q
+	case edgeLambda:
+		return fmt.Sprintf("l|%v", q), q
+	default:
+		return fmt.Sprintf("i|%v|inst", q), q
+	}
+}
+
+// FindGadget searches the subtree of pivot for the smallest decision gadget
+// with respect to instance k, in deterministic order. ok=false if the finite
+// prefix contains none (the limit tree always does, Lemma 9).
+func (e *Explorer) FindGadget(pivot *node, k int) (Gadget, bool) {
+	sub := e.Subtree(pivot)
+
+	// Forks first (including input forks), in node order.
+	for _, nd := range sub {
+		groups := make(map[string][]edge)
+		var inputs []edge
+		for _, ed := range nd.edges {
+			if ed.kind == edgeInvoke {
+				inputs = append(inputs, ed)
+				continue
+			}
+			lbl, _ := stepLabel(e, ed)
+			groups[lbl] = append(groups[lbl], ed)
+		}
+		// Classic fork: same (q, m), different detector sample, opposite
+		// univalent children.
+		for _, eds := range groups {
+			if g, ok := e.forkIn(nd, eds, k, GadgetFork); ok {
+				return g, true
+			}
+		}
+		// Input fork: same process invoking with 0 vs 1, opposite univalent
+		// children.
+		if g, ok := e.forkIn(nd, inputs, k, GadgetInputFork); ok {
+			return g, true
+		}
+	}
+
+	// Hooks: S --e'--> S', and a step σ applicable at both S and S' whose two
+	// applications are opposite univalent.
+	for _, nd := range sub {
+		for _, ePrime := range nd.edges {
+			sPrime := ePrime.child
+			// Match steps of nd and sPrime by identical (vertex, kind, msg).
+			byStep := make(map[string]edge, len(nd.edges))
+			for _, ed := range nd.edges {
+				byStep[fmt.Sprintf("%d/%d/%v/%d", ed.vertex, ed.kind, ed.msg, ed.ival)] = ed
+			}
+			for _, ed2 := range sPrime.edges {
+				ed1, ok := byStep[fmt.Sprintf("%d/%d/%v/%d", ed2.vertex, ed2.kind, ed2.msg, ed2.ival)]
+				if !ok {
+					continue
+				}
+				x1, ok1 := e.univalence(ed1.child, k)
+				x2, ok2 := e.univalence(ed2.child, k)
+				if ok1 && ok2 && x1 != x2 {
+					return Gadget{
+						Kind:     GadgetHook,
+						Instance: k,
+						Pivot:    nd,
+						Deciding: e.dag.Vertex(ed2.vertex).P,
+					}, true
+				}
+			}
+		}
+	}
+	return Gadget{}, false
+}
+
+// forkIn looks for a pair of edges within eds with opposite univalent
+// children.
+func (e *Explorer) forkIn(nd *node, eds []edge, k int, kind GadgetKind) (Gadget, bool) {
+	var zero, one *edge
+	for i := range eds {
+		if x, ok := e.univalence(eds[i].child, k); ok {
+			if x == 0 && zero == nil {
+				zero = &eds[i]
+			}
+			if x == 1 && one == nil {
+				one = &eds[i]
+			}
+		}
+	}
+	if zero != nil && one != nil {
+		_, q := stepLabel(e, *zero)
+		return Gadget{Kind: kind, Instance: k, Pivot: nd, Deciding: q}, true
+	}
+	return Gadget{}, false
+}
+
+// univalence returns (x, true) if nd is (k, x)-valent.
+func (e *Explorer) univalence(nd *node, k int) (int, bool) {
+	switch e.KTag(nd, k) {
+	case 1:
+		return 0, true
+	case 2:
+		return 1, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,72 @@
+package cht
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+func TestECExtractionThreeProcs(t *testing.T) {
+	// The §4 extraction at n=3: the input-branching single tree stays
+	// tractable and the extracted leader is the correct eventual leader.
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaEventual(fp, 2, 35)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 3, Seed: 3})
+	ext, err := ExtractEC(NewEC4(1), 3, g, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Found {
+		t.Fatal("n=3 extraction found nothing")
+	}
+	if !fp.IsCorrect(ext.Leader) {
+		t.Fatalf("extracted faulty %v via %s", ext.Leader, ext.How)
+	}
+	t.Logf("n=3 EC extraction: leader=%v how=%s nodes=%d", ext.Leader, ext.How, ext.Nodes)
+}
+
+func TestECExtractionThreeProcsTwoInstances(t *testing.T) {
+	// Two consensus instances at n=3: bigger tree, same guarantee.
+	fp := model.NewFailurePattern(3)
+	fp.Crash(3, 75)
+	det := fd.NewOmegaEventual(fp, 1, 35)
+	g := BuildDAG(fp, det, BuildOptions{SamplesPerProcess: 3, Seed: 5})
+	ext, err := ExtractEC(NewEC4(2), 3, g, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Found && !fp.IsCorrect(ext.Leader) {
+		t.Fatalf("extracted faulty %v via %s", ext.Leader, ext.How)
+	}
+	t.Logf("n=3 L=2 extraction: %+v", ext)
+}
+
+func TestEmulateOmegaThreeProcs(t *testing.T) {
+	// The full round-by-round emulation at n=3 with a crash: all correct
+	// processes stabilize on the same correct leader.
+	fp := model.NewFailurePattern(3)
+	fp.Crash(3, 55)
+	det := fd.NewOmegaEventual(fp, 1, 35)
+	rounds, err := EmulateOmega(NewEC4(1), fp, det, EmulateOptions{
+		Rounds:      3,
+		BaseSamples: 2,
+		Build:       BuildOptions{Seed: 29},
+		ViewLag:     1,
+		MaxNodes:    3_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rounds[len(rounds)-1]
+	leader, agreed := last.Agreed(fp.Correct())
+	if !agreed {
+		t.Fatalf("n=3 emulation diverged: %v", last.Outputs)
+	}
+	if !fp.IsCorrect(leader) {
+		t.Fatalf("n=3 emulation output faulty %v", leader)
+	}
+	for _, r := range rounds {
+		t.Logf("round %d: %v (%d nodes)", r.Round, r.Outputs, r.Nodes)
+	}
+}

@@ -1,0 +1,414 @@
+package cht
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// config is a configuration of the simulated algorithm A: per-process states,
+// the message buffer, and the bookkeeping the k-tag machinery needs.
+type config struct {
+	states    []string // states[p-1]
+	buffer    []SimMsg // multiset, kept canonically sorted
+	decided   []uint8  // decided[k-1]: bit0/bit1 = value 0/1 returned to proposeEC_k so far
+	invoked   []int    // invoked[p-1]: highest instance p has invoked
+	responded []int    // responded[p-1]: highest instance p has responded to
+}
+
+func (c *config) clone() config {
+	return config{
+		states:    append([]string(nil), c.states...),
+		buffer:    append([]SimMsg(nil), c.buffer...),
+		decided:   append([]uint8(nil), c.decided...),
+		invoked:   append([]int(nil), c.invoked...),
+		responded: append([]int(nil), c.responded...),
+	}
+}
+
+func (c *config) encode() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(c.states, "|"))
+	b.WriteString("#")
+	for _, m := range c.buffer {
+		fmt.Fprintf(&b, "%d>%d:%s;", m.From, m.To, m.Payload)
+	}
+	b.WriteString("#")
+	for _, d := range c.decided {
+		fmt.Fprintf(&b, "%d", d)
+	}
+	b.WriteString("#")
+	for i := range c.invoked {
+		fmt.Fprintf(&b, "%d.%d,", c.invoked[i], c.responded[i])
+	}
+	return b.String()
+}
+
+func (c *config) sortBuffer() {
+	sort.Slice(c.buffer, func(i, j int) bool {
+		a, b := c.buffer[i], c.buffer[j]
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Payload < b.Payload
+	})
+}
+
+// removeMsg removes one occurrence of m from the buffer.
+func (c *config) removeMsg(m SimMsg) {
+	for i := range c.buffer {
+		if c.buffer[i] == m {
+			c.buffer = append(c.buffer[:i:i], c.buffer[i+1:]...)
+			return
+		}
+	}
+}
+
+// edgeKind distinguishes the three step flavors of §2: accepting an input
+// (an invocation of proposeEC), receiving a message, or receiving λ.
+type edgeKind int
+
+const (
+	edgeInvoke edgeKind = iota + 1
+	edgeMsg
+	edgeLambda
+)
+
+// edge is one step extension in the simulation tree, labeled with the DAG
+// vertex that supplied the failure detector value.
+type edge struct {
+	vertex int      // DAG vertex index (determines process and FD value)
+	kind   edgeKind // input, message, or λ
+	ival   int      // invoke: proposed value
+	msg    SimMsg   // message consumed (kind == edgeMsg)
+	child  *node
+}
+
+func (e edge) label() string {
+	switch e.kind {
+	case edgeInvoke:
+		return fmt.Sprintf("v%d!inv(%d)", e.vertex, e.ival)
+	case edgeMsg:
+		return fmt.Sprintf("v%d!msg(%v)", e.vertex, e.msg)
+	default:
+		return fmt.Sprintf("v%d!λ", e.vertex)
+	}
+}
+
+// node is a vertex of the simulation tree, deduplicated by (configuration,
+// last DAG vertex): distinct schedules reaching the same configuration via
+// the same sample frontier have identical futures, so the tree is explored
+// as a DAG (the paper's Υ is its unfolding).
+type node struct {
+	id    int // deterministic enumeration order (by last vertex, then config)
+	cfg   config
+	enc   string
+	last  int // DAG vertex of the last step, -1 at the root
+	edges []edge
+
+	// reach[k-1]: bit0/bit1 = some descendant-or-self returns 0/1 to
+	// proposeEC_k; bit2 = some descendant-or-self has both (the ⊥ tag).
+	reach     []uint8
+	reachDone bool
+}
+
+const invalidBit = 4
+
+// Explorer builds and tags the simulation tree induced by a DAG and an
+// algorithm. fixedInputs non-nil switches to the classical simulation-forest
+// mode: process p's proposeEC_1 value is fixedInputs[p-1] and no input
+// branching occurs (Appendix B); nil means EC mode with branching inputs (§4).
+type Explorer struct {
+	alg         Algorithm
+	n           int
+	dag         *DAG
+	fixedInputs []int
+	maxNodes    int
+
+	nodes     map[string]*node
+	byOrder   []*node
+	root      *node
+	truncated bool
+}
+
+// NewExplorer prepares an exploration. maxNodes caps the node count (the
+// limit tree is infinite; see DESIGN.md decision 4); 0 means 200000.
+func NewExplorer(alg Algorithm, n int, dag *DAG, fixedInputs []int, maxNodes int) *Explorer {
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	return &Explorer{
+		alg:         alg,
+		n:           n,
+		dag:         dag,
+		fixedInputs: fixedInputs,
+		maxNodes:    maxNodes,
+		nodes:       make(map[string]*node),
+	}
+}
+
+// Build explores every schedule compatible with paths in the DAG, then
+// computes the k-tags. It returns an error if the node cap is exceeded.
+func (e *Explorer) Build() error {
+	L := e.alg.MaxInstance()
+	rootCfg := config{
+		states:    make([]string, e.n),
+		decided:   make([]uint8, L),
+		invoked:   make([]int, e.n),
+		responded: make([]int, e.n),
+	}
+	for _, p := range model.Procs(e.n) {
+		rootCfg.states[p-1] = e.alg.InitState(p, e.n)
+	}
+	e.root = &node{cfg: rootCfg, enc: rootCfg.encode(), last: -1}
+	e.nodes[key(e.root.enc, -1)] = e.root
+
+	queue := []*node{e.root}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		if nd.edges != nil {
+			continue
+		}
+		children := e.expand(nd)
+		for _, c := range children {
+			if c.child.edges == nil { // not yet expanded; duplicates are skipped at pop
+				queue = append(queue, c.child)
+			}
+		}
+		if len(e.nodes) > e.maxNodes {
+			e.truncated = true
+			return fmt.Errorf("cht: simulation tree exceeded %d nodes (shrink the DAG)", e.maxNodes)
+		}
+	}
+
+	// Deterministic enumeration order: by last vertex index (the paper's
+	// m-based order), then by configuration encoding.
+	e.byOrder = make([]*node, 0, len(e.nodes))
+	for _, nd := range e.nodes {
+		e.byOrder = append(e.byOrder, nd)
+	}
+	sort.Slice(e.byOrder, func(i, j int) bool {
+		a, b := e.byOrder[i], e.byOrder[j]
+		if a.last != b.last {
+			return a.last < b.last
+		}
+		return a.enc < b.enc
+	})
+	for i, nd := range e.byOrder {
+		nd.id = i
+	}
+	e.computeReach()
+	return nil
+}
+
+func key(enc string, last int) string { return fmt.Sprintf("%d~%s", last, enc) }
+
+// expand generates every one-step extension of nd.
+func (e *Explorer) expand(nd *node) []edge {
+	nd.edges = []edge{} // mark expanded
+	var nexts []int
+	if nd.last < 0 {
+		nexts = make([]int, e.dag.Len())
+		for i := range nexts {
+			nexts[i] = i
+		}
+	} else {
+		nexts = e.dag.Succs(nd.last)
+	}
+	for _, vi := range nexts {
+		v := e.dag.Vertex(vi)
+		q := v.P
+		switch {
+		case e.pendingInvoke(nd, q):
+			inst := nd.cfg.invoked[q-1] + 1
+			if e.fixedInputs != nil && inst == 1 {
+				e.addInvokeEdge(nd, vi, inst, e.fixedInputs[q-1])
+			} else {
+				e.addInvokeEdge(nd, vi, inst, 0)
+				e.addInvokeEdge(nd, vi, inst, 1)
+			}
+		default:
+			// λ-step plus one step per distinct pending message for q.
+			e.addStepEdge(nd, vi, nil)
+			seen := make(map[SimMsg]bool)
+			for _, m := range nd.cfg.buffer {
+				if m.To == q && !seen[m] {
+					seen[m] = true
+					mm := m
+					e.addStepEdge(nd, vi, &mm)
+				}
+			}
+		}
+	}
+	return nd.edges
+}
+
+// pendingInvoke reports whether process q's next step must accept an input:
+// it has not invoked proposeEC_1 yet, or it has responded to its current
+// instance and the next one is within the cap ("every process invokes
+// proposeEC_j as soon as it returns a response to proposeEC_{j-1}").
+func (e *Explorer) pendingInvoke(nd *node, q model.ProcID) bool {
+	inv := nd.cfg.invoked[q-1]
+	if inv == 0 {
+		return true
+	}
+	return nd.cfg.responded[q-1] == inv && inv < e.alg.MaxInstance()
+}
+
+func (e *Explorer) addInvokeEdge(nd *node, vi, inst, val int) {
+	cfg := nd.cfg.clone()
+	q := e.dag.Vertex(vi).P
+	st, sends := e.alg.Invoke(q, e.n, cfg.states[q-1], inst, val)
+	cfg.states[q-1] = st
+	cfg.invoked[q-1] = inst
+	cfg.buffer = append(cfg.buffer, sends...)
+	cfg.sortBuffer()
+	e.attach(nd, edge{vertex: vi, kind: edgeInvoke, ival: val}, cfg)
+}
+
+func (e *Explorer) addStepEdge(nd *node, vi int, m *SimMsg) {
+	cfg := nd.cfg.clone()
+	v := e.dag.Vertex(vi)
+	q := v.P
+	if m != nil {
+		cfg.removeMsg(*m)
+	}
+	st, sends, decs := e.alg.Step(q, e.n, cfg.states[q-1], m, v.D)
+	cfg.states[q-1] = st
+	cfg.buffer = append(cfg.buffer, sends...)
+	cfg.sortBuffer()
+	for _, d := range decs {
+		if d.Instance >= 1 && d.Instance <= len(cfg.decided) {
+			cfg.decided[d.Instance-1] |= 1 << uint(d.Value&1)
+		}
+		if d.Instance > cfg.responded[q-1] {
+			cfg.responded[q-1] = d.Instance
+		}
+	}
+	ed := edge{vertex: vi, kind: edgeLambda}
+	if m != nil {
+		ed.kind = edgeMsg
+		ed.msg = *m
+	}
+	e.attach(nd, ed, cfg)
+}
+
+func (e *Explorer) attach(nd *node, ed edge, cfg config) {
+	enc := cfg.encode()
+	k := key(enc, ed.vertex)
+	child, ok := e.nodes[k]
+	if !ok {
+		child = &node{cfg: cfg, enc: enc, last: ed.vertex}
+		e.nodes[k] = child
+	}
+	ed.child = child
+	nd.edges = append(nd.edges, ed)
+}
+
+// computeReach computes reach masks bottom-up. The node graph is acyclic:
+// every edge strictly increases the last DAG vertex index.
+func (e *Explorer) computeReach() {
+	L := e.alg.MaxInstance()
+	var visit func(nd *node)
+	visit = func(nd *node) {
+		if nd.reachDone {
+			return
+		}
+		nd.reachDone = true // safe: recursion only descends to higher last index
+		nd.reach = make([]uint8, L)
+		for k := 0; k < L; k++ {
+			nd.reach[k] = nd.cfg.decided[k] & 3
+			if nd.cfg.decided[k]&3 == 3 {
+				nd.reach[k] |= invalidBit
+			}
+		}
+		for _, ed := range nd.edges {
+			visit(ed.child)
+			for k := 0; k < L; k++ {
+				nd.reach[k] |= ed.child.reach[k]
+			}
+		}
+	}
+	visit(e.root)
+	for _, nd := range e.byOrder {
+		visit(nd)
+	}
+}
+
+// Root returns the root node (for valency queries in the classical variant).
+func (e *Explorer) Root() *node { return e.root }
+
+// Len returns the number of distinct tree nodes explored.
+func (e *Explorer) Len() int { return len(e.nodes) }
+
+// Truncated reports whether the exploration hit the node cap.
+func (e *Explorer) Truncated() bool { return e.truncated }
+
+// enabled reports whether nd is k-enabled: k = 1 or some response to
+// proposeEC_{k-1} appears in nd's schedule.
+func (e *Explorer) enabled(nd *node, k int) bool {
+	return k == 1 || nd.cfg.decided[k-2] != 0
+}
+
+// KTag returns the k-tag of nd: a subset of {0, 1, ⊥} encoded as a bitmask
+// (bit0 = 0-tag, bit1 = 1-tag, invalidBit = ⊥). Empty when not k-enabled.
+func (e *Explorer) KTag(nd *node, k int) uint8 {
+	if !e.enabled(nd, k) {
+		return 0
+	}
+	return nd.reach[k-1]
+}
+
+// Valent reports whether nd is (k, x)-valent: its k-tag is exactly {x}.
+func (e *Explorer) Valent(nd *node, k, x int) bool {
+	return e.KTag(nd, k) == 1<<uint(x&1)
+}
+
+// Bivalent reports whether nd is k-bivalent: its k-tag contains {0, 1}.
+func (e *Explorer) Bivalent(nd *node, k int) bool {
+	return e.KTag(nd, k)&3 == 3
+}
+
+// FirstBivalent locates the first k-bivalent node in the deterministic node
+// order, scanning instances in increasing order; ok=false if none exists in
+// this finite prefix.
+func (e *Explorer) FirstBivalent() (nd *node, k int, ok bool) {
+	L := e.alg.MaxInstance()
+	for _, cand := range e.byOrder {
+		for kk := 1; kk <= L; kk++ {
+			if e.Bivalent(cand, kk) {
+				return cand, kk, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// Subtree returns the nodes reachable from nd (including nd), in
+// deterministic order.
+func (e *Explorer) Subtree(nd *node) []*node {
+	seen := make(map[*node]bool)
+	var collect func(*node)
+	collect = func(x *node) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, ed := range x.edges {
+			collect(ed.child)
+		}
+	}
+	collect(nd)
+	out := make([]*node, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

@@ -1,0 +1,238 @@
+package consensus
+
+import (
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+// This file implements the Chandra–Toueg rotating-coordinator consensus
+// algorithm using ◇S-style suspicions [Chandra & Toueg, JACM 96] — the
+// classical algorithm the paper's introduction builds on ("the weakest
+// failure detector to implement consensus ... is Ω" [CHT96], with ◇S ≡ Ω).
+// It requires a correct majority, in contrast with the paper's Algorithm 4,
+// which implements *eventual* consensus from Ω in any environment — the
+// repository's executable form of that comparison.
+//
+// Round structure (round r, coordinator c = ((r−1) mod n) + 1):
+//
+//	phase 1  every process sends its (estimate, ts) to c
+//	phase 2  c collects a majority of estimates and proposes the one with
+//	         the highest ts
+//	phase 3  a process either receives c's proposal (adopts it, ts := r,
+//	         acks) or suspects c via the detector (nacks); either way it
+//	         moves to round r+1
+//	phase 4  c collects a majority of positive acks and reliably broadcasts
+//	         the decision; every process relays the decision once
+type CT struct {
+	self     model.ProcID
+	n        int
+	majority int
+
+	est     string // current estimate
+	ts      int    // round in which est was adopted
+	started bool
+	decided bool
+	value   string
+
+	round   int
+	waiting bool // in phase 3: waiting for the coordinator's proposal
+
+	// Coordinator state, per round led by us.
+	gathered map[int]map[model.ProcID]ctEstimate // round → estimates received
+	proposed map[int]bool                        // rounds we already proposed in
+	acks     map[int]map[model.ProcID]bool       // round → positive acks
+	coordVal map[int]string                      // round → value we proposed
+}
+
+type ctEstimate struct {
+	est string
+	ts  int
+}
+
+// CTEstimateMsg is phase 1: (estimate, ts) to the round's coordinator.
+type CTEstimateMsg struct {
+	Round int
+	Est   string
+	TS    int
+}
+
+// CTProposeMsg is phase 2: the coordinator's proposal.
+type CTProposeMsg struct {
+	Round int
+	Value string
+}
+
+// CTAckMsg is phase 3: ack (OK) or nack (suspicion) to the coordinator.
+type CTAckMsg struct {
+	Round int
+	OK    bool
+}
+
+// CTDecideMsg is phase 4: the reliably broadcast decision.
+type CTDecideMsg struct {
+	Value string
+}
+
+var _ model.Automaton = (*CT)(nil)
+
+// NewCT returns the Chandra–Toueg automaton for process p of n. The failure
+// detector value must be an fd.SuspectValue (◇P/◇S style) or convertible via
+// fd.SuspectsFromOmega.
+func NewCT(p model.ProcID, n int) *CT {
+	return &CT{
+		self:     p,
+		n:        n,
+		majority: n/2 + 1,
+		gathered: make(map[int]map[model.ProcID]ctEstimate),
+		proposed: make(map[int]bool),
+		acks:     make(map[int]map[model.ProcID]bool),
+		coordVal: make(map[int]string),
+	}
+}
+
+// CTFactory adapts NewCT to model.AutomatonFactory.
+func CTFactory() model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton { return NewCT(p, n) }
+}
+
+// coord returns the coordinator of round r.
+func (c *CT) coord(r int) model.ProcID {
+	return model.ProcID((r-1)%c.n + 1)
+}
+
+// Init implements model.Automaton.
+func (c *CT) Init(model.Context) {}
+
+// Input implements model.Automaton: model.ProposeInput (instance 1) is
+// proposeC(v).
+func (c *CT) Input(ctx model.Context, in any) {
+	pi, ok := in.(model.ProposeInput)
+	if !ok || c.started {
+		return
+	}
+	c.Propose(ctx, pi.Instance, pi.Value)
+}
+
+// Propose starts the protocol with initial estimate value (one-shot; the
+// instance argument exists for ECProtocol shape compatibility and must be 1).
+func (c *CT) Propose(ctx model.Context, _ int, value string) {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.est = value
+	c.ts = 0
+	c.enterRound(ctx, 1)
+}
+
+func (c *CT) enterRound(ctx model.Context, r int) {
+	c.round = r
+	c.waiting = true
+	ctx.Send(c.coord(r), CTEstimateMsg{Round: r, Est: c.est, TS: c.ts})
+}
+
+// Recv implements model.Automaton.
+func (c *CT) Recv(ctx model.Context, from model.ProcID, payload any) {
+	switch m := payload.(type) {
+	case CTEstimateMsg:
+		c.onEstimate(ctx, from, m)
+	case CTProposeMsg:
+		c.onPropose(ctx, from, m)
+	case CTAckMsg:
+		c.onAck(ctx, from, m)
+	case CTDecideMsg:
+		c.onDecide(ctx, m.Value)
+	}
+}
+
+func (c *CT) onEstimate(ctx model.Context, from model.ProcID, m CTEstimateMsg) {
+	if c.coord(m.Round) != c.self || c.proposed[m.Round] {
+		return
+	}
+	g := c.gathered[m.Round]
+	if g == nil {
+		g = make(map[model.ProcID]ctEstimate, c.n)
+		c.gathered[m.Round] = g
+	}
+	g[from] = ctEstimate{est: m.Est, ts: m.TS}
+	if len(g) < c.majority {
+		return
+	}
+	// Propose the estimate with the highest timestamp (Paxos-style locking).
+	best := ctEstimate{ts: -1}
+	for _, e := range g {
+		if e.ts > best.ts {
+			best = e
+		}
+	}
+	c.proposed[m.Round] = true
+	c.coordVal[m.Round] = best.est
+	ctx.Broadcast(CTProposeMsg{Round: m.Round, Value: best.est})
+}
+
+func (c *CT) onPropose(ctx model.Context, from model.ProcID, m CTProposeMsg) {
+	if m.Round != c.round || !c.waiting || from != c.coord(m.Round) {
+		return
+	}
+	c.est = m.Value
+	c.ts = m.Round
+	c.waiting = false
+	ctx.Send(from, CTAckMsg{Round: m.Round, OK: true})
+	if !c.decided {
+		c.enterRound(ctx, m.Round+1)
+	}
+}
+
+func (c *CT) onAck(ctx model.Context, from model.ProcID, m CTAckMsg) {
+	if c.coord(m.Round) != c.self || !m.OK {
+		return
+	}
+	a := c.acks[m.Round]
+	if a == nil {
+		a = make(map[model.ProcID]bool, c.n)
+		c.acks[m.Round] = a
+	}
+	a[from] = true
+	if len(a) == c.majority { // decide exactly once per round
+		ctx.Broadcast(CTDecideMsg{Value: c.coordVal[m.Round]})
+	}
+}
+
+func (c *CT) onDecide(ctx model.Context, v string) {
+	if c.decided {
+		return
+	}
+	c.decided = true
+	c.value = v
+	// Reliable broadcast: relay once so every correct process decides even if
+	// the origin crashes mid-broadcast.
+	ctx.Broadcast(CTDecideMsg{Value: v})
+	ctx.Output(model.Decision{Instance: 1, Value: v})
+}
+
+// Tick implements model.Automaton: suspicion-driven round changes (phase 3's
+// escape hatch — without it a crashed coordinator would block the round).
+func (c *CT) Tick(ctx model.Context) {
+	if !c.started || c.decided || !c.waiting {
+		return
+	}
+	suspects, ok := ctx.FD().(fd.SuspectValue)
+	if !ok {
+		return
+	}
+	co := c.coord(c.round)
+	for _, s := range suspects {
+		if s == co {
+			c.waiting = false
+			ctx.Send(co, CTAckMsg{Round: c.round, OK: false})
+			c.enterRound(ctx, c.round+1)
+			return
+		}
+	}
+}
+
+// Decided reports whether this process has decided, and the value.
+func (c *CT) Decided() (string, bool) { return c.value, c.decided }
+
+// Round returns the current round (for tests).
+func (c *CT) Round() int { return c.round }

@@ -1,0 +1,100 @@
+package consensus
+
+import (
+	"repro/internal/model"
+)
+
+// CTSequence multiplexes independent Chandra–Toueg instances into the
+// ECProtocol shape (Propose + model.Decision outputs), so the textbook
+// "total order broadcast = consensus on successive batches" construction
+// (internal/tob.FromConsensus) can run over the genuine CT96 algorithm.
+// Instance messages are wrapped with their instance number.
+type CTSequence struct {
+	self model.ProcID
+	n    int
+
+	insts map[int]*CT
+}
+
+// CTWrap carries one CT instance's message.
+type CTWrap struct {
+	Instance int
+	Inner    any
+}
+
+var _ model.Automaton = (*CTSequence)(nil)
+
+// NewCTSequence returns the multiplexer for process p of n.
+func NewCTSequence(p model.ProcID, n int) *CTSequence {
+	return &CTSequence{self: p, n: n, insts: make(map[int]*CT)}
+}
+
+// CTSequenceFactory adapts NewCTSequence to model.AutomatonFactory.
+func CTSequenceFactory() model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton { return NewCTSequence(p, n) }
+}
+
+func (s *CTSequence) inst(i int) *CT {
+	c, ok := s.insts[i]
+	if !ok {
+		c = NewCT(s.self, s.n)
+		s.insts[i] = c
+	}
+	return c
+}
+
+// ctCtx namespaces one instance's traffic and re-tags its decision output.
+type ctCtx struct {
+	model.Context
+	instance int
+}
+
+func (c ctCtx) Send(to model.ProcID, payload any) {
+	c.Context.Send(to, CTWrap{Instance: c.instance, Inner: payload})
+}
+
+func (c ctCtx) Broadcast(payload any) {
+	c.Context.Broadcast(CTWrap{Instance: c.instance, Inner: payload})
+}
+
+func (c ctCtx) Output(v any) {
+	if d, ok := v.(model.Decision); ok {
+		d.Instance = c.instance
+		c.Context.Output(d)
+		return
+	}
+	c.Context.Output(v)
+}
+
+// Init implements model.Automaton.
+func (s *CTSequence) Init(model.Context) {}
+
+// Input implements model.Automaton.
+func (s *CTSequence) Input(ctx model.Context, in any) {
+	pi, ok := in.(model.ProposeInput)
+	if !ok {
+		return
+	}
+	s.Propose(ctx, pi.Instance, pi.Value)
+}
+
+// Propose implements the ECProtocol shape: proposeC_ℓ(v) on instance ℓ.
+func (s *CTSequence) Propose(ctx model.Context, instance int, value string) {
+	s.inst(instance).Propose(ctCtx{ctx, instance}, 1, value)
+}
+
+// Recv implements model.Automaton.
+func (s *CTSequence) Recv(ctx model.Context, from model.ProcID, payload any) {
+	w, ok := payload.(CTWrap)
+	if !ok {
+		return
+	}
+	s.inst(w.Instance).Recv(ctCtx{ctx, w.Instance}, from, w.Inner)
+}
+
+// Tick implements model.Automaton: tick every live instance.
+func (s *CTSequence) Tick(ctx model.Context) {
+	for i, c := range s.insts {
+		c.Tick(ctCtx{ctx, i})
+	}
+}

@@ -1,0 +1,83 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transform"
+)
+
+// tobFromCT is Algorithm 1's batch construction over the CT sequence.
+func tobFromCT() model.AutomatonFactory {
+	return transform.ECToETOBFactory(func(p model.ProcID, n int) transform.ECProtocol {
+		return NewCTSequence(p, n)
+	})
+}
+
+func TestCTSequenceMultipleInstances(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewEventuallyPerfect(fp, 0)
+	rec := trace.NewRecorder(3)
+	k := sim.New(fp, det, CTSequenceFactory(), sim.Options{Seed: 5})
+	k.SetObserver(rec)
+	for l := 1; l <= 4; l++ {
+		for _, p := range model.Procs(3) {
+			k.ScheduleInput(p, model.Time(10*l)+model.Time(p),
+				model.ProposeInput{Instance: l, Value: fmt.Sprintf("v%v-%d", p, l)})
+		}
+	}
+	k.RunUntil(60000, func(*sim.Kernel) bool { return rec.AllDecided(fp.Correct(), 4) })
+	rep := trace.CheckEC(rec, fp.Correct(), 4)
+	if !rep.OK() || rep.AgreementK != 1 {
+		t.Fatalf("CT sequence: %+v", rep)
+	}
+}
+
+func TestCTSequenceInstancesIsolated(t *testing.T) {
+	// A message of instance 2 must never affect instance 1's outcome:
+	// propose only instance 2 and check instance 1 stays undecided.
+	fp := model.NewFailurePattern(3)
+	det := fd.NewEventuallyPerfect(fp, 0)
+	rec := trace.NewRecorder(3)
+	k := sim.New(fp, det, CTSequenceFactory(), sim.Options{Seed: 6})
+	k.SetObserver(rec)
+	for _, p := range model.Procs(3) {
+		k.ScheduleInput(p, 10, model.ProposeInput{Instance: 2, Value: "only2"})
+	}
+	k.RunUntil(20000, func(*sim.Kernel) bool { return rec.AllDecided(fp.Correct(), 0) && len(rec.Decisions(1)) > 0 })
+	for _, p := range fp.Correct() {
+		for _, d := range rec.Decisions(p) {
+			if d.Instance != 2 {
+				t.Fatalf("%v decided instance %d, only 2 was proposed", p, d.Instance)
+			}
+		}
+	}
+}
+
+func TestTOBOverCTSequence(t *testing.T) {
+	// The textbook stack: Algorithm 1's batch construction over genuine
+	// CT96 consensus = classical strong TOB.
+	fp := model.NewFailurePattern(3)
+	det := fd.NewSuspectsFromOmega(fd.NewOmegaStable(fp, 1), 3)
+	rec := trace.NewRecorder(3)
+	factory := tobFromCT()
+	k := sim.New(fp, det, factory, sim.Options{Seed: 9})
+	k.SetObserver(rec)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("m%d", i)
+		ids = append(ids, id)
+		k.ScheduleInput(model.ProcID(i%3+1), model.Time(20+40*i), model.BroadcastInput{ID: id})
+	}
+	k.RunUntil(60000, func(*sim.Kernel) bool { return rec.AllDelivered(fp.Correct(), ids) })
+	settle := k.Now()
+	k.Run(settle + 500)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{SettleTime: settle})
+	if !rep.OK() || !rep.StrongTOB() {
+		t.Fatalf("TOB over CT: τ=%d %+v", rep.Tau, rep)
+	}
+}

@@ -1,0 +1,123 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func runCT(t *testing.T, fp *model.FailurePattern, det fd.Detector, seed int64,
+	values map[model.ProcID]string, horizon model.Time) *trace.Recorder {
+	t.Helper()
+	rec := trace.NewRecorder(fp.N())
+	k := sim.New(fp, det, CTFactory(), sim.Options{Seed: seed})
+	k.SetObserver(rec)
+	for p, v := range values {
+		k.ScheduleInput(p, 10+model.Time(p), model.ProposeInput{Instance: 1, Value: v})
+	}
+	k.RunUntil(horizon, func(*sim.Kernel) bool { return rec.AllDecided(fp.Correct(), 1) })
+	return rec
+}
+
+func allPropose(n int) map[model.ProcID]string {
+	m := make(map[model.ProcID]string, n)
+	for _, p := range model.Procs(n) {
+		m[p] = fmt.Sprintf("v%v", p)
+	}
+	return m
+}
+
+func TestCTFailureFree(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewEventuallyPerfect(fp, 0) // accurate from the start
+	rec := runCT(t, fp, det, 1, allPropose(3), 20000)
+	rep := trace.CheckEC(rec, fp.Correct(), 1)
+	if !rep.OK() || rep.AgreementK != 1 {
+		t.Fatalf("CT consensus spec: %+v", rep)
+	}
+	// Round-1 coordinator is p1: its estimate wins.
+	for _, p := range fp.Correct() {
+		ds := rec.Decisions(p)
+		if len(ds) != 1 || ds[0].Value != "vp1" {
+			t.Fatalf("%v decided %+v, want vp1", p, ds)
+		}
+	}
+}
+
+func TestCTCoordinatorCrash(t *testing.T) {
+	// p1 (the round-1 coordinator) crashes immediately; suspicion must drive
+	// everyone to round 2 where p2 coordinates and decides.
+	fp := model.NewFailurePattern(5)
+	fp.Crash(1, 5)
+	det := fd.NewEventuallyPerfect(fp, 50)
+	rec := runCT(t, fp, det, 3, allPropose(5), 40000)
+	rep := trace.CheckEC(rec, fp.Correct(), 1)
+	if !rep.OK() || rep.AgreementK != 1 {
+		t.Fatalf("CT with crashed coordinator: %+v", rep)
+	}
+}
+
+func TestCTWrongSuspicionsStillSafe(t *testing.T) {
+	// ◇S may be wrong for a long time: rounds churn (nacks), but agreement
+	// and validity must never be violated, and termination follows once the
+	// detector stabilizes.
+	fp := model.NewFailurePattern(3)
+	det := fd.NewEventuallyPerfect(fp, 1500) // wrong suspicions until t=1500
+	rec := runCT(t, fp, det, 7, allPropose(3), 60000)
+	rep := trace.CheckEC(rec, fp.Correct(), 1)
+	if !rep.OK() || rep.AgreementK != 1 {
+		t.Fatalf("CT under wrong suspicions: %+v", rep)
+	}
+}
+
+func TestCTWithSuspectsFromOmega(t *testing.T) {
+	// CT driven by the ◇S-from-Ω reduction: Ω ≡ ◇S made executable.
+	fp := model.NewFailurePattern(3)
+	base := fd.NewOmegaEventual(fp, 2, 400)
+	det := fd.NewSuspectsFromOmega(base, 3)
+	rec := runCT(t, fp, det, 11, allPropose(3), 60000)
+	rep := trace.CheckEC(rec, fp.Correct(), 1)
+	if !rep.OK() || rep.AgreementK != 1 {
+		t.Fatalf("CT over SuspectsFromOmega: %+v", rep)
+	}
+}
+
+func TestCTBlocksWithoutMajority(t *testing.T) {
+	// The contrast with the paper's Algorithm 4: CT needs a correct majority.
+	fp := model.NewFailurePattern(5)
+	fp.Crash(3, 0)
+	fp.Crash(4, 0)
+	fp.Crash(5, 0)
+	det := fd.NewEventuallyPerfect(fp, 0)
+	rec := runCT(t, fp, det, 13, allPropose(5), 20000)
+	for _, p := range fp.Correct() {
+		if len(rec.Decisions(p)) != 0 {
+			t.Fatalf("%v decided without a correct majority", p)
+		}
+	}
+}
+
+func TestCTDecidedAccessorAndIdempotentPropose(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewEventuallyPerfect(fp, 0)
+	k := sim.New(fp, det, CTFactory(), sim.Options{Seed: 2})
+	k.ScheduleInput(1, 10, model.ProposeInput{Instance: 1, Value: "a"})
+	k.ScheduleInput(1, 15, model.ProposeInput{Instance: 1, Value: "b"}) // ignored
+	k.ScheduleInput(2, 12, model.ProposeInput{Instance: 1, Value: "c"})
+	k.Run(20000)
+	a := k.Automaton(1).(*CT)
+	v, ok := a.Decided()
+	if !ok {
+		t.Fatal("p1 did not decide")
+	}
+	if v != "a" && v != "c" {
+		t.Fatalf("decided %q, want a proposed value", v)
+	}
+	if a.Round() < 1 {
+		t.Fatal("round accessor")
+	}
+}

@@ -1,0 +1,233 @@
+package etob
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// scheduleBroadcasts schedules perProc broadcasts from every process, spaced
+// by gap, starting at t0. IDs are "<proc>#<seq>"; deps are protocol-computed.
+func scheduleBroadcasts(k *sim.Kernel, n, perProc int, t0, gap model.Time) {
+	for i := 0; i < perProc; i++ {
+		for _, p := range model.Procs(n) {
+			id := fmt.Sprintf("p%d#%d", p, i+1)
+			k.ScheduleInput(p, t0+model.Time(i)*gap+model.Time(p), model.BroadcastInput{ID: id})
+		}
+	}
+}
+
+func runETOB(t *testing.T, fp *model.FailurePattern, det fd.Detector, perProc int, horizon model.Time, seed int64) *trace.Recorder {
+	t.Helper()
+	rec := trace.NewRecorder(fp.N())
+	k := sim.New(fp, det, Factory(), sim.Options{Seed: seed})
+	k.SetObserver(rec)
+	scheduleBroadcasts(k, fp.N(), perProc, 20, 40)
+	k.Run(horizon)
+	return rec
+}
+
+func TestETOBStableLeaderIsStrongTOB(t *testing.T) {
+	// §5 property 2: if Ω outputs the same leader at all processes from the
+	// very beginning, Algorithm 5 implements (strong) total order broadcast.
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 1)
+	rec := runETOB(t, fp, det, 5, 8000, 11)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{InputCutoff: 4000, SettleTime: 6000})
+	if !rep.OK() {
+		t.Fatalf("ETOB spec violated: %+v", rep)
+	}
+	if !rep.StrongTOB() {
+		t.Fatalf("stable Ω must give strong TOB (τ=0); got τ=%d (stab %d, order %d)",
+			rep.Tau, rep.StabilityTau, rep.TotalOrderTau)
+	}
+	// All 15 messages delivered everywhere.
+	for _, p := range fp.Correct() {
+		if got := len(rec.FinalSeq(p)); got != 15 {
+			t.Errorf("%v delivered %d messages, want 15", p, got)
+		}
+	}
+}
+
+func TestETOBEventualLeaderConverges(t *testing.T) {
+	// Self-trust until t=1500: every process promotes its own ordering, so
+	// sequences diverge, then converge on the eventual leader's order.
+	fp := model.NewFailurePattern(4)
+	det := fd.NewOmegaEventual(fp, 2, 1500)
+	rec := runETOB(t, fp, det, 4, 15000, 23)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{InputCutoff: 4000, SettleTime: 10000})
+	if !rep.OK() {
+		t.Fatalf("ETOB spec violated: %+v", rep)
+	}
+	if rep.Tau == 0 {
+		t.Error("expected a nonzero stabilization time with diverging leaders")
+	}
+	if rep.Tau > 3000 {
+		t.Errorf("τ = %d, expected convergence shortly after Ω stabilizes at 1500", rep.Tau)
+	}
+	// Final sequences identical across correct processes.
+	ref := rec.FinalSeq(1)
+	for _, p := range fp.Correct() {
+		got := rec.FinalSeq(p)
+		if len(got) != len(ref) {
+			t.Fatalf("%v final length %d != %d", p, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%v final seq diverges at %d: %v vs %v", p, i, got, ref)
+			}
+		}
+	}
+	t.Logf("τ = %d (Ω stabilized at 1500)", rep.Tau)
+}
+
+func TestETOBMinorityCorrectStillProgresses(t *testing.T) {
+	// The headline: no correct majority needed. 2 correct of 5.
+	fp := model.NewFailurePattern(5)
+	fp.Crash(3, 900)
+	fp.Crash(4, 950)
+	fp.Crash(5, 1000)
+	det := fd.NewOmegaEventual(fp, 1, 1200)
+	rec := runETOB(t, fp, det, 4, 15000, 31)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{InputCutoff: 800, SettleTime: 10000})
+	if !rep.OK() {
+		t.Fatalf("ETOB with minority correct: %+v", rep)
+	}
+	// Messages broadcast by correct processes before the crashes must be
+	// delivered by both correct processes.
+	for _, p := range fp.Correct() {
+		if got := len(rec.FinalSeq(p)); got < 8 {
+			t.Errorf("%v delivered only %d messages", p, got)
+		}
+	}
+}
+
+func TestETOBCausalOrderDuringDisagreement(t *testing.T) {
+	// §5 property 3: TOB-Causal-Order holds at ALL times, even while Ω
+	// outputs different leaders (split-brain until t=2000).
+	fp := model.NewFailurePattern(4)
+	det := fd.NewOmegaSplit(fp, 1, 2, 1, 2000)
+	rec := trace.NewRecorder(4)
+	k := sim.New(fp, det, Factory(), sim.Options{Seed: 77})
+	k.SetObserver(rec)
+	// Causal chains: a1 <- a2 <- a3 on p1; b1 <- b2 on p3; cross dep c1 on a2,b1.
+	k.ScheduleInput(1, 20, model.BroadcastInput{ID: "a1"})
+	k.ScheduleInput(1, 120, model.BroadcastInput{ID: "a2", Deps: []string{"a1"}})
+	k.ScheduleInput(1, 240, model.BroadcastInput{ID: "a3", Deps: []string{"a2"}})
+	k.ScheduleInput(3, 50, model.BroadcastInput{ID: "b1"})
+	k.ScheduleInput(3, 180, model.BroadcastInput{ID: "b2", Deps: []string{"b1"}})
+	k.ScheduleInput(2, 400, model.BroadcastInput{ID: "c1", Deps: []string{"a2", "b1"}})
+	k.Run(10000)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{SettleTime: 8000})
+	if !rep.CausalOrder.OK {
+		t.Fatalf("causal order violated during split-brain: %v", rep.CausalOrder.Violations)
+	}
+	if !rep.OK() {
+		t.Fatalf("ETOB spec: %+v", rep)
+	}
+}
+
+func TestETOBAutoDepsRespectLocalOrder(t *testing.T) {
+	// With protocol-computed deps, "p sent m1 then m2" must order m1 before
+	// m2 in every delivered sequence (→_R case 1).
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 2)
+	rec := runETOB(t, fp, det, 6, 9000, 5)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{InputCutoff: 5000, SettleTime: 7000})
+	if !rep.CausalOrder.OK {
+		t.Fatalf("auto-deps causal order: %v", rep.CausalOrder.Violations)
+	}
+	// Check explicitly: p1#1 before p1#2 before p1#3... in the final order.
+	fin := rec.FinalSeq(1)
+	pos := map[string]int{}
+	for i, id := range fin {
+		pos[id] = i
+	}
+	for _, p := range model.Procs(3) {
+		for i := 1; i < 6; i++ {
+			a, b := fmt.Sprintf("p%d#%d", p, i), fmt.Sprintf("p%d#%d", p, i+1)
+			pa, oka := pos[a]
+			pb, okb := pos[b]
+			if !oka || !okb {
+				t.Fatalf("missing %s or %s in final sequence %v", a, b, fin)
+			}
+			if pa > pb {
+				t.Errorf("sender order violated: %s at %d after %s at %d", a, pa, b, pb)
+			}
+		}
+	}
+}
+
+func TestETOBNoDuplicationNoCreation(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaRotating(fp, 1, 1000, 50)
+	rec := runETOB(t, fp, det, 5, 12000, 13)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{SettleTime: 9000})
+	if !rep.NoCreation.OK {
+		t.Errorf("no-creation: %v", rep.NoCreation.Violations)
+	}
+	if !rep.NoDuplication.OK {
+		t.Errorf("no-duplication: %v", rep.NoDuplication.Violations)
+	}
+}
+
+func TestETOBDuplicateBroadcastIgnored(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	rec := trace.NewRecorder(2)
+	k := sim.New(fp, det, Factory(), sim.Options{Seed: 2})
+	k.SetObserver(rec)
+	k.ScheduleInput(1, 10, model.BroadcastInput{ID: "dup"})
+	k.ScheduleInput(1, 30, model.BroadcastInput{ID: "dup"}) // same ID again
+	k.Run(2000)
+	fin := rec.FinalSeq(2)
+	count := 0
+	for _, id := range fin {
+		if id == "dup" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("duplicate broadcast delivered %d times: %v", count, fin)
+	}
+}
+
+func TestETOBLeaderOnlyPromotes(t *testing.T) {
+	// A non-leader must never install its own promote into d_i of others.
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 3)
+	rec := runETOB(t, fp, det, 3, 6000, 17)
+	// d_i snapshots must all be prefixes of p3's final promote order.
+	for _, p := range fp.Correct() {
+		for _, pt := range rec.Seqs(p) {
+			fin := rec.FinalSeq(p)
+			for i, id := range pt.Seq {
+				if i < len(fin) && fin[i] != id {
+					t.Fatalf("%v snapshot %v not prefix of final %v (stable leader)", p, pt.Seq, fin)
+				}
+			}
+		}
+	}
+}
+
+func TestETOBInspectionHelpers(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	k := sim.New(fp, det, Factory(), sim.Options{Seed: 4})
+	k.ScheduleInput(2, 10, model.BroadcastInput{ID: "m1"})
+	k.Run(2000)
+	a := k.Automaton(1).(*Automaton)
+	if a.KnownMessages() != 1 {
+		t.Errorf("KnownMessages = %d, want 1", a.KnownMessages())
+	}
+	if got := a.Promote(); len(got) != 1 || got[0] != "m1" {
+		t.Errorf("Promote = %v", got)
+	}
+	if got := a.Delivered(); len(got) != 1 || got[0] != "m1" {
+		t.Errorf("Delivered = %v", got)
+	}
+}

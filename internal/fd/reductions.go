@@ -1,0 +1,85 @@
+package fd
+
+import (
+	"repro/internal/model"
+)
+
+// This file implements classic failure-detector reductions (the "weaker
+// than" relation of §2): algorithms that emulate one detector's output from
+// another's. They make the partial order on detectors used throughout the
+// paper executable.
+
+// OmegaFromSuspects emulates Ω from any suspect-list detector satisfying
+// eventual strong completeness and eventual strong accuracy (◇P, or P):
+// output the smallest-ID unsuspected process. Once the underlying history
+// suspects exactly the crashed processes forever, the output is the same
+// smallest correct process at everyone — the Ω specification. This witnesses
+// the textbook fact Ω ⪯ ◇P.
+type OmegaFromSuspects struct {
+	inner Detector
+	n     int
+}
+
+var _ Detector = (*OmegaFromSuspects)(nil)
+
+// NewOmegaFromSuspects wraps a ◇P-like detector over n processes.
+func NewOmegaFromSuspects(inner Detector, n int) *OmegaFromSuspects {
+	return &OmegaFromSuspects{inner: inner, n: n}
+}
+
+// Name implements Detector.
+func (d *OmegaFromSuspects) Name() string { return "Omega(from " + d.inner.Name() + ")" }
+
+// Value implements Detector.
+func (d *OmegaFromSuspects) Value(p model.ProcID, t model.Time) any {
+	suspects, ok := d.inner.Value(p, t).(SuspectValue)
+	if !ok {
+		return OmegaValue(p)
+	}
+	suspected := make(map[model.ProcID]bool, len(suspects))
+	for _, s := range suspects {
+		suspected[s] = true
+	}
+	for _, q := range model.Procs(d.n) {
+		if !suspected[q] {
+			return OmegaValue(q)
+		}
+	}
+	// Everyone suspected (transiently possible pre-stabilization): trust self.
+	return OmegaValue(p)
+}
+
+// SuspectsFromOmega emulates a (weak) suspect list from Ω: suspect everyone
+// except the current leader. The result satisfies the eventually-weak
+// accuracy/completeness mix of ◇S restricted to leaders — enough for the
+// rotating-coordinator algorithms built on ◇S, and a reminder that Ω and ◇S
+// are equivalent [CHT96].
+type SuspectsFromOmega struct {
+	inner Detector
+	n     int
+}
+
+var _ Detector = (*SuspectsFromOmega)(nil)
+
+// NewSuspectsFromOmega wraps an Ω-like detector over n processes.
+func NewSuspectsFromOmega(inner Detector, n int) *SuspectsFromOmega {
+	return &SuspectsFromOmega{inner: inner, n: n}
+}
+
+// Name implements Detector.
+func (d *SuspectsFromOmega) Name() string { return "DiamondS(from " + d.inner.Name() + ")" }
+
+// Value implements Detector.
+func (d *SuspectsFromOmega) Value(p model.ProcID, t model.Time) any {
+	leader, ok := LeaderOf(d.inner.Value(p, t))
+	if !ok {
+		return SuspectValue(nil)
+	}
+	out := make(SuspectValue, 0, d.n-1)
+	for _, q := range model.Procs(d.n) {
+		if q != leader {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package fd
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestOmegaFromSuspectsSatisfiesOmega(t *testing.T) {
+	fp := model.NewFailurePattern(4)
+	fp.Crash(1, 50)
+	inner := NewEventuallyPerfect(fp, 200)
+	d := NewOmegaFromSuspects(inner, 4)
+
+	// After ◇P stabilizes, the emulated Ω must output the same correct
+	// process (the smallest unsuspected = smallest correct) at everyone.
+	want := OmegaValue(fp.MinCorrect())
+	for _, p := range fp.Correct() {
+		for dt := model.Time(200); dt < 500; dt += 13 {
+			if got := d.Value(p, dt); got != want {
+				t.Fatalf("Value(%v,%d) = %v, want %v", p, dt, got, want)
+			}
+		}
+	}
+	if d.Name() != "Omega(from DiamondP)" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestOmegaFromSuspectsPreStabilizationIsDefined(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	inner := NewEventuallyPerfect(fp, 100)
+	d := NewOmegaFromSuspects(inner, 2)
+	// Pre-stabilization output is still some process ID (never junk).
+	for _, p := range model.Procs(2) {
+		if _, ok := d.Value(p, 0).(OmegaValue); !ok {
+			t.Fatalf("pre-stab value not an OmegaValue: %v", d.Value(p, 0))
+		}
+	}
+}
+
+func TestOmegaFromSuspectsUsableByEC(t *testing.T) {
+	// The emulated Ω plugs into Algorithm 4 through LeaderOf unchanged.
+	fp := model.NewFailurePattern(3)
+	d := NewOmegaFromSuspects(NewPerfect(fp), 3)
+	if l, ok := LeaderOf(d.Value(2, 10)); !ok || l != 1 {
+		t.Fatalf("LeaderOf = %v,%v", l, ok)
+	}
+}
+
+func TestSuspectsFromOmega(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	d := NewSuspectsFromOmega(NewOmegaStable(fp, 2), 3)
+	v := d.Value(1, 0).(SuspectValue)
+	if len(v) != 2 {
+		t.Fatalf("suspects = %v, want all but the leader", v)
+	}
+	for _, s := range v {
+		if s == 2 {
+			t.Fatal("the leader must not be suspected")
+		}
+	}
+	if d.Name() != "DiamondS(from Omega)" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestRoundtripOmegaSuspectsOmega(t *testing.T) {
+	// Ω → ◇S-like → Ω must reproduce the leader after stabilization.
+	fp := model.NewFailurePattern(4)
+	base := NewOmegaEventual(fp, 3, 100)
+	round := NewOmegaFromSuspects(NewSuspectsFromOmega(base, 4), 4)
+	for _, p := range fp.Correct() {
+		if got := round.Value(p, 150); got != OmegaValue(3) {
+			t.Fatalf("roundtrip Value(%v) = %v, want p3", p, got)
+		}
+	}
+}

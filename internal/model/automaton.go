@@ -1,0 +1,56 @@
+package model
+
+// This file defines the step model of §2: an algorithm A is a collection of
+// deterministic automata, one per process. In each step a process atomically
+// (1) receives a single message m (possibly the empty message λ) or accepts
+// an external input, (2) queries its failure detector and receives a value d,
+// (3) changes its state, and (4) sends messages / produces outputs.
+//
+// Automata are written against the Context interface so that the same
+// protocol code runs unchanged under the deterministic simulator
+// (internal/sim), the live goroutine runtime (internal/runtime), and the
+// CHT step-by-step simulation (internal/cht).
+
+// Context is the environment an automaton sees during a single step.
+// Implementations are only valid for the duration of the step.
+type Context interface {
+	// Self returns the ID of the process taking the step.
+	Self() ProcID
+	// N returns the number of processes in the system.
+	N() int
+	// Now returns the current global time. The paper's processes cannot read
+	// the global clock; protocol code must use Now only for logging/outputs,
+	// never for decisions. The simulator's checkers enforce protocol
+	// determinism independently of Now.
+	Now() Time
+	// FD returns the failure detector value d received in this step.
+	FD() any
+	// Send sends a message payload to a single process (reliable link).
+	Send(to ProcID, payload any)
+	// Broadcast sends a message payload to every process, including the
+	// sender itself (the paper's "Send to all processes (including pi)").
+	Broadcast(payload any)
+	// Output produces a value to the external world (the output history H_O).
+	Output(v any)
+}
+
+// Automaton is the deterministic automaton A(p) of one process.
+//
+// The zero value of an implementation should be unusable; constructors wire
+// in process ID and protocol parameters.
+type Automaton interface {
+	// Init is called once, at the initial configuration, before any step.
+	Init(ctx Context)
+	// Recv handles a step that receives message payload from a process.
+	Recv(ctx Context, from ProcID, payload any)
+	// Tick handles a λ-step: no message is received. Kernels schedule ticks
+	// periodically; protocols use them as the paper's "local timeout".
+	Tick(ctx Context)
+	// Input handles a step accepting an input from the external world
+	// (an operation invocation such as broadcastETOB(m) or proposeEC(v)).
+	Input(ctx Context, in any)
+}
+
+// AutomatonFactory builds the automaton of each process; used by kernels to
+// instantiate a fresh protocol instance per run.
+type AutomatonFactory func(p ProcID, n int) Automaton

@@ -1,0 +1,297 @@
+// Package quorum implements an ABD-style replicated read/write register
+// [Attiya–Bar-Noy–Dolev], the canonical quorum-based substrate of strong
+// consistency. It exists for the paper's Σ discussion (§1, §7):
+//
+//   - with majority quorums, every operation blocks forever once a majority
+//     of processes has crashed (the CAP-style impossibility the paper cites
+//     as the motivation for eventual consistency);
+//   - with Σ quorums (detector values fd.SigmaValue or fd.OmegaSigmaValue),
+//     operations stay live in ANY environment — the quorum *information* is
+//     what matters, and Σ is exactly the information strong consistency
+//     needs on top of Ω.
+//
+// Experiments E5 contrasts both regimes with the paper's ETOB, which needs
+// neither.
+package quorum
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+// Tag orders writes: lexicographic on (TS, Writer).
+type Tag struct {
+	TS     int64
+	Writer model.ProcID
+}
+
+// Less reports whether t orders strictly before u.
+func (t Tag) Less(u Tag) bool {
+	if t.TS != u.TS {
+		return t.TS < u.TS
+	}
+	return t.Writer < u.Writer
+}
+
+// WriteInput asks the process to write Value to the register.
+type WriteInput struct {
+	Value string
+}
+
+// ReadInput asks the process to read the register.
+type ReadInput struct{}
+
+// WriteDone is output when a write completes.
+type WriteDone struct {
+	Value string
+}
+
+// ReadDone is output when a read completes.
+type ReadDone struct {
+	Value string
+	Tag   Tag
+}
+
+// QueryMsg asks a replica for its current (tag, value).
+type QueryMsg struct {
+	OpSeq int64
+}
+
+// QueryRespMsg carries a replica's current (tag, value).
+type QueryRespMsg struct {
+	OpSeq int64
+	Tag   Tag
+	Value string
+}
+
+// StoreMsg asks a replica to adopt (tag, value) if newer.
+type StoreMsg struct {
+	OpSeq int64
+	Tag   Tag
+	Value string
+}
+
+// StoreAckMsg acknowledges a StoreMsg.
+type StoreAckMsg struct {
+	OpSeq int64
+}
+
+type opKind int
+
+const (
+	opWrite opKind = iota + 1
+	opRead
+)
+
+type opPhase int
+
+const (
+	phaseQuery opPhase = iota + 1
+	phaseStore
+)
+
+// pendingOp is the client-side state of one in-flight operation.
+type pendingOp struct {
+	kind    opKind
+	phase   opPhase
+	seq     int64
+	value   string // write: value to store; read: value being written back
+	tag     Tag
+	replies map[model.ProcID]QueryRespMsg
+	acks    map[model.ProcID]bool
+}
+
+// Register is the per-process automaton: replica + client.
+type Register struct {
+	self model.ProcID
+	n    int
+	mode Mode
+
+	// Replica state.
+	tag Tag
+	val string
+
+	// Client state.
+	op    *pendingOp
+	queue []any // queued WriteInput/ReadInput while an op is in flight
+	opSeq int64
+
+	completed int // number of completed operations (for experiments)
+}
+
+// Mode selects the quorum regime.
+type Mode int
+
+// Supported quorum regimes.
+const (
+	// Majority requires >n/2 replies.
+	Majority Mode = iota + 1
+	// SigmaFD requires replies from a full quorum currently output by Σ.
+	SigmaFD
+)
+
+var _ model.Automaton = (*Register)(nil)
+
+// NewRegister returns the ABD automaton for process p of n.
+func NewRegister(p model.ProcID, n int, mode Mode) *Register {
+	return &Register{self: p, n: n, mode: mode}
+}
+
+// Factory adapts NewRegister to model.AutomatonFactory.
+func Factory(mode Mode) model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton { return NewRegister(p, n, mode) }
+}
+
+// Init implements model.Automaton.
+func (r *Register) Init(model.Context) {}
+
+// Input implements model.Automaton: WriteInput and ReadInput start operations
+// (queued FIFO if one is already in flight).
+func (r *Register) Input(ctx model.Context, in any) {
+	switch in.(type) {
+	case WriteInput, ReadInput:
+		r.queue = append(r.queue, in)
+		r.startNext(ctx)
+	}
+}
+
+func (r *Register) startNext(ctx model.Context) {
+	if r.op != nil || len(r.queue) == 0 {
+		return
+	}
+	next := r.queue[0]
+	r.queue = r.queue[1:]
+	r.opSeq++
+	op := &pendingOp{
+		phase:   phaseQuery,
+		seq:     r.opSeq,
+		replies: make(map[model.ProcID]QueryRespMsg),
+		acks:    make(map[model.ProcID]bool),
+	}
+	switch in := next.(type) {
+	case WriteInput:
+		op.kind = opWrite
+		op.value = in.Value
+	case ReadInput:
+		op.kind = opRead
+	}
+	r.op = op
+	ctx.Broadcast(QueryMsg{OpSeq: op.seq})
+}
+
+// Recv implements model.Automaton.
+func (r *Register) Recv(ctx model.Context, from model.ProcID, payload any) {
+	switch m := payload.(type) {
+	case QueryMsg:
+		ctx.Send(from, QueryRespMsg{OpSeq: m.OpSeq, Tag: r.tag, Value: r.val})
+	case StoreMsg:
+		if r.tag.Less(m.Tag) {
+			r.tag = m.Tag
+			r.val = m.Value
+		}
+		ctx.Send(from, StoreAckMsg{OpSeq: m.OpSeq})
+	case QueryRespMsg:
+		r.onQueryResp(ctx, from, m)
+	case StoreAckMsg:
+		r.onStoreAck(ctx, from, m)
+	}
+}
+
+func (r *Register) onQueryResp(ctx model.Context, from model.ProcID, m QueryRespMsg) {
+	op := r.op
+	if op == nil || op.phase != phaseQuery || m.OpSeq != op.seq {
+		return
+	}
+	op.replies[from] = m
+	set := make(map[model.ProcID]bool, len(op.replies))
+	for p := range op.replies {
+		set[p] = true
+	}
+	if !r.quorum(ctx, set) {
+		return
+	}
+	// Highest tag among the quorum.
+	best := QueryRespMsg{}
+	first := true
+	for _, resp := range op.replies {
+		if first || best.Tag.Less(resp.Tag) {
+			best = resp
+			first = false
+		}
+	}
+	op.phase = phaseStore
+	switch op.kind {
+	case opWrite:
+		op.tag = Tag{TS: best.Tag.TS + 1, Writer: r.self}
+	case opRead:
+		op.tag = best.Tag
+		op.value = best.Value
+	}
+	ctx.Broadcast(StoreMsg{OpSeq: op.seq, Tag: op.tag, Value: op.value})
+}
+
+func (r *Register) onStoreAck(ctx model.Context, from model.ProcID, m StoreAckMsg) {
+	op := r.op
+	if op == nil || op.phase != phaseStore || m.OpSeq != op.seq {
+		return
+	}
+	op.acks[from] = true
+	if !r.quorum(ctx, op.acks) {
+		return
+	}
+	r.op = nil
+	r.completed++
+	switch op.kind {
+	case opWrite:
+		ctx.Output(WriteDone{Value: op.value})
+	case opRead:
+		ctx.Output(ReadDone{Value: op.value, Tag: op.tag})
+	}
+	r.startNext(ctx)
+}
+
+// Tick implements model.Automaton: retransmit the in-flight phase (messages
+// to crashed replicas are lost; quorums must be re-solicited).
+func (r *Register) Tick(ctx model.Context) {
+	op := r.op
+	if op == nil {
+		return
+	}
+	switch op.phase {
+	case phaseQuery:
+		ctx.Broadcast(QueryMsg{OpSeq: op.seq})
+	case phaseStore:
+		ctx.Broadcast(StoreMsg{OpSeq: op.seq, Tag: op.tag, Value: op.value})
+	}
+}
+
+func (r *Register) quorum(ctx model.Context, responders map[model.ProcID]bool) bool {
+	switch r.mode {
+	case Majority:
+		return len(responders) > r.n/2
+	case SigmaFD:
+		q, ok := fd.QuorumOf(ctx.FD())
+		if !ok || len(q) == 0 {
+			return false
+		}
+		for _, p := range q {
+			if !responders[p] {
+				return false
+			}
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("quorum: unknown mode %d", r.mode))
+	}
+}
+
+// Completed returns the number of operations this process has completed.
+func (r *Register) Completed() int { return r.completed }
+
+// Blocked reports whether an operation is currently in flight.
+func (r *Register) Blocked() bool { return r.op != nil }
+
+// Current returns the replica's current value and tag.
+func (r *Register) Current() (string, Tag) { return r.val, r.tag }

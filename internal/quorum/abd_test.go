@@ -1,0 +1,180 @@
+package quorum
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// opObserver collects register-operation outputs.
+type opObserver struct {
+	sim.NopObserver
+	mu     sync.Mutex
+	writes map[model.ProcID][]WriteDone
+	reads  map[model.ProcID][]ReadDone
+}
+
+func newOpObserver() *opObserver {
+	return &opObserver{
+		writes: make(map[model.ProcID][]WriteDone),
+		reads:  make(map[model.ProcID][]ReadDone),
+	}
+}
+
+func (o *opObserver) OnOutput(p model.ProcID, _ model.Time, v any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch out := v.(type) {
+	case WriteDone:
+		o.writes[p] = append(o.writes[p], out)
+	case ReadDone:
+		o.reads[p] = append(o.reads[p], out)
+	}
+}
+
+func TestTagOrdering(t *testing.T) {
+	a := Tag{TS: 1, Writer: 2}
+	b := Tag{TS: 2, Writer: 1}
+	c := Tag{TS: 1, Writer: 3}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("timestamp dominates")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("writer breaks ties")
+	}
+	if a.Less(a) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestWriteThenReadMajority(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 1)
+	obs := newOpObserver()
+	k := sim.New(fp, det, Factory(Majority), sim.Options{Seed: 3})
+	k.SetObserver(obs)
+	k.ScheduleInput(1, 10, WriteInput{Value: "hello"})
+	k.ScheduleInput(2, 500, ReadInput{}) // starts well after the write completes
+	k.Run(3000)
+
+	if len(obs.writes[1]) != 1 || obs.writes[1][0].Value != "hello" {
+		t.Fatalf("write outcome: %+v", obs.writes[1])
+	}
+	if len(obs.reads[2]) != 1 || obs.reads[2][0].Value != "hello" {
+		t.Fatalf("read after write must see it: %+v", obs.reads[2])
+	}
+}
+
+func TestReadsMonotoneTags(t *testing.T) {
+	// Writes w1 < w2 from the same writer; any reader sequence of completed
+	// reads must observe non-decreasing tags (regularity via write-backs).
+	fp := model.NewFailurePattern(5)
+	det := fd.NewOmegaStable(fp, 1)
+	obs := newOpObserver()
+	k := sim.New(fp, det, Factory(Majority), sim.Options{Seed: 9})
+	k.SetObserver(obs)
+	k.ScheduleInput(1, 10, WriteInput{Value: "v1"})
+	k.ScheduleInput(1, 300, WriteInput{Value: "v2"})
+	for i := 0; i < 6; i++ {
+		k.ScheduleInput(3, model.Time(50+i*120), ReadInput{})
+	}
+	k.Run(5000)
+	rs := obs.reads[3]
+	if len(rs) != 6 {
+		t.Fatalf("expected 6 completed reads, got %d", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Tag.Less(rs[i-1].Tag) {
+			t.Fatalf("tags went backwards: %+v then %+v", rs[i-1], rs[i])
+		}
+	}
+	if rs[len(rs)-1].Value != "v2" {
+		t.Fatalf("final read = %q, want v2", rs[len(rs)-1].Value)
+	}
+}
+
+func TestMajorityBlocksWithMinorityCorrect(t *testing.T) {
+	// 2 of 5 correct: no operation can complete — the CAP-style blocking that
+	// motivates eventual consistency (§1).
+	fp := model.NewFailurePattern(5)
+	fp.Crash(3, 0)
+	fp.Crash(4, 0)
+	fp.Crash(5, 0)
+	det := fd.NewOmegaStable(fp, 1)
+	obs := newOpObserver()
+	k := sim.New(fp, det, Factory(Majority), sim.Options{Seed: 4})
+	k.SetObserver(obs)
+	k.ScheduleInput(1, 10, WriteInput{Value: "x"})
+	k.ScheduleInput(2, 10, ReadInput{})
+	k.Run(5000)
+	if len(obs.writes[1]) != 0 || len(obs.reads[2]) != 0 {
+		t.Fatalf("operations completed without a majority: %+v %+v", obs.writes, obs.reads)
+	}
+	if !k.Automaton(1).(*Register).Blocked() {
+		t.Error("writer must still be blocked")
+	}
+}
+
+func TestSigmaQuorumsLiveWithMinorityCorrect(t *testing.T) {
+	// Same failure pattern, Σ oracle: operations complete.
+	fp := model.NewFailurePattern(5)
+	fp.Crash(3, 0)
+	fp.Crash(4, 0)
+	fp.Crash(5, 0)
+	det := fd.NewOmegaSigma(fd.NewOmegaStable(fp, 1), fd.NewSigma(fp, 0))
+	obs := newOpObserver()
+	k := sim.New(fp, det, Factory(SigmaFD), sim.Options{Seed: 6})
+	k.SetObserver(obs)
+	k.ScheduleInput(1, 10, WriteInput{Value: "y"})
+	k.ScheduleInput(2, 600, ReadInput{})
+	k.Run(5000)
+	if len(obs.writes[1]) != 1 {
+		t.Fatalf("Σ write did not complete: %+v", obs.writes)
+	}
+	if len(obs.reads[2]) != 1 || obs.reads[2][0].Value != "y" {
+		t.Fatalf("Σ read = %+v, want y", obs.reads[2])
+	}
+}
+
+func TestOpsQueueFIFO(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 1)
+	obs := newOpObserver()
+	k := sim.New(fp, det, Factory(Majority), sim.Options{Seed: 8})
+	k.SetObserver(obs)
+	// Burst of writes submitted at once: must complete in order, one at a time.
+	k.ScheduleInput(1, 10, WriteInput{Value: "a"})
+	k.ScheduleInput(1, 11, WriteInput{Value: "b"})
+	k.ScheduleInput(1, 12, WriteInput{Value: "c"})
+	k.Run(5000)
+	ws := obs.writes[1]
+	if len(ws) != 3 || ws[0].Value != "a" || ws[1].Value != "b" || ws[2].Value != "c" {
+		t.Fatalf("writes completed out of order: %+v", ws)
+	}
+	reg := k.Automaton(1).(*Register)
+	if reg.Completed() != 3 {
+		t.Errorf("Completed = %d, want 3", reg.Completed())
+	}
+	if v, _ := reg.Current(); v != "c" {
+		t.Errorf("replica value = %q, want c", v)
+	}
+}
+
+func TestCrashDuringOperationRecoversViaRetransmit(t *testing.T) {
+	// A replica crashes mid-protocol; the client's tick retransmissions must
+	// still assemble a quorum from the survivors.
+	fp := model.NewFailurePattern(5)
+	fp.Crash(5, 25) // crashes while the first query round is in flight
+	det := fd.NewOmegaStable(fp, 1)
+	obs := newOpObserver()
+	k := sim.New(fp, det, Factory(Majority), sim.Options{Seed: 11})
+	k.SetObserver(obs)
+	k.ScheduleInput(1, 10, WriteInput{Value: "z"})
+	k.Run(5000)
+	if len(obs.writes[1]) != 1 {
+		t.Fatalf("write must survive a minority crash: %+v", obs.writes)
+	}
+}

@@ -1,0 +1,133 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/etob"
+	"repro/internal/model"
+	"repro/internal/smr"
+	"repro/internal/trace"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestLiveETOBDelivers(t *testing.T) {
+	rec := trace.NewRecorder(3)
+	c := NewCluster(3, etob.Factory(), Options{Observer: rec})
+	defer c.Stop()
+
+	for _, p := range model.Procs(3) {
+		c.Submit(p, model.BroadcastInput{ID: fmt.Sprintf("m%d", p)})
+	}
+	ok := waitFor(t, 5*time.Second, func() bool {
+		return rec.AllDelivered(model.Procs(3), []string{"m1", "m2", "m3"})
+	})
+	if !ok {
+		t.Fatalf("messages not delivered everywhere; finals: %v %v %v",
+			rec.FinalSeq(1), rec.FinalSeq(2), rec.FinalSeq(3))
+	}
+	// Heartbeat Ω stabilizes on p1 (smallest live): sequences identical.
+	ref := rec.FinalSeq(1)
+	for _, p := range model.Procs(3) {
+		got := rec.FinalSeq(p)
+		if len(got) != len(ref) {
+			t.Fatalf("%v seq %v != %v", p, got, ref)
+		}
+	}
+}
+
+func TestLiveLeaderFailover(t *testing.T) {
+	rec := trace.NewRecorder(3)
+	c := NewCluster(3, etob.Factory(), Options{Observer: rec})
+	defer c.Stop()
+
+	c.Submit(2, model.BroadcastInput{ID: "before"})
+	if !waitFor(t, 5*time.Second, func() bool {
+		return rec.AllDelivered(model.Procs(3), []string{"before"})
+	}) {
+		t.Fatal("initial delivery failed")
+	}
+
+	// Kill the heartbeat leader p1; p2 must take over and keep delivering.
+	c.Crash(1)
+	c.Submit(3, model.BroadcastInput{ID: "after"})
+	if !waitFor(t, 5*time.Second, func() bool {
+		return rec.AllDelivered([]model.ProcID{2, 3}, []string{"before", "after"})
+	}) {
+		t.Fatalf("no progress after leader crash; finals: %v %v", rec.FinalSeq(2), rec.FinalSeq(3))
+	}
+	rep := trace.CheckETOB(rec, []model.ProcID{2, 3}, trace.CheckOptions{})
+	if !rep.NoCreation.OK || !rep.NoDuplication.OK || !rep.CausalOrder.OK {
+		t.Fatalf("safety violated in live run: %+v", rep)
+	}
+}
+
+func TestLiveSMRKVStore(t *testing.T) {
+	factory := smr.ReplicaFactory(etob.Factory(), smr.KVFactory)
+	c := NewCluster(3, factory, Options{})
+	defer c.Stop()
+
+	c.Submit(1, smr.Command{Cmd: "set greeting hello"})
+	c.Submit(2, smr.Command{Cmd: "set from p2"})
+
+	var snap1, snap2 string
+	ok := waitFor(t, 5*time.Second, func() bool {
+		c.Inspect(1, func(a model.Automaton) { snap1 = a.(*smr.Replica).Snapshot() })
+		c.Inspect(2, func(a model.Automaton) { snap2 = a.(*smr.Replica).Snapshot() })
+		return snap1 == snap2 && snap1 == "from=p2,greeting=hello"
+	})
+	if !ok {
+		t.Fatalf("replicas did not converge: %q vs %q", snap1, snap2)
+	}
+}
+
+func TestLiveInspectOnCrashedNode(t *testing.T) {
+	c := NewCluster(2, etob.Factory(), Options{})
+	defer c.Stop()
+	c.Crash(2)
+	if c.Inspect(2, func(model.Automaton) {}) {
+		// Inspect may race with the crash and still run; both outcomes are
+		// acceptable, but it must not hang.
+		t.Log("inspect ran before crash took effect")
+	}
+}
+
+func TestLiveDelayOption(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	c := NewCluster(2, etob.Factory(), Options{
+		Observer: rec,
+		Delay:    func(_, _ model.ProcID) time.Duration { return 3 * time.Millisecond },
+	})
+	defer c.Stop()
+	c.Submit(2, model.BroadcastInput{ID: "delayed"})
+	if !waitFor(t, 5*time.Second, func() bool {
+		return rec.AllDelivered(model.Procs(2), []string{"delayed"})
+	}) {
+		t.Fatal("delayed delivery failed")
+	}
+}
+
+func TestClusterStopIdempotentAndPanics(t *testing.T) {
+	c := NewCluster(2, etob.Factory(), Options{})
+	c.Stop()
+	c.Stop() // must be safe
+	defer func() {
+		if recover() == nil {
+			t.Error("n=1 must panic")
+		}
+	}()
+	NewCluster(1, etob.Factory(), Options{})
+}

@@ -1,0 +1,372 @@
+// Package sim provides a deterministic discrete-event simulator of the
+// paper's asynchronous message-passing system (§2): n processes taking steps
+// under a discrete global clock, reliable links with unbounded (but finite)
+// message delays, crash failures injected from a failure pattern, and a
+// failure-detector oracle queried at every step.
+//
+// Determinism: given the same seed, failure pattern, detector, and automaton
+// factory, a run is bit-for-bit reproducible. All scheduling choices are
+// drawn from a seeded PRNG and all tie-breaks are explicit, which is what
+// makes the property checkers in internal/trace and the experiment tables in
+// internal/bench meaningful.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+// Options configure a simulated run.
+type Options struct {
+	// Seed seeds the PRNG used for message delays.
+	Seed int64
+	// MinDelay and MaxDelay bound the link delay of every message, in clock
+	// ticks. Set them equal for a fixed-delay network (used to measure
+	// latency in communication steps). Defaults: 10 and 20.
+	MinDelay model.Time
+	MaxDelay model.Time
+	// TickInterval is the period of λ-steps (the paper's "local timeout").
+	// Default: 5. Ticks of distinct processes are staggered by one tick each
+	// so no two processes ever step at the same instant.
+	TickInterval model.Time
+	// MaxTime bounds the run; events scheduled after MaxTime do not execute.
+	// Default: 100000.
+	MaxTime model.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinDelay == 0 && o.MaxDelay == 0 {
+		o.MinDelay, o.MaxDelay = 10, 20
+	}
+	if o.MaxDelay < o.MinDelay {
+		o.MaxDelay = o.MinDelay
+	}
+	if o.TickInterval <= 0 {
+		o.TickInterval = 5
+	}
+	if o.MaxTime <= 0 {
+		o.MaxTime = 100000
+	}
+	return o
+}
+
+// Message is a message in transit, as scheduled by the kernel.
+type Message struct {
+	// ID is the unique kernel-assigned message identifier (1-based).
+	ID int64
+	// From and To identify the link.
+	From, To model.ProcID
+	// Payload is the protocol-level content.
+	Payload any
+	// SentAt is the time of the sending step.
+	SentAt model.Time
+	// Depth is the causal hop depth: 1 for a message sent from an input or
+	// λ step, depth(trigger)+1 for a message sent while processing another
+	// message. Used to report latency in "communication steps".
+	Depth int
+	// CauseID is the ID of the message whose reception triggered the sending
+	// step, or 0 for input/λ steps.
+	CauseID int64
+}
+
+// Observer receives run events. All methods are called synchronously from
+// the simulation loop; implementations must not call back into the kernel.
+type Observer interface {
+	OnSend(t model.Time, m Message)
+	OnDeliver(t model.Time, m Message)
+	OnOutput(p model.ProcID, t model.Time, v any)
+	OnInput(p model.ProcID, t model.Time, v any)
+}
+
+// NopObserver is an Observer that ignores everything; embed it to implement
+// only the callbacks you need.
+type NopObserver struct{}
+
+// OnSend implements Observer.
+func (NopObserver) OnSend(model.Time, Message) {}
+
+// OnDeliver implements Observer.
+func (NopObserver) OnDeliver(model.Time, Message) {}
+
+// OnOutput implements Observer.
+func (NopObserver) OnOutput(model.ProcID, model.Time, any) {}
+
+// OnInput implements Observer.
+func (NopObserver) OnInput(model.ProcID, model.Time, any) {}
+
+type eventKind int
+
+const (
+	evDeliver eventKind = iota + 1
+	evTick
+	evInput
+)
+
+type event struct {
+	t    model.Time
+	seq  int64 // FIFO tie-break for equal times
+	kind eventKind
+	p    model.ProcID // target process (tick, input)
+	msg  Message      // deliver
+	in   any          // input
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic simulation of one run R = (F, H, H_I, H_O, S, T).
+type Kernel struct {
+	fp    *model.FailurePattern
+	det   fd.Detector
+	autos map[model.ProcID]model.Automaton
+	opts  Options
+	rng   *rand.Rand
+
+	queue    eventQueue
+	seq      int64
+	msgSeq   int64
+	now      model.Time
+	obs      Observer
+	started  bool
+	nSteps   int64
+	nSent    int64
+	nDropped int64
+}
+
+// New builds a kernel over failure pattern fp, detector history det, and the
+// automaton factory. The run starts when Run/RunUntil is first called.
+func New(fp *model.FailurePattern, det fd.Detector, factory model.AutomatonFactory, opts Options) *Kernel {
+	opts = opts.withDefaults()
+	k := &Kernel{
+		fp:    fp,
+		det:   det,
+		autos: make(map[model.ProcID]model.Automaton, fp.N()),
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		obs:   NopObserver{},
+	}
+	for _, p := range model.Procs(fp.N()) {
+		k.autos[p] = factory(p, fp.N())
+	}
+	return k
+}
+
+// SetObserver installs the run observer. Must be called before Run.
+func (k *Kernel) SetObserver(o Observer) {
+	if k.started {
+		panic("sim: SetObserver after run start")
+	}
+	if o == nil {
+		o = NopObserver{}
+	}
+	k.obs = o
+}
+
+// Now returns the current global clock value.
+func (k *Kernel) Now() model.Time { return k.now }
+
+// N returns the number of processes.
+func (k *Kernel) N() int { return k.fp.N() }
+
+// Pattern returns the failure pattern of the run.
+func (k *Kernel) Pattern() *model.FailurePattern { return k.fp }
+
+// Detector returns the failure detector history of the run.
+func (k *Kernel) Detector() fd.Detector { return k.det }
+
+// Automaton returns the automaton of process p for post-run inspection.
+func (k *Kernel) Automaton(p model.ProcID) model.Automaton { return k.autos[p] }
+
+// Steps returns the number of steps executed so far.
+func (k *Kernel) Steps() int64 { return k.nSteps }
+
+// MessagesSent returns the number of messages sent so far.
+func (k *Kernel) MessagesSent() int64 { return k.nSent }
+
+// MessagesDropped returns messages dropped because the recipient crashed.
+func (k *Kernel) MessagesDropped() int64 { return k.nDropped }
+
+// ScheduleInput schedules an external input (operation invocation) for
+// process p at time t. Inputs scheduled for crashed processes are ignored at
+// execution time.
+func (k *Kernel) ScheduleInput(p model.ProcID, t model.Time, v any) {
+	k.push(&event{t: t, kind: evInput, p: p, in: v})
+}
+
+func (k *Kernel) push(e *event) {
+	k.seq++
+	e.seq = k.seq
+	heap.Push(&k.queue, e)
+}
+
+func (k *Kernel) start() {
+	if k.started {
+		return
+	}
+	k.started = true
+	heap.Init(&k.queue)
+	// Initial configuration: every automaton initializes at time 0 in
+	// process-ID order (deterministic), then periodic ticks are scheduled,
+	// staggered by one tick per process so steps never coincide.
+	for _, p := range model.Procs(k.fp.N()) {
+		if k.fp.Alive(p, 0) {
+			k.step(p, func(ctx *stepCtx) { k.autos[p].Init(ctx) }, 0, 0)
+		}
+	}
+	for i, p := range model.Procs(k.fp.N()) {
+		k.push(&event{t: 1 + model.Time(i), kind: evTick, p: p})
+	}
+}
+
+// Run executes the simulation until the global clock passes until (or
+// MaxTime, whichever is smaller).
+func (k *Kernel) Run(until model.Time) {
+	k.RunUntil(until, nil)
+}
+
+// RunUntil executes the simulation until the clock passes maxTime, the event
+// queue drains, or stop (if non-nil) returns true after some event.
+func (k *Kernel) RunUntil(maxTime model.Time, stop func(k *Kernel) bool) {
+	k.start()
+	if maxTime > k.opts.MaxTime {
+		maxTime = k.opts.MaxTime
+	}
+	for k.queue.Len() > 0 {
+		e := k.queue[0]
+		if e.t > maxTime {
+			k.now = maxTime
+			return
+		}
+		heap.Pop(&k.queue)
+		k.now = e.t
+		k.dispatch(e)
+		if stop != nil && stop(k) {
+			return
+		}
+	}
+}
+
+func (k *Kernel) dispatch(e *event) {
+	switch e.kind {
+	case evTick:
+		alive := k.fp.Alive(e.p, e.t)
+		if alive {
+			k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Tick(ctx) }, 0, 0)
+			k.push(&event{t: e.t + k.opts.TickInterval, kind: evTick, p: e.p})
+		}
+	case evInput:
+		if k.fp.Alive(e.p, e.t) {
+			k.obs.OnInput(e.p, e.t, e.in)
+			k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Input(ctx, e.in) }, 0, 0)
+		}
+	case evDeliver:
+		if k.fp.Alive(e.msg.To, e.t) {
+			k.obs.OnDeliver(e.t, e.msg)
+			k.step(e.msg.To, func(ctx *stepCtx) {
+				k.autos[e.msg.To].Recv(ctx, e.msg.From, e.msg.Payload)
+			}, e.msg.Depth, e.msg.ID)
+		} else {
+			k.nDropped++
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown event kind %d", e.kind))
+	}
+}
+
+// step executes one atomic step of process p: query the detector, run the
+// handler, then flush sends and outputs.
+func (k *Kernel) step(p model.ProcID, h func(*stepCtx), causeDepth int, causeID int64) {
+	k.nSteps++
+	ctx := &stepCtx{
+		k:          k,
+		self:       p,
+		t:          k.now,
+		fdv:        k.det.Value(p, k.now),
+		causeDepth: causeDepth,
+		causeID:    causeID,
+	}
+	h(ctx)
+	ctx.done = true
+}
+
+// stepCtx implements model.Context for the duration of one step.
+type stepCtx struct {
+	k          *Kernel
+	self       model.ProcID
+	t          model.Time
+	fdv        any
+	causeDepth int
+	causeID    int64
+	done       bool
+}
+
+var _ model.Context = (*stepCtx)(nil)
+
+func (c *stepCtx) Self() model.ProcID { return c.self }
+func (c *stepCtx) N() int             { return c.k.fp.N() }
+func (c *stepCtx) Now() model.Time    { return c.t }
+func (c *stepCtx) FD() any            { return c.fdv }
+
+func (c *stepCtx) Send(to model.ProcID, payload any) {
+	if c.done {
+		panic("sim: Send outside of a step")
+	}
+	c.k.send(c, to, payload)
+}
+
+func (c *stepCtx) Broadcast(payload any) {
+	if c.done {
+		panic("sim: Broadcast outside of a step")
+	}
+	for _, q := range model.Procs(c.k.fp.N()) {
+		c.k.send(c, q, payload)
+	}
+}
+
+func (c *stepCtx) Output(v any) {
+	if c.done {
+		panic("sim: Output outside of a step")
+	}
+	c.k.obs.OnOutput(c.self, c.t, v)
+}
+
+func (k *Kernel) send(c *stepCtx, to model.ProcID, payload any) {
+	k.msgSeq++
+	k.nSent++
+	delay := k.opts.MinDelay
+	if k.opts.MaxDelay > k.opts.MinDelay {
+		delay += model.Time(k.rng.Int63n(int64(k.opts.MaxDelay-k.opts.MinDelay) + 1))
+	}
+	m := Message{
+		ID:      k.msgSeq,
+		From:    c.self,
+		To:      to,
+		Payload: payload,
+		SentAt:  c.t,
+		Depth:   c.causeDepth + 1,
+		CauseID: c.causeID,
+	}
+	k.obs.OnSend(c.t, m)
+	k.push(&event{t: c.t + delay, kind: evDeliver, msg: m})
+}

@@ -1,0 +1,223 @@
+package smr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consensus"
+	"repro/internal/etob"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+type snapObserver struct {
+	sim.NopObserver
+	mu    sync.Mutex
+	snaps map[model.ProcID][]Applied
+}
+
+func newSnapObserver() *snapObserver {
+	return &snapObserver{snaps: make(map[model.ProcID][]Applied)}
+}
+
+func (o *snapObserver) OnOutput(p model.ProcID, _ model.Time, v any) {
+	if a, ok := v.(Applied); ok {
+		o.mu.Lock()
+		o.snaps[p] = append(o.snaps[p], a)
+		o.mu.Unlock()
+	}
+}
+
+func (o *snapObserver) final(p model.ProcID) (Applied, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := o.snaps[p]
+	if len(s) == 0 {
+		return Applied{}, false
+	}
+	return s[len(s)-1], true
+}
+
+func TestCommandCodec(t *testing.T) {
+	id := EncodeCommand("p1.7", "set a b")
+	if cmd, ok := DecodeCommand(id); !ok || cmd != "set a b" {
+		t.Fatalf("DecodeCommand(%q) = %q,%v", id, cmd, ok)
+	}
+	if _, ok := DecodeCommand("no-separator"); ok {
+		t.Fatal("IDs without commands must not decode")
+	}
+}
+
+func TestKVStoreMachine(t *testing.T) {
+	kv := NewKVStore()
+	if got := kv.Apply("set a 1"); got != "ok" {
+		t.Errorf("set: %q", got)
+	}
+	kv.Apply("set b 2")
+	kv.Apply("append b x")
+	kv.Apply("del a")
+	if v, ok := kv.Get("b"); !ok || v != "2x" {
+		t.Errorf("Get(b) = %q,%v", v, ok)
+	}
+	if _, ok := kv.Get("a"); ok {
+		t.Error("a must be deleted")
+	}
+	if kv.Snapshot() != "b=2x" {
+		t.Errorf("Snapshot = %q", kv.Snapshot())
+	}
+	for _, bad := range []string{"", "set a", "del", "append k", "nope x"} {
+		if got := kv.Apply(bad); got == "ok" {
+			t.Errorf("Apply(%q) must fail", bad)
+		}
+	}
+}
+
+func TestCounterMachine(t *testing.T) {
+	c := NewCounter()
+	if got := c.Apply("inc hits"); got != "1" {
+		t.Errorf("inc: %q", got)
+	}
+	c.Apply("inc hits 4")
+	c.Apply("dec hits 2")
+	if c.Value("hits") != 3 {
+		t.Errorf("Value = %d, want 3", c.Value("hits"))
+	}
+	if c.Snapshot() != "hits=3" {
+		t.Errorf("Snapshot = %q", c.Snapshot())
+	}
+	if got := c.Apply("inc"); got != "err" {
+		t.Errorf("short command: %q", got)
+	}
+}
+
+func TestAppendLogMachine(t *testing.T) {
+	l := NewAppendLog()
+	l.Apply("first")
+	l.Apply("second")
+	if got := l.Entries(); len(got) != 2 || got[1] != "second" {
+		t.Errorf("Entries = %v", got)
+	}
+	if l.Snapshot() != "first\nsecond" {
+		t.Errorf("Snapshot = %q", l.Snapshot())
+	}
+}
+
+func TestMachineDeterminismQuick(t *testing.T) {
+	// Identical command sequences must yield identical snapshots.
+	cmds := []string{"set a 1", "set b 2", "del a", "append b z", "set c 9"}
+	f := func(perm []uint8) bool {
+		m1, m2 := NewKVStore(), NewKVStore()
+		for _, i := range perm {
+			cmd := cmds[int(i)%len(cmds)]
+			m1.Apply(cmd)
+			m2.Apply(cmd)
+		}
+		return m1.Snapshot() == m2.Snapshot()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventualSMRConvergesAfterDivergence(t *testing.T) {
+	// ETOB-backed KV store with split-brain Ω until t=1500: replicas diverge
+	// (rebuilds happen), then converge to identical snapshots.
+	fp := model.NewFailurePattern(4)
+	// Even processes trust p2 (itself even), odd processes trust p1 (itself
+	// odd): two self-sustaining leader camps until t=1500.
+	det := fd.NewOmegaSplit(fp, 2, 1, 1, 1500)
+	obs := newSnapObserver()
+	factory := ReplicaFactory(etob.Factory(), KVFactory)
+	k := sim.New(fp, det, factory, sim.Options{Seed: 61})
+	k.SetObserver(obs)
+	for i, p := range model.Procs(4) {
+		// Near-simultaneous broadcasts: random link delays make the two
+		// leader camps observe (and promote) different orders.
+		k.ScheduleInput(p, model.Time(30+i), Command{Cmd: fmt.Sprintf("set k%d v%d", i, i)})
+		k.ScheduleInput(p, model.Time(400+i), Command{Cmd: fmt.Sprintf("set shared from-p%d", p)})
+	}
+	k.Run(8000)
+
+	want := ""
+	for _, p := range fp.Correct() {
+		fin, ok := obs.final(p)
+		if !ok {
+			t.Fatalf("%v never applied anything", p)
+		}
+		if len(fin.Commands) != 8 {
+			t.Errorf("%v applied %d commands, want 8", p, len(fin.Commands))
+		}
+		if want == "" {
+			want = fin.Snapshot
+		} else if fin.Snapshot != want {
+			t.Errorf("%v snapshot %q != %q", p, fin.Snapshot, want)
+		}
+	}
+	// Divergence happened: some replica rebuilt at least once.
+	rebuilds := 0
+	for _, p := range model.Procs(4) {
+		rebuilds += k.Automaton(p).(*Replica).Rebuilds()
+	}
+	if rebuilds == 0 {
+		t.Error("expected at least one rebuild during the split-brain window")
+	}
+	t.Logf("total rebuilds: %d, final snapshot: %q", rebuilds, want)
+}
+
+func TestStrongSMRNeverRebuilds(t *testing.T) {
+	// Paxos-backed KV store: sequences never reorder, so no rebuilds ever.
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaRotating(fp, 1, 800, 50)
+	obs := newSnapObserver()
+	factory := ReplicaFactory(consensus.LogFactory(consensus.MajorityQuorums), KVFactory)
+	k := sim.New(fp, det, factory, sim.Options{Seed: 71})
+	k.SetObserver(obs)
+	for i, p := range model.Procs(3) {
+		k.ScheduleInput(p, model.Time(30+15*i), Command{Cmd: fmt.Sprintf("inc-like set x%d %d", i, i)})
+	}
+	k.Run(20000)
+	for _, p := range fp.Correct() {
+		if rb := k.Automaton(p).(*Replica).Rebuilds(); rb != 0 {
+			t.Errorf("%v rebuilt %d times under strong TOB", p, rb)
+		}
+	}
+	a, okA := obs.final(1)
+	b, okB := obs.final(2)
+	if !okA || !okB || a.Snapshot != b.Snapshot {
+		t.Fatalf("strong replicas differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplicaInspection(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	factory := ReplicaFactory(etob.Factory(), CounterFactory)
+	k := sim.New(fp, det, factory, sim.Options{Seed: 5})
+	k.ScheduleInput(1, 10, Command{Cmd: "inc visits"})
+	k.ScheduleInput(2, 20, Command{Cmd: "inc visits"})
+	k.Run(3000)
+	r := k.Automaton(2).(*Replica)
+	if r.AppliedCount() != 2 {
+		t.Errorf("AppliedCount = %d, want 2", r.AppliedCount())
+	}
+	if r.Snapshot() != "visits=2" {
+		t.Errorf("Snapshot = %q, want visits=2", r.Snapshot())
+	}
+}
+
+func TestReplicaPassthroughInputs(t *testing.T) {
+	// Non-Command inputs go straight to the broadcast protocol.
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	factory := ReplicaFactory(etob.Factory(), KVFactory)
+	k := sim.New(fp, det, factory, sim.Options{Seed: 6})
+	k.ScheduleInput(1, 10, model.BroadcastInput{ID: "raw|set z 9"})
+	k.Run(3000)
+	r := k.Automaton(2).(*Replica)
+	if r.Snapshot() != "z=9" {
+		t.Errorf("Snapshot = %q, want z=9", r.Snapshot())
+	}
+}

@@ -1,0 +1,36 @@
+// Package tob provides the classical (strongly consistent) total order
+// broadcast baselines the paper compares against (§1):
+//
+//   - FromConsensus: the textbook construction [Chandra–Toueg 96] — processes
+//     repeatedly agree, via consensus instances, on the next batch of
+//     messages to deliver. Built by composing the paper's own Algorithm 1
+//     (T_EC→ETOB) over a STRONG consensus sequence: since strong consensus
+//     agrees from instance 1, the resulting broadcast satisfies the strong
+//     TOB specification (τ = 0).
+//
+//   - PaxosLog: the direct multi-instance Paxos log (internal/consensus.Log),
+//     which delivers in three communication steps in the steady state —
+//     the baseline for the paper's "2 vs 3 steps" claim (§5, §7).
+//
+// Liveness of both baselines needs majority (or Σ) quorums; the paper's ETOB
+// needs neither — that contrast is experiment E5.
+package tob
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/transform"
+)
+
+// FromConsensus returns the batch-based TOB: Algorithm 1 running over a
+// strong consensus sequence with the given quorum mode.
+func FromConsensus(mode consensus.QuorumMode) model.AutomatonFactory {
+	return transform.ECToETOBFactory(func(p model.ProcID, n int) transform.ECProtocol {
+		return consensus.NewSequence(p, n, mode)
+	})
+}
+
+// PaxosLog returns the direct Paxos-log TOB with the given quorum mode.
+func PaxosLog(mode consensus.QuorumMode) model.AutomatonFactory {
+	return consensus.LogFactory(mode)
+}

@@ -1,0 +1,315 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Verdict is the result of checking one property.
+type Verdict struct {
+	OK         bool
+	Violations []string // at most maxViolations, for readable reports
+}
+
+const maxViolations = 8
+
+func (v *Verdict) violate(format string, args ...any) {
+	v.OK = false
+	if len(v.Violations) < maxViolations {
+		v.Violations = append(v.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func okVerdict() Verdict { return Verdict{OK: true} }
+
+// ETOBReport is the outcome of checking a broadcast run against the ETOB
+// specification (§3). The always-properties get boolean verdicts; the
+// eventual properties get the minimal witness τ (model.TimeNever when no τ
+// exists within the run, i.e. the property is violated at the end).
+type ETOBReport struct {
+	NoCreation    Verdict
+	NoDuplication Verdict
+	Validity      Verdict
+	Agreement     Verdict
+	CausalOrder   Verdict
+
+	// StabilityTau is the minimal τ from which ETOB-Stability holds at every
+	// correct process; 0 means the run satisfies (strong) TOB-Stability.
+	StabilityTau model.Time
+	// TotalOrderTau is the minimal τ from which ETOB-Total-order holds across
+	// all pairs of correct processes.
+	TotalOrderTau model.Time
+	// Tau = max(StabilityTau, TotalOrderTau): the run's eventual-consistency
+	// stabilization time.
+	Tau model.Time
+}
+
+// OK reports whether the run satisfies the full ETOB specification (all
+// always-properties hold and both eventual properties admit a τ).
+func (rep ETOBReport) OK() bool {
+	return rep.NoCreation.OK && rep.NoDuplication.OK && rep.Validity.OK &&
+		rep.Agreement.OK && rep.CausalOrder.OK &&
+		rep.StabilityTau != model.TimeNever && rep.TotalOrderTau != model.TimeNever
+}
+
+// StrongTOB reports whether the run satisfies the *strong* TOB specification:
+// ETOB with τ = 0 (§5, property 2: when Ω is stable from the start,
+// Algorithm 5 implements total order broadcast).
+func (rep ETOBReport) StrongTOB() bool { return rep.OK() && rep.Tau == 0 }
+
+// CheckOptions tune the finite-run interpretation of the liveness clauses.
+type CheckOptions struct {
+	// InputCutoff: only messages broadcast at or before this time are
+	// required to be delivered (later broadcasts may still be in flight when
+	// the run ends). Zero means "no cutoff" (all broadcasts checked).
+	InputCutoff model.Time
+	// SettleTime: a message stably delivered by some correct process at or
+	// before SettleTime must be stably delivered by every correct process by
+	// the end of the run (TOB-Agreement, finite-run form). Zero means no
+	// Agreement liveness check beyond final-sequence containment of
+	// cutoff-eligible messages.
+	SettleTime model.Time
+}
+
+// CheckETOB verifies the recorded run against the ETOB specification for the
+// given set of correct processes.
+func CheckETOB(r *Recorder, correct []model.ProcID, opts CheckOptions) ETOBReport {
+	rep := ETOBReport{
+		NoCreation:    okVerdict(),
+		NoDuplication: okVerdict(),
+		Validity:      okVerdict(),
+		Agreement:     okVerdict(),
+		CausalOrder:   okVerdict(),
+	}
+
+	// --- TOB-No-creation and TOB-No-duplication: over every snapshot of
+	// every process (the paper states them for all d_i(t)).
+	for _, p := range model.Procs(r.N()) {
+		for _, pt := range r.Seqs(p) {
+			seen := make(map[string]bool, len(pt.Seq))
+			for _, id := range pt.Seq {
+				if _, ok := r.Broadcast(id); !ok {
+					rep.NoCreation.violate("%v delivered %q at t=%d but it was never broadcast", p, id, pt.T)
+				}
+				if seen[id] {
+					rep.NoDuplication.violate("%v's d at t=%d contains %q twice", p, pt.T, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+
+	// --- TOB-Validity: a correct broadcaster stably delivers its own message.
+	for _, b := range r.Broadcasts() {
+		if opts.InputCutoff > 0 && b.T > opts.InputCutoff {
+			continue
+		}
+		if !isIn(correct, b.Sender) {
+			continue
+		}
+		if _, ok := r.StableDeliveryTime(b.Sender, b.ID); !ok {
+			rep.Validity.violate("correct %v broadcast %q at t=%d but never stably delivered it", b.Sender, b.ID, b.T)
+		}
+	}
+
+	// --- TOB-Agreement: stable delivery anywhere (early enough) implies
+	// stable delivery everywhere among correct processes.
+	for _, b := range r.Broadcasts() {
+		stableSomewhere := model.TimeNever
+		for _, p := range correct {
+			if st, ok := r.StableDeliveryTime(p, b.ID); ok {
+				if stableSomewhere == model.TimeNever || st < stableSomewhere {
+					stableSomewhere = st
+				}
+			}
+		}
+		if stableSomewhere == model.TimeNever {
+			continue
+		}
+		if opts.SettleTime > 0 && stableSomewhere > opts.SettleTime {
+			continue
+		}
+		for _, p := range correct {
+			if _, ok := r.StableDeliveryTime(p, b.ID); !ok {
+				rep.Agreement.violate("%q stably delivered at t=%d by some correct process but not by %v", b.ID, stableSomewhere, p)
+			}
+		}
+	}
+
+	// --- TOB-Causal-Order: in every snapshot of every correct process, if m2
+	// (transitively) causally depends on m1 and both appear, m1 appears first.
+	closure := depClosure(r)
+	for _, p := range correct {
+		for _, pt := range r.Seqs(p) {
+			pos := make(map[string]int, len(pt.Seq))
+			for i, id := range pt.Seq {
+				pos[id] = i
+			}
+			for i, id := range pt.Seq {
+				for dep := range closure[id] {
+					if j, ok := pos[dep]; ok && j > i {
+						rep.CausalOrder.violate("%v at t=%d: %q (pos %d) causally precedes %q (pos %d) but appears after it", p, pt.T, dep, j, id, i)
+					}
+				}
+			}
+		}
+	}
+
+	rep.StabilityTau = stabilityTau(r, correct)
+	rep.TotalOrderTau = totalOrderTau(r, correct)
+	rep.Tau = rep.StabilityTau
+	if rep.TotalOrderTau == model.TimeNever || (rep.Tau != model.TimeNever && rep.TotalOrderTau > rep.Tau) {
+		rep.Tau = rep.TotalOrderTau
+	}
+	if rep.StabilityTau == model.TimeNever {
+		rep.Tau = model.TimeNever
+	}
+	return rep
+}
+
+// stabilityTau returns the minimal τ such that for every correct p and all
+// τ ≤ t1 ≤ t2, d_p(t1) is a prefix of d_p(t2); TimeNever if the last
+// transition still violates the prefix order.
+func stabilityTau(r *Recorder, correct []model.ProcID) model.Time {
+	var tau model.Time
+	for _, p := range correct {
+		pts := r.Seqs(p)
+		for i := 1; i < len(pts); i++ {
+			if !isPrefix(pts[i-1].Seq, pts[i].Seq) {
+				// The earlier value is current throughout [pts[i-1].T,
+				// pts[i].T), so the pair (t1 = pts[i].T−1, t2 = pts[i].T)
+				// violates stability; τ must be ≥ pts[i].T. τ = pts[i].T is a
+				// valid witness even for the last transition (d is constant
+				// afterwards).
+				if pts[i].T > tau {
+					tau = pts[i].T
+				}
+			}
+		}
+	}
+	return tau
+}
+
+// totalOrderTau returns the minimal τ such that for all correct pi, pj and
+// all t ≥ τ, the common messages of d_i(t) and d_j(t) appear in the same
+// order; TimeNever if a conflict persists at the end of the run.
+func totalOrderTau(r *Recorder, correct []model.ProcID) model.Time {
+	var tau model.Time
+	for a := 0; a < len(correct); a++ {
+		for b := a + 1; b < len(correct); b++ {
+			pi, pj := correct[a], correct[b]
+			t := pairOrderTau(r, pi, pj)
+			if t == model.TimeNever {
+				return model.TimeNever
+			}
+			if t > tau {
+				tau = t
+			}
+		}
+	}
+	return tau
+}
+
+func pairOrderTau(r *Recorder, pi, pj model.ProcID) model.Time {
+	ptsI, ptsJ := r.Seqs(pi), r.Seqs(pj)
+	// Merge event times; d is a step function so checking at each event time
+	// covers all t in [event, next event).
+	var tau model.Time
+	i, j := -1, -1
+	for i+1 < len(ptsI) || j+1 < len(ptsJ) {
+		var t model.Time
+		advI := i+1 < len(ptsI) && (j+1 >= len(ptsJ) || ptsI[i+1].T <= ptsJ[j+1].T)
+		if advI {
+			t = ptsI[i+1].T
+		} else {
+			t = ptsJ[j+1].T
+		}
+		for i+1 < len(ptsI) && ptsI[i+1].T <= t {
+			i++
+		}
+		for j+1 < len(ptsJ) && ptsJ[j+1].T <= t {
+			j++
+		}
+		if i < 0 || j < 0 {
+			continue
+		}
+		if !orderConsistent(ptsI[i].Seq, ptsJ[j].Seq) {
+			tau = t + 1
+		}
+	}
+	if i >= 0 && j >= 0 && !orderConsistent(ptsI[i].Seq, ptsJ[j].Seq) {
+		return model.TimeNever // conflict persists at end of run
+	}
+	return tau
+}
+
+// orderConsistent reports whether the messages common to both sequences
+// appear in the same relative order.
+func orderConsistent(a, b []string) bool {
+	pos := make(map[string]int, len(a))
+	for i, id := range a {
+		pos[id] = i
+	}
+	last := -1
+	for _, id := range b {
+		if i, ok := pos[id]; ok {
+			if i < last {
+				return false
+			}
+			last = i
+		}
+	}
+	return true
+}
+
+func isPrefix(pre, full []string) bool {
+	if len(pre) > len(full) {
+		return false
+	}
+	for i := range pre {
+		if pre[i] != full[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func isIn(set []model.ProcID, p model.ProcID) bool {
+	for _, q := range set {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// depClosure computes the transitive closure of the declared causal
+// dependencies over all broadcast messages: closure[m] is the set of messages
+// m transitively depends on.
+func depClosure(r *Recorder) map[string]map[string]bool {
+	direct := make(map[string][]string)
+	for _, b := range r.Broadcasts() {
+		direct[b.ID] = b.Deps
+	}
+	closure := make(map[string]map[string]bool, len(direct))
+	var visit func(id string) map[string]bool
+	visit = func(id string) map[string]bool {
+		if c, ok := closure[id]; ok {
+			return c
+		}
+		c := make(map[string]bool)
+		closure[id] = c // pre-insert to cut cycles (deps form a DAG by construction)
+		for _, d := range direct[id] {
+			c[d] = true
+			for dd := range visit(d) {
+				c[dd] = true
+			}
+		}
+		return c
+	}
+	for id := range direct {
+		visit(id)
+	}
+	return closure
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"repro/internal/model"
+)
+
+// ECReport is the outcome of checking a run against the eventual consensus
+// specification (§3): EC-Termination, EC-Integrity, EC-Validity always, and
+// EC-Agreement from some instance k onward.
+type ECReport struct {
+	Termination Verdict
+	Integrity   Verdict
+	Validity    Verdict
+	// AgreementK is the minimal k such that for every instance ℓ ≥ k all
+	// responses returned (by any process) to proposeEC_ℓ are equal; -1 when
+	// even the last instance disagrees (EC-Agreement violated in this run).
+	AgreementK int
+	// MaxInstance is the highest instance any process decided.
+	MaxInstance int
+}
+
+// OK reports whether the run satisfies the EC specification.
+func (rep ECReport) OK() bool {
+	return rep.Termination.OK && rep.Integrity.OK && rep.Validity.OK && rep.AgreementK >= 0
+}
+
+// CheckEC verifies the recorded decisions against the EC spec. wantInstances
+// is the number of instances every correct process is required to have
+// decided (EC-Termination, finite-run form).
+func CheckEC(r *Recorder, correct []model.ProcID, wantInstances int) ECReport {
+	rep := ECReport{
+		Termination: okVerdict(),
+		Integrity:   okVerdict(),
+		Validity:    okVerdict(),
+		AgreementK:  -1,
+	}
+
+	proposed := make(map[int]map[string]bool) // instance → set of proposed values
+	for _, pr := range r.Proposals() {
+		if proposed[pr.Instance] == nil {
+			proposed[pr.Instance] = make(map[string]bool)
+		}
+		proposed[pr.Instance][pr.Value] = true
+	}
+
+	// decided[ℓ] → set of distinct values returned to proposeEC_ℓ.
+	decided := make(map[int]map[string]bool)
+	for _, p := range model.Procs(r.N()) {
+		seen := make(map[int]int)
+		for _, d := range r.Decisions(p) {
+			seen[d.Instance]++
+			if seen[d.Instance] == 2 {
+				rep.Integrity.violate("%v responded twice to proposeEC_%d", p, d.Instance)
+			}
+			if vals := proposed[d.Instance]; vals == nil || !vals[d.Value] {
+				rep.Validity.violate("%v decided %q in instance %d, which was never proposed", p, d.Value, d.Instance)
+			}
+			if decided[d.Instance] == nil {
+				decided[d.Instance] = make(map[string]bool)
+			}
+			decided[d.Instance][d.Value] = true
+			if d.Instance > rep.MaxInstance {
+				rep.MaxInstance = d.Instance
+			}
+		}
+	}
+
+	// EC-Termination: every correct process decided instances 1..wantInstances.
+	for _, p := range correct {
+		have := make(map[int]bool)
+		for _, d := range r.Decisions(p) {
+			have[d.Instance] = true
+		}
+		for l := 1; l <= wantInstances; l++ {
+			if !have[l] {
+				rep.Termination.violate("correct %v never returned from proposeEC_%d", p, l)
+			}
+		}
+	}
+
+	// EC-Agreement: minimal k with unanimity for every ℓ ≥ k (over instances
+	// that were decided at all).
+	k := 1
+	for l := 1; l <= rep.MaxInstance; l++ {
+		if vals := decided[l]; len(vals) > 1 {
+			k = l + 1
+		}
+	}
+	if k <= rep.MaxInstance || rep.MaxInstance == 0 {
+		rep.AgreementK = k
+	} else if k == rep.MaxInstance+1 {
+		// Disagreement on the very last decided instance: no within-run
+		// witness that agreement was reached.
+		rep.AgreementK = -1
+	}
+	return rep
+}
+
+// EICReport is the outcome of checking a run against the eventual
+// *irrevocable* consensus specification (Appendix A): EIC-Termination and
+// EIC-Validity always, EIC-Integrity from some instance k on (decisions may
+// be revoked finitely many times before that), and EIC-Agreement in the
+// "not forever different" form.
+type EICReport struct {
+	Termination Verdict
+	Validity    Verdict
+	// IntegrityK is the minimal k such that no process responds twice to
+	// proposeEIC_ℓ for ℓ ≥ k; -1 if the last instance was still revoked.
+	IntegrityK int
+	// Agreement holds when, for every instance, the *last* responses of all
+	// correct processes coincide (no two processes return forever-different
+	// values).
+	Agreement   Verdict
+	MaxInstance int
+}
+
+// OK reports whether the run satisfies the EIC specification.
+func (rep EICReport) OK() bool {
+	return rep.Termination.OK && rep.Validity.OK && rep.Agreement.OK && rep.IntegrityK >= 0
+}
+
+// CheckEIC verifies the recorded decisions against the EIC spec.
+func CheckEIC(r *Recorder, correct []model.ProcID, wantInstances int) EICReport {
+	rep := EICReport{
+		Termination: okVerdict(),
+		Validity:    okVerdict(),
+		Agreement:   okVerdict(),
+		IntegrityK:  -1,
+	}
+
+	proposed := make(map[int]map[string]bool)
+	for _, pr := range r.Proposals() {
+		if proposed[pr.Instance] == nil {
+			proposed[pr.Instance] = make(map[string]bool)
+		}
+		proposed[pr.Instance][pr.Value] = true
+	}
+
+	// Per process: count of responses and last response per instance.
+	revokedMax := 0 // highest instance with a double response at any process
+	last := make(map[model.ProcID]map[int]string, r.N())
+	for _, p := range model.Procs(r.N()) {
+		counts := make(map[int]int)
+		last[p] = make(map[int]string)
+		for _, d := range r.Decisions(p) {
+			counts[d.Instance]++
+			last[p][d.Instance] = d.Value
+			if counts[d.Instance] > 1 && d.Instance > revokedMax {
+				revokedMax = d.Instance
+			}
+			if vals := proposed[d.Instance]; vals == nil || !vals[d.Value] {
+				rep.Validity.violate("%v decided %q in instance %d, which was never proposed", p, d.Value, d.Instance)
+			}
+			if d.Instance > rep.MaxInstance {
+				rep.MaxInstance = d.Instance
+			}
+		}
+	}
+
+	for _, p := range correct {
+		for l := 1; l <= wantInstances; l++ {
+			if _, ok := last[p][l]; !ok {
+				rep.Termination.violate("correct %v never responded to proposeEIC_%d", p, l)
+			}
+		}
+	}
+
+	// EIC-Agreement: the final responses of correct processes per instance
+	// must coincide (two processes returning different values forever would
+	// show up as differing final responses).
+	for l := 1; l <= rep.MaxInstance; l++ {
+		var ref string
+		var refP model.ProcID
+		haveRef := false
+		for _, p := range correct {
+			v, ok := last[p][l]
+			if !ok {
+				continue
+			}
+			if !haveRef {
+				ref, refP, haveRef = v, p, true
+				continue
+			}
+			if v != ref {
+				rep.Agreement.violate("instance %d: %v's final response %q differs from %v's %q", l, p, v, refP, ref)
+			}
+		}
+	}
+
+	if revokedMax < rep.MaxInstance || rep.MaxInstance == 0 {
+		rep.IntegrityK = revokedMax + 1
+	}
+	return rep
+}

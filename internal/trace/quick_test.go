@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func bcastInput(id string) model.BroadcastInput { return model.BroadcastInput{ID: id} }
+
+func snapOutput(seq []string) model.SeqSnapshot {
+	return model.SeqSnapshot{Seq: append([]string(nil), seq...)}
+}
+
+func int64ToTime(t int64) model.Time { return model.Time(t) }
+
+func seqFromRaw(raw []uint8, alphabet int) []string {
+	out := make([]string, 0, len(raw))
+	seen := map[int]bool{}
+	for _, r := range raw {
+		v := int(r) % alphabet
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, fmt.Sprintf("m%d", v))
+		}
+	}
+	return out
+}
+
+// orderConsistent must be symmetric: the common-subsequence order either
+// matches in both directions or conflicts in both.
+func TestQuickOrderConsistentSymmetric(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		a, b := seqFromRaw(ra, 8), seqFromRaw(rb, 8)
+		return orderConsistent(a, b) == orderConsistent(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A sequence is always order-consistent with any subsequence of itself.
+func TestQuickOrderConsistentWithSubsequence(t *testing.T) {
+	f := func(raw []uint8, mask uint16) bool {
+		full := seqFromRaw(raw, 12)
+		var sub []string
+		for i, m := range full {
+			if i < 16 && mask&(1<<uint(i)) != 0 {
+				sub = append(sub, m)
+			}
+		}
+		return orderConsistent(full, sub) && orderConsistent(sub, full)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reversing a sequence of >= 2 elements always conflicts with the original.
+func TestQuickOrderConsistentDetectsReversal(t *testing.T) {
+	f := func(raw []uint8) bool {
+		full := seqFromRaw(raw, 10)
+		if len(full) < 2 {
+			return true
+		}
+		rev := make([]string, len(full))
+		for i, m := range full {
+			rev[len(full)-1-i] = m
+		}
+		return !orderConsistent(full, rev)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// isPrefix laws: reflexive, and any cut of a sequence is a prefix of it;
+// appending breaks nothing.
+func TestQuickIsPrefixLaws(t *testing.T) {
+	f := func(raw []uint8, cutRaw uint8) bool {
+		full := seqFromRaw(raw, 10)
+		if !isPrefix(full, full) {
+			return false
+		}
+		if len(full) == 0 {
+			return isPrefix(nil, full)
+		}
+		cut := int(cutRaw) % (len(full) + 1)
+		if !isPrefix(full[:cut], full) {
+			return false
+		}
+		ext := append(append([]string(nil), full...), "extra")
+		return isPrefix(full, ext)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// StabilityTau of a prefix-monotone history is always 0; inserting a single
+// reorder makes it the reorder time.
+func TestQuickStabilityTauOfMonotoneHistoryIsZero(t *testing.T) {
+	f := func(seed int64, stepsRaw uint8) bool {
+		steps := int(stepsRaw%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRecorder(2)
+		var seq []string
+		for i := 0; i < steps; i++ {
+			seq = append(seq, fmt.Sprintf("m%d", i))
+			r.OnInput(1, 0, makeBroadcast(fmt.Sprintf("m%d", i)))
+			r.OnOutput(1, int64ToTime(int64(10*(i+1))), makeSnapshot(seq))
+			_ = rng
+		}
+		rep := CheckETOB(r, procs2(), CheckOptions{})
+		return rep.StabilityTau == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Helpers keeping the quick tests free of model-type noise.
+
+func makeBroadcast(id string) any { return bcastInput(id) }
+
+func makeSnapshot(seq []string) any { return snapOutput(seq) }

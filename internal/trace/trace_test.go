@@ -1,0 +1,348 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// feed is a test helper that drives a recorder directly.
+type feed struct{ r *Recorder }
+
+func (f feed) bcast(p model.ProcID, t model.Time, id string, deps ...string) {
+	f.r.OnInput(p, t, model.BroadcastInput{ID: id, Deps: deps})
+}
+
+func (f feed) seq(p model.ProcID, t model.Time, ids ...string) {
+	f.r.OnOutput(p, t, model.SeqSnapshot{Seq: ids})
+}
+
+func (f feed) propose(p model.ProcID, t model.Time, inst int, v string) {
+	f.r.OnInput(p, t, model.ProposeInput{Instance: inst, Value: v})
+}
+
+func (f feed) decide(p model.ProcID, t model.Time, inst int, v string) {
+	f.r.OnOutput(p, t, model.Decision{Instance: inst, Value: v})
+}
+
+func procs2() []model.ProcID { return []model.ProcID{1, 2} }
+
+func TestStableDeliveryTime(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 5, "a")
+	f.seq(1, 10, "a")
+	f.seq(1, 20) // removed!
+	f.seq(1, 30, "a")
+	f.seq(1, 40, "a", "b")
+	if st, ok := r.StableDeliveryTime(1, "a"); !ok || st != 30 {
+		t.Errorf("stable time = %d,%v, want 30 (after the removal)", st, ok)
+	}
+	if st, ok := r.StableDeliveryTime(1, "b"); !ok || st != 40 {
+		t.Errorf("b stable time = %d,%v", st, ok)
+	}
+	if _, ok := r.StableDeliveryTime(1, "zz"); ok {
+		t.Error("never-delivered ID must not be stable")
+	}
+	if _, ok := r.StableDeliveryTime(2, "a"); ok {
+		t.Error("no snapshots at p2")
+	}
+}
+
+func TestSeqAt(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.seq(1, 10, "a")
+	f.seq(1, 20, "a", "b")
+	if got := r.SeqAt(1, 5); got != nil {
+		t.Errorf("SeqAt(5) = %v, want nil", got)
+	}
+	if got := r.SeqAt(1, 15); len(got) != 1 {
+		t.Errorf("SeqAt(15) = %v", got)
+	}
+	if got := r.SeqAt(1, 99); len(got) != 2 {
+		t.Errorf("SeqAt(99) = %v", got)
+	}
+}
+
+func TestCheckETOBCleanRun(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.bcast(2, 2, "b", "a")
+	f.seq(1, 10, "a")
+	f.seq(2, 11, "a")
+	f.seq(1, 20, "a", "b")
+	f.seq(2, 21, "a", "b")
+	rep := CheckETOB(r, procs2(), CheckOptions{})
+	if !rep.OK() || !rep.StrongTOB() {
+		t.Fatalf("clean run must be strong TOB: %+v", rep)
+	}
+}
+
+func TestCheckETOBNoCreation(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.seq(1, 10, "ghost")
+	rep := CheckETOB(r, procs2(), CheckOptions{})
+	if rep.NoCreation.OK {
+		t.Fatal("ghost message must violate no-creation")
+	}
+}
+
+func TestCheckETOBNoDuplication(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.seq(1, 10, "a", "a")
+	rep := CheckETOB(r, procs2(), CheckOptions{})
+	if rep.NoDuplication.OK {
+		t.Fatal("duplicate in d_i must violate no-duplication")
+	}
+}
+
+func TestCheckETOBValidity(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a") // correct sender, never delivered anywhere
+	f.seq(1, 10)
+	rep := CheckETOB(r, procs2(), CheckOptions{})
+	if rep.Validity.OK {
+		t.Fatal("undelivered broadcast from a correct process must violate validity")
+	}
+	// With the sender crashed (not in correct set), no violation.
+	rep = CheckETOB(r, []model.ProcID{2}, CheckOptions{})
+	if !rep.Validity.OK {
+		t.Fatal("faulty sender's messages are exempt from validity")
+	}
+}
+
+func TestCheckETOBAgreement(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.seq(1, 10, "a") // stable at p1 early, never at p2
+	f.seq(2, 10)
+	rep := CheckETOB(r, procs2(), CheckOptions{SettleTime: 100})
+	if rep.Agreement.OK {
+		t.Fatal("agreement must fail when only one correct process delivers")
+	}
+}
+
+func TestStabilityTauMeasured(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.bcast(1, 2, "b")
+	// p1 reorders at t=50 (divergence repair), then grows monotonically.
+	f.seq(1, 10, "a")
+	f.seq(1, 50, "b", "a")
+	f.seq(1, 60, "b", "a")
+	f.seq(2, 10, "b", "a")
+	rep := CheckETOB(r, procs2(), CheckOptions{})
+	if rep.StabilityTau != 50 {
+		t.Errorf("StabilityTau = %d, want 50", rep.StabilityTau)
+	}
+	if rep.StrongTOB() {
+		t.Error("a reorder must rule out strong TOB")
+	}
+}
+
+func TestTotalOrderTauMeasured(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.bcast(1, 2, "b")
+	// Conflict at t<=30: p1 has [a,b], p2 has [b,a]; resolved at t=40.
+	f.seq(1, 10, "a", "b")
+	f.seq(2, 20, "b", "a")
+	f.seq(2, 40, "a", "b")
+	rep := CheckETOB(r, procs2(), CheckOptions{})
+	if rep.TotalOrderTau == 0 || rep.TotalOrderTau == model.TimeNever {
+		t.Fatalf("TotalOrderTau = %d, want a positive finite witness", rep.TotalOrderTau)
+	}
+	if rep.TotalOrderTau > 41 {
+		t.Errorf("TotalOrderTau = %d, want <= 41", rep.TotalOrderTau)
+	}
+}
+
+func TestTotalOrderNeverWhenConflictPersists(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.bcast(1, 2, "b")
+	f.seq(1, 10, "a", "b")
+	f.seq(2, 20, "b", "a")
+	rep := CheckETOB(r, procs2(), CheckOptions{})
+	if rep.TotalOrderTau != model.TimeNever {
+		t.Fatalf("persistent conflict must yield TimeNever, got %d", rep.TotalOrderTau)
+	}
+	if rep.OK() {
+		t.Fatal("run must not satisfy ETOB")
+	}
+}
+
+func TestCausalOrderTransitive(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.bcast(1, 2, "b", "a")
+	f.bcast(1, 3, "c", "b")
+	// c before a with b ABSENT: only the transitive closure catches this.
+	f.seq(1, 10, "c", "a")
+	rep := CheckETOB(r, procs2(), CheckOptions{})
+	if rep.CausalOrder.OK {
+		t.Fatal("transitive causal violation undetected")
+	}
+}
+
+func TestCausalOrderOnlyConstrainsPresentPairs(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.bcast(1, 2, "b", "a")
+	f.seq(1, 10, "b") // a absent: no constraint violated
+	rep := CheckETOB(r, procs2(), CheckOptions{InputCutoff: 1, SettleTime: 1})
+	if !rep.CausalOrder.OK {
+		t.Fatalf("absent dependency must not violate causal order: %v", rep.CausalOrder.Violations)
+	}
+}
+
+func TestCheckECFull(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.propose(1, 1, 1, "x")
+	f.propose(2, 2, 1, "y")
+	f.decide(1, 10, 1, "x")
+	f.decide(2, 11, 1, "y") // disagreement in instance 1
+	f.propose(1, 12, 2, "x2")
+	f.propose(2, 13, 2, "x2")
+	f.decide(1, 20, 2, "x2")
+	f.decide(2, 21, 2, "x2")
+	rep := CheckEC(r, procs2(), 2)
+	if !rep.OK() {
+		t.Fatalf("eventual agreement from k=2 must pass: %+v", rep)
+	}
+	if rep.AgreementK != 2 {
+		t.Errorf("AgreementK = %d, want 2", rep.AgreementK)
+	}
+}
+
+func TestCheckECViolations(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.propose(1, 1, 1, "x")
+	f.decide(1, 10, 1, "x")
+	f.decide(1, 11, 1, "x") // double response: integrity violation
+	f.decide(2, 12, 1, "z") // never proposed: validity violation
+	rep := CheckEC(r, procs2(), 1)
+	if rep.Integrity.OK {
+		t.Error("double response must violate integrity")
+	}
+	if rep.Validity.OK {
+		t.Error("unproposed value must violate validity")
+	}
+}
+
+func TestCheckECTermination(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.propose(1, 1, 1, "x")
+	f.decide(1, 10, 1, "x")
+	rep := CheckEC(r, procs2(), 1)
+	if rep.Termination.OK {
+		t.Error("p2 never decided: termination must fail")
+	}
+}
+
+func TestCheckECDisagreementAtEnd(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.propose(1, 1, 1, "x")
+	f.propose(2, 1, 1, "y")
+	f.decide(1, 10, 1, "x")
+	f.decide(2, 10, 1, "y")
+	rep := CheckEC(r, procs2(), 1)
+	if rep.AgreementK != -1 {
+		t.Errorf("disagreement on the last instance must give k=-1, got %d", rep.AgreementK)
+	}
+}
+
+func TestCheckEIC(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.propose(1, 1, 1, "x")
+	f.propose(2, 1, 1, "y")
+	// Revocation: p2 first answers y, then revokes to x.
+	f.decide(1, 10, 1, "x")
+	f.decide(2, 11, 1, "y")
+	f.decide(2, 20, 1, "x")
+	f.propose(1, 21, 2, "w")
+	f.propose(2, 21, 2, "w")
+	f.decide(1, 30, 2, "w")
+	f.decide(2, 31, 2, "w")
+	rep := CheckEIC(r, procs2(), 2)
+	if !rep.OK() {
+		t.Fatalf("EIC run must pass: %+v", rep)
+	}
+	if rep.IntegrityK != 2 {
+		t.Errorf("IntegrityK = %d, want 2 (instance 1 was revoked)", rep.IntegrityK)
+	}
+}
+
+func TestCheckEICAgreementViolation(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.propose(1, 1, 1, "x")
+	f.propose(2, 1, 1, "y")
+	f.decide(1, 10, 1, "x")
+	f.decide(2, 11, 1, "y") // final answers differ forever
+	rep := CheckEIC(r, procs2(), 1)
+	if rep.Agreement.OK {
+		t.Fatal("forever-different final responses must violate EIC agreement")
+	}
+}
+
+func TestRecorderBroadcastDedup(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	f.bcast(1, 1, "a")
+	f.bcast(2, 5, "a") // duplicate ID from elsewhere: first wins
+	bs := r.Broadcasts()
+	if len(bs) != 1 || bs[0].Sender != 1 {
+		t.Fatalf("broadcasts = %+v", bs)
+	}
+}
+
+func TestRecorderCountsAndLeaders(t *testing.T) {
+	r := NewRecorder(2)
+	r.OnOutput(1, 5, model.LeaderOutput{Leader: 2})
+	if ls := r.Leaders(1); len(ls) != 1 || ls[0].Leader != 2 {
+		t.Fatalf("Leaders = %+v", ls)
+	}
+	r.RecordProposal(1, 3, 1, "v")
+	if ps := r.Proposals(); len(ps) != 1 || ps[0].Value != "v" {
+		t.Fatalf("Proposals = %+v", ps)
+	}
+}
+
+func TestAllDecidedAndAllDelivered(t *testing.T) {
+	r := NewRecorder(2)
+	f := feed{r}
+	if r.AllDecided(procs2(), 1) {
+		t.Error("empty recorder cannot be all-decided")
+	}
+	f.decide(1, 1, 1, "v")
+	f.decide(2, 2, 1, "v")
+	if !r.AllDecided(procs2(), 1) {
+		t.Error("both decided instance 1")
+	}
+	if r.AllDelivered(procs2(), []string{"a"}) {
+		t.Error("nothing delivered yet")
+	}
+	f.seq(1, 5, "a")
+	f.seq(2, 6, "a")
+	if !r.AllDelivered(procs2(), []string{"a"}) {
+		t.Error("a delivered at both")
+	}
+}

@@ -1,0 +1,235 @@
+package transform
+
+import (
+	"repro/internal/model"
+)
+
+// ECToEIC is Algorithm 6, T_EC→EIC: eventual irrevocable consensus from EC.
+// The process proposes its whole decision history extended with the new
+// value; whenever the EC response disagrees with the local history, the
+// affected instances are re-decided (revoked) — which EIC permits finitely
+// often (EIC-Integrity holds from some k on).
+type ECToEIC struct {
+	self  model.ProcID
+	n     int
+	inner ECProtocol
+
+	decision []string     // decision_i: values decided so far, decision[ℓ-1] for instance ℓ
+	count    int          // current instance invoked
+	replied  map[int]bool // instances with at least one response (drives the closed loop)
+	driver   Driver       // optional closed-loop proposer
+}
+
+var (
+	_ model.Automaton = (*ECToEIC)(nil)
+	_ EICProtocol     = (*ECToEIC)(nil)
+)
+
+const layerECToEIC = "ec->eic"
+
+// NewECToEIC wraps an EC implementation into an EIC implementation.
+func NewECToEIC(p model.ProcID, n int, inner ECProtocol) *ECToEIC {
+	return &ECToEIC{self: p, n: n, inner: inner, replied: make(map[int]bool)}
+}
+
+// NewECToEICDriven adds a closed-loop driver: instance 1 at Init, instance
+// ℓ+1 upon the first response to instance ℓ.
+func NewECToEICDriven(p model.ProcID, n int, inner ECProtocol, d Driver) *ECToEIC {
+	a := NewECToEIC(p, n, inner)
+	a.driver = d
+	return a
+}
+
+// ECToEICFactory builds the transformation over a fresh inner EC instance.
+func ECToEICFactory(innerFactory func(p model.ProcID, n int) ECProtocol, d Driver) model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton {
+		if d != nil {
+			return NewECToEICDriven(p, n, innerFactory(p, n), d)
+		}
+		return NewECToEIC(p, n, innerFactory(p, n))
+	}
+}
+
+func (a *ECToEIC) ctx(outer model.Context) innerCtx {
+	return innerCtx{outer: outer, layer: layerECToEIC, onOutput: a.onInnerOutput}
+}
+
+// Init implements model.Automaton.
+func (a *ECToEIC) Init(ctx model.Context) {
+	a.inner.Init(a.ctx(ctx))
+	if a.driver != nil {
+		if v, ok := a.driver(a.self, 1); ok {
+			ctx.Output(model.ProposeInput{Instance: 1, Value: v})
+			a.ProposeEIC(ctx, 1, v)
+		}
+	}
+}
+
+// Input implements model.Automaton.
+func (a *ECToEIC) Input(ctx model.Context, in any) {
+	pi, ok := in.(model.ProposeInput)
+	if !ok {
+		return
+	}
+	a.ProposeEIC(ctx, pi.Instance, pi.Value)
+}
+
+// ProposeEIC implements EICProtocol: proposeEIC_ℓ(v) →
+// proposeEC_ℓ(decision_i · v).
+func (a *ECToEIC) ProposeEIC(ctx model.Context, instance int, value string) {
+	a.count = instance
+	hist := append([]string(nil), a.decision...)
+	if len(hist) >= instance {
+		hist = hist[:instance-1] // propose exactly ℓ−1 past decisions plus v
+	}
+	hist = append(hist, value)
+	a.inner.Propose(a.ctx(ctx), instance, encodeSeq(hist))
+}
+
+// Recv implements model.Automaton.
+func (a *ECToEIC) Recv(ctx model.Context, from model.ProcID, payload any) {
+	if m, ok := payload.(wrapped); ok && m.Layer == layerECToEIC {
+		a.inner.Recv(a.ctx(ctx), from, m.Inner)
+	}
+}
+
+// Tick implements model.Automaton.
+func (a *ECToEIC) Tick(ctx model.Context) { a.inner.Tick(a.ctx(ctx)) }
+
+// onInnerOutput is the paper's "On reception of decision as response of
+// proposeEC_ℓ": re-decide every index where the agreed history differs from
+// the local one, then adopt the agreed history.
+func (a *ECToEIC) onInnerOutput(outer model.Context, v any) {
+	dec, ok := v.(model.Decision)
+	if !ok {
+		return
+	}
+	agreed := decodeSeq(dec.Value)
+	// Adopt the agreed history BEFORE emitting responses: an emitted response
+	// may re-enter this automaton synchronously (a stacked T_EIC→EC driver
+	// proposing the next instance), and that proposal must see the new
+	// decision_i so it extends the right history.
+	old := a.decision
+	a.decision = agreed
+	for k := 1; k <= len(agreed); k++ {
+		if k > len(old) || old[k-1] != agreed[k-1] {
+			a.replied[k] = true
+			outer.Output(model.Decision{Instance: k, Value: agreed[k-1]})
+		}
+	}
+	if a.driver != nil && a.replied[a.count] {
+		next := a.count + 1
+		if nv, more := a.driver(a.self, next); more {
+			a.replied[a.count] = false // consume the trigger
+			outer.Output(model.ProposeInput{Instance: next, Value: nv})
+			a.ProposeEIC(outer, next, nv)
+		}
+	}
+}
+
+// Decision returns a copy of decision_i (for inspection).
+func (a *ECToEIC) Decision() []string { return append([]string(nil), a.decision...) }
+
+// EICToEC is Algorithm 7, T_EIC→EC: EC from eventual irrevocable consensus.
+// Only the first response to the currently invoked instance becomes the EC
+// response; later revocations are ignored, which restores EC-Integrity.
+type EICToEC struct {
+	self  model.ProcID
+	n     int
+	inner EICProtocol
+
+	count   int          // count_i
+	decided map[int]bool // instances already responded to
+	driver  Driver
+}
+
+var (
+	_ model.Automaton = (*EICToEC)(nil)
+	_ ECProtocol      = (*EICToEC)(nil)
+)
+
+const layerEICToEC = "eic->ec"
+
+// NewEICToEC wraps an EIC implementation into an EC implementation.
+func NewEICToEC(p model.ProcID, n int, inner EICProtocol) *EICToEC {
+	return &EICToEC{self: p, n: n, inner: inner, decided: make(map[int]bool)}
+}
+
+// NewEICToECDriven adds a closed-loop driver.
+func NewEICToECDriven(p model.ProcID, n int, inner EICProtocol, d Driver) *EICToEC {
+	a := NewEICToEC(p, n, inner)
+	a.driver = d
+	return a
+}
+
+// EICToECFactory builds the transformation over a fresh inner EIC instance.
+func EICToECFactory(innerFactory func(p model.ProcID, n int) EICProtocol, d Driver) model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton {
+		if d != nil {
+			return NewEICToECDriven(p, n, innerFactory(p, n), d)
+		}
+		return NewEICToEC(p, n, innerFactory(p, n))
+	}
+}
+
+func (a *EICToEC) ctx(outer model.Context) innerCtx {
+	return innerCtx{outer: outer, layer: layerEICToEC, onOutput: a.onInnerOutput}
+}
+
+// Init implements model.Automaton.
+func (a *EICToEC) Init(ctx model.Context) {
+	a.inner.Init(a.ctx(ctx))
+	if a.driver != nil {
+		if v, ok := a.driver(a.self, 1); ok {
+			ctx.Output(model.ProposeInput{Instance: 1, Value: v})
+			a.Propose(ctx, 1, v)
+		}
+	}
+}
+
+// Input implements model.Automaton.
+func (a *EICToEC) Input(ctx model.Context, in any) {
+	pi, ok := in.(model.ProposeInput)
+	if !ok {
+		return
+	}
+	a.Propose(ctx, pi.Instance, pi.Value)
+}
+
+// Propose implements ECProtocol: proposeEC_ℓ(v) → count_i := ℓ; proposeEIC_ℓ(v).
+func (a *EICToEC) Propose(ctx model.Context, instance int, value string) {
+	a.count = instance
+	a.inner.ProposeEIC(a.ctx(ctx), instance, value)
+}
+
+// Recv implements model.Automaton.
+func (a *EICToEC) Recv(ctx model.Context, from model.ProcID, payload any) {
+	if m, ok := payload.(wrapped); ok && m.Layer == layerEICToEC {
+		a.inner.Recv(a.ctx(ctx), from, m.Inner)
+	}
+}
+
+// Tick implements model.Automaton.
+func (a *EICToEC) Tick(ctx model.Context) { a.inner.Tick(a.ctx(ctx)) }
+
+// onInnerOutput is the paper's "On reception of v as response of
+// proposeEIC_ℓ: if count_i = ℓ then DecideEC(ℓ, v)" — restricted to the
+// first response per instance.
+func (a *EICToEC) onInnerOutput(outer model.Context, v any) {
+	dec, ok := v.(model.Decision)
+	if !ok {
+		return
+	}
+	if dec.Instance != a.count || a.decided[dec.Instance] {
+		return
+	}
+	a.decided[dec.Instance] = true
+	outer.Output(model.Decision{Instance: dec.Instance, Value: dec.Value})
+	if a.driver != nil {
+		next := dec.Instance + 1
+		if nv, more := a.driver(a.self, next); more {
+			outer.Output(model.ProposeInput{Instance: next, Value: nv})
+			a.Propose(outer, next, nv)
+		}
+	}
+}

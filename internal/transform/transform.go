@@ -1,0 +1,93 @@
+// Package transform implements the paper's asynchronous transformations
+// between the abstractions of §3 and Appendix A, each using the inner
+// protocol strictly as a black box:
+//
+//	Algorithm 1: T_EC→ETOB  — eventual total order broadcast from eventual consensus
+//	Algorithm 2: T_ETOB→EC  — eventual consensus from eventual total order broadcast
+//	Algorithm 6: T_EC→EIC   — eventual irrevocable consensus from EC
+//	Algorithm 7: T_EIC→EC   — EC from eventual irrevocable consensus
+//
+// Together with internal/ec (Algorithm 4) and internal/etob (Algorithm 5)
+// they make Theorem 1 (EC ≡ ETOB) and Theorem 3 (EC ≡ EIC) executable: any
+// stack such as T_ETOB→EC ∘ T_EC→ETOB ∘ Algorithm4 runs under the simulator
+// and is property-checked by internal/trace.
+//
+// Stacking: a transformation is itself a model.Automaton that owns an inner
+// automaton. Inner messages travel through the outer network wrapped in a
+// layer-tagged envelope, and inner outputs (decisions, sequence snapshots)
+// are intercepted by the transformation — the asynchronous "feed inputs,
+// consume outputs" composition of §2.
+package transform
+
+import (
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ECProtocol is an eventual-consensus implementation usable as a black box:
+// proposals go in through Propose, responses come out as model.Decision
+// outputs. *ec.Automaton, *ETOBToEC and *EICToEC satisfy it.
+type ECProtocol interface {
+	model.Automaton
+	Propose(ctx model.Context, instance int, value string)
+}
+
+// EICProtocol is an eventual-irrevocable-consensus implementation usable as
+// a black box. *ECToEIC satisfies it.
+type EICProtocol interface {
+	model.Automaton
+	ProposeEIC(ctx model.Context, instance int, value string)
+}
+
+// ETOBProtocol is an eventual-total-order-broadcast implementation usable as
+// a black box: broadcasts go in through BroadcastETOB, the evolving d_i comes
+// out as model.SeqSnapshot outputs. *etob.Automaton and *ECToETOB satisfy it.
+type ETOBProtocol interface {
+	model.Automaton
+	BroadcastETOB(ctx model.Context, id string, deps []string)
+}
+
+// wrapped is the envelope inner-protocol messages travel in. Layer tags keep
+// arbitrarily deep stacks of transformations apart.
+type wrapped struct {
+	Layer string
+	Inner any
+}
+
+// innerCtx adapts the outer step context for the inner automaton: sends are
+// wrapped with the layer tag, outputs are intercepted by the transformation.
+type innerCtx struct {
+	outer    model.Context
+	layer    string
+	onOutput func(outer model.Context, v any)
+}
+
+var _ model.Context = innerCtx{}
+
+func (c innerCtx) Self() model.ProcID { return c.outer.Self() }
+func (c innerCtx) N() int             { return c.outer.N() }
+func (c innerCtx) Now() model.Time    { return c.outer.Now() }
+func (c innerCtx) FD() any            { return c.outer.FD() }
+func (c innerCtx) Send(to model.ProcID, payload any) {
+	c.outer.Send(to, wrapped{Layer: c.layer, Inner: payload})
+}
+func (c innerCtx) Broadcast(payload any) {
+	c.outer.Broadcast(wrapped{Layer: c.layer, Inner: payload})
+}
+func (c innerCtx) Output(v any) { c.onOutput(c.outer, v) }
+
+// seqSep separates sequence elements inside EC values; message IDs and
+// values must not contain it (U+001F, the ASCII unit separator).
+const seqSep = "\x1f"
+
+// encodeSeq encodes a message-ID sequence as a single EC value.
+func encodeSeq(seq []string) string { return strings.Join(seq, seqSep) }
+
+// decodeSeq decodes an EC value back into a message-ID sequence.
+func decodeSeq(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, seqSep)
+}

@@ -1,0 +1,284 @@
+package transform
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ec"
+	"repro/internal/etob"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func ecInner(p model.ProcID, n int) ECProtocol     { return ec.New(p, n) }
+func etobInner(p model.ProcID, n int) ETOBProtocol { return etob.New(p, n) }
+
+func driver(p model.ProcID, inst int) (string, bool) {
+	return fmt.Sprintf("v/%v/%d", p, inst), true
+}
+
+// runUntilDecided runs the kernel until every correct process has decided
+// instances 1..want but not before minTime (so divergence windows are
+// exercised), then lets the run settle for the given extra window.
+func runUntilDecided(k *sim.Kernel, rec *trace.Recorder, correct []model.ProcID,
+	want int, minTime, horizon, settle model.Time) {
+	k.RunUntil(horizon, func(k *sim.Kernel) bool {
+		return k.Now() >= minTime && rec.AllDecided(correct, want)
+	})
+	k.Run(k.Now() + settle)
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	cases := [][]string{nil, {"a"}, {"a", "b", "c"}, {"p1#1", "p2#9"}}
+	for _, seq := range cases {
+		got := decodeSeq(encodeSeq(seq))
+		if len(got) != len(seq) {
+			t.Fatalf("roundtrip %v -> %v", seq, got)
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("roundtrip %v -> %v", seq, got)
+			}
+		}
+	}
+}
+
+func TestPairCodec(t *testing.T) {
+	id := encodePair(7, "hello", 3, 12)
+	l, v, ok := decodePair(id)
+	if !ok || l != 7 || v != "hello" {
+		t.Fatalf("decodePair(%q) = %d,%q,%v", id, l, v, ok)
+	}
+	if _, _, ok := decodePair("plain-message"); ok {
+		t.Error("foreign IDs must not decode")
+	}
+	// Distinct broadcasts must produce distinct IDs.
+	if encodePair(1, "x", 2, 1) == encodePair(1, "x", 2, 2) {
+		t.Error("sequence number must uniquify IDs")
+	}
+}
+
+// --- Theorem 1, direction 1: Algorithm 1 (EC→ETOB) over Algorithm 4. ---
+
+func TestECToETOBImplementsETOB(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaEventual(fp, 1, 600)
+	rec := trace.NewRecorder(3)
+	k := sim.New(fp, det, ECToETOBFactory(ecInner), sim.Options{Seed: 21})
+	k.SetObserver(rec)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		for _, p := range model.Procs(3) {
+			id := fmt.Sprintf("p%d#%d", p, i+1)
+			ids = append(ids, id)
+			k.ScheduleInput(p, model.Time(30+40*i)+model.Time(p), model.BroadcastInput{ID: id})
+		}
+	}
+	k.RunUntil(15000, func(k *sim.Kernel) bool {
+		return k.Now() > 800 && rec.AllDelivered(fp.Correct(), ids)
+	})
+	settleAt := k.Now()
+	k.Run(settleAt + 1000)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{InputCutoff: 2000, SettleTime: settleAt})
+	if !rep.OK() {
+		t.Fatalf("T_EC→ETOB violates ETOB: %+v", rep)
+	}
+	for _, p := range fp.Correct() {
+		if got := len(rec.FinalSeq(p)); got != 12 {
+			t.Errorf("%v delivered %d, want 12", p, got)
+		}
+	}
+	t.Logf("τ = %d", rep.Tau)
+}
+
+func TestECToETOBWithCrash(t *testing.T) {
+	fp := model.NewFailurePattern(4)
+	fp.Crash(4, 700)
+	det := fd.NewOmegaEventual(fp, 2, 900)
+	rec := trace.NewRecorder(4)
+	k := sim.New(fp, det, ECToETOBFactory(ecInner), sim.Options{Seed: 8})
+	k.SetObserver(rec)
+	var ids []string
+	for _, p := range model.Procs(4) {
+		id := fmt.Sprintf("m%d", p)
+		ids = append(ids, id)
+		k.ScheduleInput(p, model.Time(50+int(p)), model.BroadcastInput{ID: id})
+	}
+	k.RunUntil(15000, func(k *sim.Kernel) bool {
+		return k.Now() > 1200 && rec.AllDelivered(fp.Correct(), ids)
+	})
+	settleAt := k.Now()
+	k.Run(settleAt + 1000)
+	rep := trace.CheckETOB(rec, fp.Correct(), trace.CheckOptions{InputCutoff: 600, SettleTime: settleAt})
+	if !rep.OK() {
+		t.Fatalf("with a crash: %+v", rep)
+	}
+}
+
+// --- Theorem 1, direction 2: Algorithm 2 (ETOB→EC) over Algorithm 5. ---
+
+func TestETOBToECImplementsEC(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaEventual(fp, 1, 500)
+	rec := trace.NewRecorder(3)
+	k := sim.New(fp, det, ETOBToECFactory(etobInner, driver), sim.Options{Seed: 33})
+	k.SetObserver(rec)
+	runUntilDecided(k, rec, fp.Correct(), 5, 1500, 30000, 200)
+	rep := trace.CheckEC(rec, fp.Correct(), 5)
+	if !rep.OK() {
+		t.Fatalf("T_ETOB→EC violates EC: %+v", rep)
+	}
+	t.Logf("AgreementK = %d, MaxInstance = %d", rep.AgreementK, rep.MaxInstance)
+}
+
+func TestETOBToECStableLeader(t *testing.T) {
+	fp := model.NewFailurePattern(4)
+	det := fd.NewOmegaStable(fp, 3)
+	rec := trace.NewRecorder(4)
+	k := sim.New(fp, det, ETOBToECFactory(etobInner, driver), sim.Options{Seed: 14})
+	k.SetObserver(rec)
+	runUntilDecided(k, rec, fp.Correct(), 5, 0, 20000, 200)
+	rep := trace.CheckEC(rec, fp.Correct(), 5)
+	if !rep.OK() {
+		t.Fatalf("EC over stable-leader ETOB: %+v", rep)
+	}
+	if rep.AgreementK != 1 {
+		t.Errorf("AgreementK = %d, want 1 under a stable leader", rep.AgreementK)
+	}
+}
+
+// --- Roundtrip: EC → ETOB → EC (Algorithms 2 ∘ 1 over Algorithm 4). ---
+
+func TestRoundtripECToETOBToEC(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaEventual(fp, 1, 400)
+	rec := trace.NewRecorder(3)
+	factory := ETOBToECFactory(func(p model.ProcID, n int) ETOBProtocol {
+		return NewECToETOB(p, n, ec.New(p, n))
+	}, driver)
+	k := sim.New(fp, det, factory, sim.Options{Seed: 55})
+	k.SetObserver(rec)
+	runUntilDecided(k, rec, fp.Correct(), 3, 1200, 60000, 200)
+	rep := trace.CheckEC(rec, fp.Correct(), 3)
+	if !rep.OK() {
+		t.Fatalf("EC→ETOB→EC roundtrip violates EC: %+v", rep)
+	}
+	t.Logf("roundtrip AgreementK = %d, MaxInstance = %d", rep.AgreementK, rep.MaxInstance)
+}
+
+// --- Appendix A: Algorithm 6 (EC→EIC) and Algorithm 7 (EIC→EC). ---
+
+func TestECToEICImplementsEIC(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaEventual(fp, 1, 800) // divergence → revocations pre-stabilization
+	rec := trace.NewRecorder(3)
+	k := sim.New(fp, det, ECToEICFactory(ecInner, Driver(driver)), sim.Options{Seed: 71})
+	k.SetObserver(rec)
+	runUntilDecided(k, rec, fp.Correct(), 5, 2500, 25000, 200)
+	rep := trace.CheckEIC(rec, fp.Correct(), 5)
+	if !rep.OK() {
+		t.Fatalf("T_EC→EIC violates EIC: %+v", rep)
+	}
+	t.Logf("IntegrityK = %d, MaxInstance = %d", rep.IntegrityK, rep.MaxInstance)
+}
+
+func TestECToEICRevokesDuringDivergence(t *testing.T) {
+	// With self-trust until t=1200, early decisions differ across processes
+	// and must be revoked after stabilization: some process responds twice to
+	// some early instance.
+	fp := model.NewFailurePattern(4)
+	det := fd.NewOmegaEventual(fp, 2, 1200)
+	rec := trace.NewRecorder(4)
+	k := sim.New(fp, det, ECToEICFactory(ecInner, Driver(driver)), sim.Options{Seed: 5})
+	k.SetObserver(rec)
+	runUntilDecided(k, rec, fp.Correct(), 5, 3500, 30000, 200)
+	rep := trace.CheckEIC(rec, fp.Correct(), 5)
+	if !rep.OK() {
+		t.Fatalf("EIC spec: %+v", rep)
+	}
+	revoked := false
+	for _, p := range model.Procs(4) {
+		counts := map[int]int{}
+		for _, d := range rec.Decisions(p) {
+			counts[d.Instance]++
+			if counts[d.Instance] > 1 {
+				revoked = true
+			}
+		}
+	}
+	if !revoked {
+		t.Error("expected at least one revocation during the divergence window")
+	}
+	if rep.IntegrityK <= 1 {
+		t.Errorf("IntegrityK = %d, want > 1 when revocations occurred", rep.IntegrityK)
+	}
+}
+
+func TestRoundtripECToEICToEC(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaEventual(fp, 1, 500)
+	rec := trace.NewRecorder(3)
+	factory := EICToECFactory(func(p model.ProcID, n int) EICProtocol {
+		return NewECToEIC(p, n, ec.New(p, n))
+	}, driver)
+	k := sim.New(fp, det, factory, sim.Options{Seed: 91})
+	k.SetObserver(rec)
+	runUntilDecided(k, rec, fp.Correct(), 5, 1500, 30000, 200)
+	rep := trace.CheckEC(rec, fp.Correct(), 5)
+	if !rep.OK() {
+		t.Fatalf("EC→EIC→EC roundtrip violates EC: %+v", rep)
+	}
+	t.Logf("roundtrip AgreementK = %d", rep.AgreementK)
+}
+
+func TestEICToECManualPropose(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 1)
+	rec := trace.NewRecorder(3)
+	factory := EICToECFactory(func(p model.ProcID, n int) EICProtocol {
+		return NewECToEIC(p, n, ec.New(p, n))
+	}, nil)
+	k := sim.New(fp, det, factory, sim.Options{Seed: 2})
+	k.SetObserver(rec)
+	for _, p := range model.Procs(3) {
+		k.ScheduleInput(p, 10, model.ProposeInput{Instance: 1, Value: fmt.Sprintf("z%v", p)})
+	}
+	runUntilDecided(k, rec, fp.Correct(), 1, 0, 5000, 100)
+	rep := trace.CheckEC(rec, fp.Correct(), 1)
+	if !rep.OK() {
+		t.Fatalf("manual EIC→EC: %+v", rep)
+	}
+	for _, p := range fp.Correct() {
+		ds := rec.Decisions(p)
+		if len(ds) != 1 || ds[0].Value != "zp1" {
+			t.Fatalf("%v decided %+v, want zp1 once", p, ds)
+		}
+	}
+}
+
+func TestECToETOBNewBatchExcludesDelivered(t *testing.T) {
+	a := NewECToETOB(1, 2, ec.New(1, 2))
+	a.inSet["a"], a.inSet["b"], a.inSet["c"] = true, true, true
+	a.toDeliver = []string{"a", "b", "c"}
+	a.d = []string{"b"}
+	got := a.newBatch()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("newBatch = %v, want [a c]", got)
+	}
+}
+
+func TestForeignInputsIgnored(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	det := fd.NewOmegaStable(fp, 1)
+	k := sim.New(fp, det, ECToETOBFactory(ecInner), sim.Options{Seed: 1})
+	k.ScheduleInput(1, 5, 12345) // not a BroadcastInput
+	k.Run(200)                   // must not panic
+	k2 := sim.New(fp, det, ETOBToECFactory(etobInner, nil), sim.Options{Seed: 1})
+	k2.ScheduleInput(1, 5, "nope")
+	k2.Run(200)
+	k3 := sim.New(fp, det, ECToEICFactory(ecInner, nil), sim.Options{Seed: 1})
+	k3.ScheduleInput(1, 5, 3.14)
+	k3.Run(200)
+}

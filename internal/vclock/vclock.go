@@ -1,0 +1,123 @@
+// Package vclock implements vector clocks over process IDs. The protocols of
+// the paper do not need vector clocks (Algorithm 5 tracks causality through
+// explicit dependency graphs), but the test suite and the examples use them
+// as an independent witness of the causal order →_R of §3: if VC(m1) < VC(m2)
+// then m1 →_R m2 must be respected by every delivered sequence.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// VC is a vector clock: a map from process ID to its logical-event count.
+// The zero value is usable (an empty clock).
+type VC map[model.ProcID]int64
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+// Possible Compare outcomes.
+const (
+	Equal Ordering = iota + 1
+	Before
+	After
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Clone returns a copy of the clock.
+func (v VC) Clone() VC {
+	cp := make(VC, len(v))
+	for p, c := range v {
+		cp[p] = c
+	}
+	return cp
+}
+
+// Tick increments p's component and returns the clock (for chaining).
+func (v VC) Tick(p model.ProcID) VC {
+	v[p]++
+	return v
+}
+
+// Get returns p's component (0 if absent).
+func (v VC) Get(p model.ProcID) int64 { return v[p] }
+
+// Merge sets v to the component-wise maximum of v and other.
+func (v VC) Merge(other VC) VC {
+	for p, c := range other {
+		if c > v[p] {
+			v[p] = c
+		}
+	}
+	return v
+}
+
+// Compare returns the causal relation between v and other.
+func (v VC) Compare(other VC) Ordering {
+	vLess, oLess := false, false
+	for p, c := range v {
+		if oc := other[p]; c < oc {
+			vLess = true
+		} else if c > oc {
+			oLess = true
+		}
+	}
+	for p, oc := range other {
+		if _, ok := v[p]; ok {
+			continue // already compared
+		}
+		if oc > 0 {
+			vLess = true
+		}
+	}
+	switch {
+	case !vLess && !oLess:
+		return Equal
+	case vLess && !oLess:
+		return Before
+	case !vLess && oLess:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// HappensBefore reports v < other (strictly).
+func (v VC) HappensBefore(other VC) bool { return v.Compare(other) == Before }
+
+// String renders the clock as "{p1:3, p2:1}" with sorted keys.
+func (v VC) String() string {
+	ps := make([]model.ProcID, 0, len(v))
+	for p := range v {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	parts := make([]string, 0, len(ps))
+	for _, p := range ps {
+		parts = append(parts, fmt.Sprintf("%v:%d", p, v[p]))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,144 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestCompareBasics(t *testing.T) {
+	a := New().Tick(1)
+	b := a.Clone().Tick(2)
+	if got := a.Compare(b); got != Before {
+		t.Errorf("a vs b = %v, want before", got)
+	}
+	if got := b.Compare(a); got != After {
+		t.Errorf("b vs a = %v, want after", got)
+	}
+	if got := a.Compare(a.Clone()); got != Equal {
+		t.Errorf("a vs a = %v, want equal", got)
+	}
+	c := New().Tick(3)
+	if got := a.Compare(c); got != Concurrent {
+		t.Errorf("a vs c = %v, want concurrent", got)
+	}
+	if !a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Error("HappensBefore inconsistent with Compare")
+	}
+}
+
+func TestCompareMissingEntries(t *testing.T) {
+	// {} < {p1:1}, and zero entries behave like absent ones.
+	empty := New()
+	one := New().Tick(1)
+	if got := empty.Compare(one); got != Before {
+		t.Errorf("empty vs one = %v, want before", got)
+	}
+	withZero := VC{model.ProcID(1): 0}
+	if got := withZero.Compare(New()); got != Equal {
+		t.Errorf("explicit zero vs empty = %v, want equal", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := VC{1: 3, 2: 1}
+	b := VC{2: 5, 3: 2}
+	a.Merge(b)
+	want := VC{1: 3, 2: 5, 3: 2}
+	if a.Compare(want) != Equal {
+		t.Errorf("merge = %v, want %v", a, want)
+	}
+}
+
+func TestTickAndGet(t *testing.T) {
+	v := New()
+	v.Tick(2).Tick(2)
+	if v.Get(2) != 2 {
+		t.Errorf("Get = %d, want 2", v.Get(2))
+	}
+	if v.Get(1) != 0 {
+		t.Errorf("Get of absent = %d, want 0", v.Get(1))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New().Tick(1)
+	b := a.Clone()
+	b.Tick(1)
+	if a.Get(1) != 1 || b.Get(1) != 2 {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := VC{2: 1, 1: 3}
+	if got := v.String(); got != "{p1:3, p2:1}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	cases := map[Ordering]string{Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent", Ordering(99): "Ordering(99)"}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func fromRaw(raw []uint8) VC {
+	v := New()
+	for i, c := range raw {
+		if i >= 4 {
+			break
+		}
+		v[model.ProcID(i+1)] = int64(c % 4)
+	}
+	return v
+}
+
+func TestCompareAntisymmetryQuick(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		a, b := fromRaw(ra), fromRaw(rb)
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case Equal:
+			return ba == Equal
+		case Before:
+			return ba == After
+		case After:
+			return ba == Before
+		default:
+			return ba == Concurrent
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeUpperBoundQuick(t *testing.T) {
+	// a ≤ merge(a,b) and b ≤ merge(a,b).
+	f := func(ra, rb []uint8) bool {
+		a, b := fromRaw(ra), fromRaw(rb)
+		m := a.Clone().Merge(b)
+		ca, cb := a.Compare(m), b.Compare(m)
+		return (ca == Before || ca == Equal) && (cb == Before || cb == Equal)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTickStrictlyIncreasesQuick(t *testing.T) {
+	f := func(raw []uint8, pRaw uint8) bool {
+		v := fromRaw(raw)
+		p := model.ProcID(pRaw%4 + 1)
+		w := v.Clone().Tick(p)
+		return v.Compare(w) == Before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
