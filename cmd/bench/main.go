@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	bench              # run all experiments (E1..E8), print tables
+//	bench              # run all experiments (E1..E9), print tables
 //	bench -exp e5      # run one experiment
 //	bench -quick       # smaller workloads
 //	bench -seed 7      # change the base seed
@@ -21,7 +21,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "", "experiment id (e1..e8); empty = all")
+	exp := flag.String("exp", "", "experiment id (e1..e9); empty = all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	seed := flag.Int64("seed", 42, "base PRNG seed")
 	flag.Parse()
@@ -33,7 +33,7 @@ func run() int {
 	} else {
 		t, ok := bench.ByID(*exp, opts)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (want e1..e8)\n", *exp)
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (want e1..e9)\n", *exp)
 			return 2
 		}
 		tables = []bench.Table{t}

@@ -8,6 +8,8 @@
 //	ecsim                                  # 4 replicas, ETOB, split-brain Ω
 //	ecsim -protocol paxos -n 5 -crash 5@0  # strong log with one crash
 //	ecsim -protocol etob -pre selftrust -stab 2000 -msgs 12
+//	ecsim -net partition -horizon 60000    # links partition at t=500, heal at 2500
+//	ecsim -net jitter-spiky                # asymmetric links with latency spikes
 package main
 
 import (
@@ -41,9 +43,20 @@ func run() int {
 		msgs     = flag.Int("msgs", 8, "number of broadcasts")
 		horizon  = flag.Int64("horizon", 30000, "max simulated time")
 		crashes  = flag.String("crash", "", "comma-separated crashes p@t, e.g. 3@500,4@0")
+		network  = flag.String("net", "uniform", "network model preset: "+strings.Join(sim.PresetNames(), " | "))
 		verbose  = flag.Bool("v", false, "print every d_i snapshot")
 	)
 	flag.Parse()
+
+	net, err := sim.Preset(*network)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecsim: %v\n", err)
+		return 2
+	}
+	if err := sim.ValidateNetwork(net, *n); err != nil {
+		fmt.Fprintf(os.Stderr, "ecsim: -net %s with -n %d: %v\n", *network, *n, err)
+		return 2
+	}
 
 	fp := model.NewFailurePattern(*n)
 	if *crashes != "" {
@@ -95,7 +108,7 @@ func run() int {
 	}
 
 	rec := trace.NewRecorder(*n)
-	k := sim.New(fp, det, factory, sim.Options{Seed: *seed})
+	k := sim.New(fp, det, factory, sim.Options{Seed: *seed, Network: net})
 	k.SetObserver(rec)
 	var ids []string
 	for i := 0; i < *msgs; i++ {
@@ -113,8 +126,8 @@ func run() int {
 	settle := k.Now()
 	k.Run(settle + 500)
 
-	fmt.Printf("run: n=%d protocol=%s omega=%s/stab=%d pattern=%v seed=%d\n",
-		*n, *protocol, *pre, *stab, fp, *seed)
+	fmt.Printf("run: n=%d protocol=%s omega=%s/stab=%d pattern=%v seed=%d net=%s\n",
+		*n, *protocol, *pre, *stab, fp, *seed, *network)
 	fmt.Printf("steps=%d messages=%d dropped=%d finished_at=%d\n\n",
 		k.Steps(), k.MessagesSent(), k.MessagesDropped(), k.Now())
 

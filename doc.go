@@ -6,7 +6,11 @@
 // eventual total order broadcast, eventual irrevocable consensus), all seven
 // of its algorithms, the generalized CHT reduction of its necessity proof,
 // and the strong-consistency baselines it compares against, over a
-// deterministic simulator and a live goroutine runtime.
+// deterministic simulator and a live goroutine runtime. The simulator's link
+// behavior is pluggable (internal/sim's NetworkModel): uniform delays,
+// crash-free partitions that form and heal on a schedule, and jittery
+// asymmetric links ship built in, with named presets shared by the CLI
+// (cmd/ecsim -net), the examples, and the experiment tables.
 //
 // Start with README.md (overview and quickstart), DESIGN.md (system
 // inventory, per-experiment index, design decisions), and EXPERIMENTS.md

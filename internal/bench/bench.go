@@ -11,6 +11,8 @@
 //	E6  §5 P2     stable Ω from t=0 ⇒ Algorithm 5 is strong TOB (τ = 0)
 //	E7  §5 P3     causal order holds even during leader disagreement
 //	E8  App. A    EC ≡ EIC (Algorithms 6 and 7; revocations are finite)
+//	E9  §2/Thm 2  EC reconverges after crash-free network partitions of any
+//	              length (partition-length sweep over sim.Partitioned)
 //
 // All experiments run on the deterministic kernel; absolute times are
 // simulator ticks, and "steps" are message delays (DESIGN.md decision 5).
@@ -96,10 +98,11 @@ func All(opts Options) []Table {
 		E6StableOmega(opts),
 		E7CausalOrder(opts),
 		E8EIC(opts),
+		E9PartitionSweep(opts),
 	}
 }
 
-// ByID returns the experiment with the given ID (e1..e8).
+// ByID returns the experiment with the given ID (e1..e9).
 func ByID(id string, opts Options) (Table, bool) {
 	switch strings.ToLower(id) {
 	case "e1":
@@ -118,6 +121,8 @@ func ByID(id string, opts Options) (Table, bool) {
 		return E7CausalOrder(opts), true
 	case "e8":
 		return E8EIC(opts), true
+	case "e9":
+		return E9PartitionSweep(opts), true
 	default:
 		return Table{}, false
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -24,7 +25,7 @@ func TestTableFormat(t *testing.T) {
 
 func TestByID(t *testing.T) {
 	opts := Options{Quick: true}
-	for _, id := range []string{"e1", "E2", "e3", "e4", "e5", "e6", "e7", "e8"} {
+	for _, id := range []string{"e1", "E2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
 		if _, ok := ByID(id, opts); !ok {
 			t.Errorf("ByID(%q) not found", id)
 		}
@@ -146,9 +147,31 @@ func TestE8BothDirectionsOK(t *testing.T) {
 	}
 }
 
+func TestE9AlwaysReconverges(t *testing.T) {
+	tbl := E9PartitionSweep(Options{Quick: true})
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("rows: %v", tbl.Rows)
+	}
+	for _, row := range tbl.Rows {
+		if row[2] != "yes" {
+			t.Errorf("partition length %s never reconverged: %v", row[0], row)
+		}
+	}
+	// Longer partitions must cost decision latency (first row has length 0).
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	firstLat, err1 := strconv.Atoi(first[5])
+	lastLat, err2 := strconv.Atoi(last[5])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("non-numeric latency cells: %q %q", first[5], last[5])
+	}
+	if firstLat >= lastLat {
+		t.Errorf("worst decision latency did not grow with partition length: %v vs %v", first, last)
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	tables := All(Options{Quick: true})
-	if len(tables) != 8 {
+	if len(tables) != 9 {
 		t.Fatalf("All returned %d tables", len(tables))
 	}
 	for _, tbl := range tables {

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/etob"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// E9PartitionSweep measures eventual consistency under crash-free network
+// partitions of increasing length (the sim.Partitioned network model, new in
+// this revision of the kernel). All five processes stay up; the links between
+// {p1, p2} and {p3, p4, p5} sever at t=500 and heal after the sweep's
+// duration, with cross-partition traffic buffered until the heal (eventual
+// delivery, §2). The paper's claim: EC/ETOB needs only Ω and an environment
+// with eventual delivery — so convergence must always be reached, with the
+// convergence lag tracking the partition length rather than diverging.
+//
+// Reported per partition length: when the last correct process stably
+// delivered the last broadcast (EC convergence), how far behind the heal
+// that is, and the worst per-broadcast ETOB decision latency (stable
+// delivery at ALL correct processes minus broadcast time).
+func E9PartitionSweep(opts Options) Table {
+	const (
+		n       = 5
+		splitAt = 500 // partition onset
+	)
+	durations := []model.Time{0, 500, 1000, 2000, 4000}
+	msgs := 6
+	if opts.Quick {
+		durations = []model.Time{0, 1000}
+		msgs = 3
+	}
+	t := Table{
+		ID:     "E9",
+		Title:  "EC convergence and ETOB decision latency vs partition length",
+		Claim:  "with eventual delivery, ETOB (Omega only) always reconverges; lag tracks partition length (paper §2, Theorem 2)",
+		Header: []string{"partition len", "heal at", "converged", "converged at", "lag after heal", "worst decision latency"},
+		Notes: []string{
+			fmt.Sprintf("n=%d, crash-free; links {p1,p2}|{p3,p4,p5} sever at t=%d; %d broadcasts from both sides", n, splitAt, msgs),
+			"cross-partition messages are buffered and released at heal time (sim.Partitioned)",
+			"converged at = last stable delivery of the last broadcast at any correct process",
+		},
+	}
+	for _, dur := range durations {
+		fp := model.NewFailurePattern(n)
+		det := fd.NewOmegaStable(fp, 1)
+		rec := trace.NewRecorder(n)
+		k := sim.New(fp, det, etob.Factory(), sim.Options{
+			Seed:    opts.seed(),
+			Network: &sim.Partitioned{LeftSize: 2, FirstAt: splitAt, Duration: dur},
+		})
+		k.SetObserver(rec)
+		var ids []string
+		var sentAt []model.Time
+		for i := 0; i < msgs; i++ {
+			// Alternate sides so both partitions keep accepting operations.
+			sender := model.ProcID(2)
+			if i%2 == 1 {
+				sender = model.ProcID(4)
+			}
+			at := model.Time(100 + 300*i)
+			id := fmt.Sprintf("m%d", i)
+			ids = append(ids, id)
+			sentAt = append(sentAt, at)
+			k.ScheduleInput(sender, at, model.BroadcastInput{ID: id})
+		}
+		heal := splitAt + dur
+		horizon := heal + 20000
+		correct := fp.Correct() // hoisted: the stop predicate runs per event
+		k.RunUntil(horizon, func(*sim.Kernel) bool { return rec.AllDelivered(correct, ids) })
+		k.Run(k.Now() + 500)
+
+		convergedAt := model.Time(0)
+		worstLatency := model.Time(0)
+		converged := true
+		for i, id := range ids {
+			for _, p := range correct {
+				st, ok := rec.StableDeliveryTime(p, id)
+				if !ok {
+					converged = false
+					continue
+				}
+				if st > convergedAt {
+					convergedAt = st
+				}
+				if lat := st - sentAt[i]; lat > worstLatency {
+					worstLatency = lat
+				}
+			}
+		}
+		// "-" cells: no heal event when dur == 0 (no partition ever forms),
+		// and no convergence figures when a run did not converge.
+		healCell, convergedCell, lagCell, latencyCell := "-", "-", "-", "-"
+		if dur > 0 {
+			healCell = fmt.Sprint(heal)
+		}
+		if converged {
+			convergedCell = fmt.Sprint(convergedAt)
+			latencyCell = fmt.Sprint(worstLatency)
+			if dur > 0 {
+				lag := convergedAt - heal
+				if lag < 0 {
+					lag = 0 // converged before the heal
+				}
+				lagCell = fmt.Sprint(lag)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(dur), healCell, boolCell(converged), convergedCell, lagCell, latencyCell,
+		})
+	}
+	return t
+}

@@ -128,7 +128,18 @@ func (c *CT) Propose(ctx model.Context, _ int, value string) {
 func (c *CT) enterRound(ctx model.Context, r int) {
 	c.round = r
 	c.waiting = true
-	ctx.Send(c.coord(r), CTEstimateMsg{Round: r, Est: c.est, TS: c.ts})
+	m := CTEstimateMsg{Round: r, Est: c.est, TS: c.ts}
+	if c.coord(r) == c.self {
+		// The coordinator's own estimate is delivered locally, not mailed
+		// through the network. When the coordinator enters the round before a
+		// remote majority has gathered (e.g. near-simultaneous proposals with
+		// link delays exceeding the proposal spread), its estimate is in the
+		// gathered set from the start, so the lowest-ProcID tie-break below
+		// makes the round-1 coordinator's value win in failure-free runs.
+		c.onEstimate(ctx, c.self, m)
+		return
+	}
+	ctx.Send(c.coord(r), m)
 }
 
 // Recv implements model.Automaton.
@@ -159,9 +170,12 @@ func (c *CT) onEstimate(ctx model.Context, from model.ProcID, m CTEstimateMsg) {
 		return
 	}
 	// Propose the estimate with the highest timestamp (Paxos-style locking).
+	// Ties are broken by the lowest sender ProcID: iterating the map directly
+	// would let Go's randomized map order pick the winner, breaking the
+	// kernel's bit-for-bit determinism promise.
 	best := ctEstimate{ts: -1}
-	for _, e := range g {
-		if e.ts > best.ts {
+	for _, q := range model.Procs(c.n) {
+		if e, ok := g[q]; ok && e.ts > best.ts {
 			best = e
 		}
 	}

@@ -1,6 +1,9 @@
 package consensus
 
 import (
+	"maps"
+	"slices"
+
 	"repro/internal/model"
 )
 
@@ -92,9 +95,11 @@ func (s *CTSequence) Recv(ctx model.Context, from model.ProcID, payload any) {
 	s.inst(w.Instance).Recv(ctCtx{ctx, w.Instance}, from, w.Inner)
 }
 
-// Tick implements model.Automaton: tick every live instance.
+// Tick implements model.Automaton: tick every live instance, in instance
+// order — an instance Tick can send messages, so iterating the map directly
+// would emit them in Go's randomized order and break seed-stable traces.
 func (s *CTSequence) Tick(ctx model.Context) {
-	for i, c := range s.insts {
-		c.Tick(ctCtx{ctx, i})
+	for _, i := range slices.Sorted(maps.Keys(s.insts)) {
+		s.insts[i].Tick(ctCtx{ctx, i})
 	}
 }

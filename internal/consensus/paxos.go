@@ -20,6 +20,8 @@
 package consensus
 
 import (
+	"maps"
+	"slices"
 	"sort"
 
 	"repro/internal/fd"
@@ -205,9 +207,16 @@ func (l *Log) Tick(ctx model.Context) {
 	}
 	l.proposePending(ctx)
 	// Retransmit phase 2 for instances not yet chosen.
-	for inst, v := range l.proposals {
+	l.broadcastOpenProposals(ctx)
+}
+
+// broadcastOpenProposals re-sends AcceptMsg for every proposed-but-unchosen
+// instance, in instance order: iterating l.proposals directly would emit
+// messages in Go's randomized map order and break seed-stable traces.
+func (l *Log) broadcastOpenProposals(ctx model.Context) {
+	for _, inst := range slices.Sorted(maps.Keys(l.proposals)) {
 		if _, done := l.chosen[inst]; !done {
-			ctx.Broadcast(AcceptMsg{Ballot: l.ballot, Instance: inst, Value: v})
+			ctx.Broadcast(AcceptMsg{Ballot: l.ballot, Instance: inst, Value: l.proposals[inst]})
 		}
 	}
 }
@@ -258,10 +267,12 @@ func (l *Log) onPromise(ctx model.Context, from model.ProcID, m PromiseMsg) {
 	l.leading = true
 	// Re-propose every accepted-but-unchosen instance under our ballot
 	// (Paxos's "value with the highest ballot" rule, applied per instance).
-	for inst, bv := range l.accepted {
+	// Sorted so the send order below is seed-stable, not map order.
+	for _, inst := range slices.Sorted(maps.Keys(l.accepted)) {
 		if _, done := l.chosen[inst]; done {
 			continue
 		}
+		bv := l.accepted[inst]
 		l.proposals[inst] = bv.Value
 		l.proposed[bv.Value] = true
 		if inst >= l.nextInst {
@@ -274,11 +285,7 @@ func (l *Log) onPromise(ctx model.Context, from model.ProcID, m PromiseMsg) {
 		}
 	}
 	l.proposePending(ctx)
-	for inst, v := range l.proposals {
-		if _, done := l.chosen[inst]; !done {
-			ctx.Broadcast(AcceptMsg{Ballot: l.ballot, Instance: inst, Value: v})
-		}
-	}
+	l.broadcastOpenProposals(ctx)
 }
 
 // proposePending assigns fresh instances to pending client IDs.

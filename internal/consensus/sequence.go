@@ -1,6 +1,9 @@
 package consensus
 
 import (
+	"maps"
+	"slices"
+
 	"repro/internal/fd"
 	"repro/internal/model"
 )
@@ -166,7 +169,11 @@ func (s *Sequence) Tick(ctx model.Context) {
 		}
 		return
 	}
-	for instance, v := range s.proposals {
+	// Sorted instance order: each arm below sends, so iterating the map
+	// directly would emit messages (and assign ballots) in Go's randomized
+	// order and break seed-stable traces.
+	for _, instance := range slices.Sorted(maps.Keys(s.proposals)) {
+		v := s.proposals[instance]
 		in := s.inst(instance)
 		if in.done {
 			s.respond(ctx, instance, in.chosen)

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+// benchKernel drives one echo-protocol run to completion; the per-op cost is
+// dominated by the kernel's event loop (heap ops, step contexts, sends).
+func benchKernel(b *testing.B, opts Options) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fp := model.NewFailurePattern(8)
+		det := fd.NewOmegaStable(fp, 1)
+		k := New(fp, det, echoFactory(), opts)
+		k.ScheduleInput(1, 60, "go")
+		k.Run(5000)
+		if k.Steps() == 0 {
+			b.Fatal("run did nothing")
+		}
+	}
+}
+
+func BenchmarkKernelUniform(b *testing.B) {
+	benchKernel(b, Options{Seed: 1, MinDelay: 3, MaxDelay: 30})
+}
+
+func BenchmarkKernelPartitioned(b *testing.B) {
+	benchKernel(b, Options{Seed: 1, Network: &Partitioned{
+		LeftSize: 4, FirstAt: 500, Duration: 400, Interval: 1500,
+	}})
+}
+
+func BenchmarkKernelJittery(b *testing.B) {
+	benchKernel(b, Options{Seed: 1, Network: NewJittery(20)})
+}

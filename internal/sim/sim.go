@@ -4,17 +4,26 @@
 // message delays, crash failures injected from a failure pattern, and a
 // failure-detector oracle queried at every step.
 //
-// Determinism: given the same seed, failure pattern, detector, and automaton
-// factory, a run is bit-for-bit reproducible. All scheduling choices are
-// drawn from a seeded PRNG and all tie-breaks are explicit, which is what
-// makes the property checkers in internal/trace and the experiment tables in
-// internal/bench meaningful.
+// Link behavior is pluggable: a NetworkModel (Options.Network) decides every
+// message's delay and delivery, making the environment — the paper's central
+// parameter — a first-class object. Three deterministic seeded models ship
+// with the kernel: Uniform (the default: i.i.d. delays in [MinDelay,
+// MaxDelay]), Partitioned (crash-free partitions that form and heal on a
+// schedule, buffering cross-partition traffic until heal time so eventual
+// delivery still holds), and Jittery (asymmetric per-link latency classes
+// with occasional spikes, modeling partial synchrony). Preset names common
+// environments ("uniform", "partition", "jitter-spiky", ...).
+//
+// Determinism: given the same seed, failure pattern, detector, network
+// model, and automaton factory, a run is bit-for-bit reproducible. All
+// scheduling choices are drawn from seeded PRNGs and all tie-breaks are
+// explicit, which is what makes the property checkers in internal/trace and
+// the experiment tables in internal/bench meaningful.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/fd"
 	"repro/internal/model"
@@ -22,13 +31,24 @@ import (
 
 // Options configure a simulated run.
 type Options struct {
-	// Seed seeds the PRNG used for message delays.
+	// Seed seeds the PRNG used for message delays (it is passed to the
+	// network model's Reset).
 	Seed int64
 	// MinDelay and MaxDelay bound the link delay of every message, in clock
-	// ticks. Set them equal for a fixed-delay network (used to measure
-	// latency in communication steps). Defaults: 10 and 20.
+	// ticks, when Network is nil (the default Uniform model). Set them equal
+	// for a fixed-delay network (used to measure latency in communication
+	// steps). Defaults: 10 and 20. Ignored when Network is non-nil.
 	MinDelay model.Time
 	MaxDelay model.Time
+	// Network is the link-behavior engine. Nil selects
+	// NewUniform(MinDelay, MaxDelay) — the kernel's historical behavior,
+	// bit-for-bit. The kernel calls Network.Reset(Seed) at construction, so
+	// the same Options value can be reused across sequential runs. Because
+	// the model instance is shared, not cloned, do NOT reuse an Options
+	// value with a non-nil Network while another kernel built from it is
+	// still mid-run (construction would re-seed that kernel's delay stream),
+	// and never share one instance between concurrently running kernels.
+	Network NetworkModel
 	// TickInterval is the period of λ-steps (the paper's "local timeout").
 	// Default: 5. Ticks of distinct processes are staggered by one tick each
 	// so no two processes ever step at the same instant.
@@ -141,9 +161,12 @@ type Kernel struct {
 	det   fd.Detector
 	autos map[model.ProcID]model.Automaton
 	opts  Options
-	rng   *rand.Rand
+	net   NetworkModel
+	procs []model.ProcID // Π, computed once (hot-path allocation saver)
 
 	queue    eventQueue
+	free     []*event // recycled event structs
+	sctx     stepCtx  // reused per step
 	seq      int64
 	msgSeq   int64
 	now      model.Time
@@ -152,21 +175,32 @@ type Kernel struct {
 	nSteps   int64
 	nSent    int64
 	nDropped int64
+	nLost    int64
 }
 
 // New builds a kernel over failure pattern fp, detector history det, and the
 // automaton factory. The run starts when Run/RunUntil is first called.
 func New(fp *model.FailurePattern, det fd.Detector, factory model.AutomatonFactory, opts Options) *Kernel {
 	opts = opts.withDefaults()
+	net := opts.Network
+	if net == nil {
+		net = NewUniform(opts.MinDelay, opts.MaxDelay)
+	}
+	if err := ValidateNetwork(net, fp.N()); err != nil {
+		panic(err.Error())
+	}
+	net.Reset(opts.Seed)
 	k := &Kernel{
 		fp:    fp,
 		det:   det,
 		autos: make(map[model.ProcID]model.Automaton, fp.N()),
 		opts:  opts,
-		rng:   rand.New(rand.NewSource(opts.Seed)),
+		net:   net,
+		procs: model.Procs(fp.N()),
+		queue: make(eventQueue, 0, 256),
 		obs:   NopObserver{},
 	}
-	for _, p := range model.Procs(fp.N()) {
+	for _, p := range k.procs {
 		k.autos[p] = factory(p, fp.N())
 	}
 	return k
@@ -207,11 +241,37 @@ func (k *Kernel) MessagesSent() int64 { return k.nSent }
 // MessagesDropped returns messages dropped because the recipient crashed.
 func (k *Kernel) MessagesDropped() int64 { return k.nDropped }
 
+// MessagesLost returns messages the network model chose not to deliver.
+// Always 0 under the shipped models, which honor eventual delivery.
+func (k *Kernel) MessagesLost() int64 { return k.nLost }
+
+// Network returns the network model driving link behavior in this run.
+func (k *Kernel) Network() NetworkModel { return k.net }
+
 // ScheduleInput schedules an external input (operation invocation) for
 // process p at time t. Inputs scheduled for crashed processes are ignored at
 // execution time.
 func (k *Kernel) ScheduleInput(p model.ProcID, t model.Time, v any) {
-	k.push(&event{t: t, kind: evInput, p: p, in: v})
+	e := k.newEvent()
+	e.t, e.kind, e.p, e.in = t, evInput, p, v
+	k.push(e)
+}
+
+// newEvent takes an event struct from the freelist, or allocates one. Events
+// are recycled after dispatch, so steady-state runs allocate no events.
+func (k *Kernel) newEvent() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+func (k *Kernel) recycle(e *event) {
+	*e = event{}
+	k.free = append(k.free, e)
 }
 
 func (k *Kernel) push(e *event) {
@@ -229,13 +289,15 @@ func (k *Kernel) start() {
 	// Initial configuration: every automaton initializes at time 0 in
 	// process-ID order (deterministic), then periodic ticks are scheduled,
 	// staggered by one tick per process so steps never coincide.
-	for _, p := range model.Procs(k.fp.N()) {
+	for _, p := range k.procs {
 		if k.fp.Alive(p, 0) {
 			k.step(p, func(ctx *stepCtx) { k.autos[p].Init(ctx) }, 0, 0)
 		}
 	}
-	for i, p := range model.Procs(k.fp.N()) {
-		k.push(&event{t: 1 + model.Time(i), kind: evTick, p: p})
+	for i, p := range k.procs {
+		e := k.newEvent()
+		e.t, e.kind, e.p = 1+model.Time(i), evTick, p
+		k.push(e)
 	}
 }
 
@@ -261,6 +323,7 @@ func (k *Kernel) RunUntil(maxTime model.Time, stop func(k *Kernel) bool) {
 		heap.Pop(&k.queue)
 		k.now = e.t
 		k.dispatch(e)
+		k.recycle(e)
 		if stop != nil && stop(k) {
 			return
 		}
@@ -273,7 +336,9 @@ func (k *Kernel) dispatch(e *event) {
 		alive := k.fp.Alive(e.p, e.t)
 		if alive {
 			k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Tick(ctx) }, 0, 0)
-			k.push(&event{t: e.t + k.opts.TickInterval, kind: evTick, p: e.p})
+			next := k.newEvent()
+			next.t, next.kind, next.p = e.t+k.opts.TickInterval, evTick, e.p
+			k.push(next)
 		}
 	case evInput:
 		if k.fp.Alive(e.p, e.t) {
@@ -298,7 +363,13 @@ func (k *Kernel) dispatch(e *event) {
 // handler, then flush sends and outputs.
 func (k *Kernel) step(p model.ProcID, h func(*stepCtx), causeDepth int, causeID int64) {
 	k.nSteps++
-	ctx := &stepCtx{
+	// Steps never nest (delivery is queued, not reentrant), so one context
+	// struct serves the whole run — no per-step allocation. The cost of the
+	// reuse: an automaton that illegally retains its Context past the step
+	// now aliases the next step's context instead of hitting the done panic,
+	// so the "must not retain" contract in model.Context is load-bearing.
+	ctx := &k.sctx
+	*ctx = stepCtx{
 		k:          k,
 		self:       p,
 		t:          k.now,
@@ -339,7 +410,7 @@ func (c *stepCtx) Broadcast(payload any) {
 	if c.done {
 		panic("sim: Broadcast outside of a step")
 	}
-	for _, q := range model.Procs(c.k.fp.N()) {
+	for _, q := range c.k.procs {
 		c.k.send(c, q, payload)
 	}
 }
@@ -354,9 +425,9 @@ func (c *stepCtx) Output(v any) {
 func (k *Kernel) send(c *stepCtx, to model.ProcID, payload any) {
 	k.msgSeq++
 	k.nSent++
-	delay := k.opts.MinDelay
-	if k.opts.MaxDelay > k.opts.MinDelay {
-		delay += model.Time(k.rng.Int63n(int64(k.opts.MaxDelay-k.opts.MinDelay) + 1))
+	delay, deliver := k.net.Delay(c.self, to, c.t)
+	if delay < 0 {
+		delay = 0
 	}
 	m := Message{
 		ID:      k.msgSeq,
@@ -368,5 +439,11 @@ func (k *Kernel) send(c *stepCtx, to model.ProcID, payload any) {
 		CauseID: c.causeID,
 	}
 	k.obs.OnSend(c.t, m)
-	k.push(&event{t: c.t + delay, kind: evDeliver, msg: m})
+	if !deliver {
+		k.nLost++
+		return
+	}
+	e := k.newEvent()
+	e.t, e.kind, e.msg = c.t+delay, evDeliver, m
+	k.push(e)
 }
