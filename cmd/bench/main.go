@@ -1,17 +1,36 @@
-// Command bench regenerates the experiment tables of EXPERIMENTS.md.
+// Command bench regenerates the experiment tables of EXPERIMENTS.md on the
+// parallel sweep engine: each experiment decomposes into independent seeded
+// cells that fan out across a bounded worker pool, and rows reassemble in
+// deterministic order — the printed tables are byte-identical for any
+// -parallel value.
 //
 // Usage:
 //
-//	bench              # run all experiments (E1..E9), print tables
-//	bench -exp e5      # run one experiment
-//	bench -quick       # smaller workloads
-//	bench -seed 7      # change the base seed
+//	bench                       # run all experiments (E1..E9), print tables
+//	bench -exp e5               # run one experiment
+//	bench -quick                # smaller workloads
+//	bench -seed 7               # change the base seed
+//	bench -parallel 4           # worker-pool size (default GOMAXPROCS)
+//	bench -json BENCH_2.json    # also write the machine-readable report
+//	bench -json BENCH_2.json -scaling 1,2,4,8
+//	                            # additionally rerun the suite per worker
+//	                            # count and record the wall-time scaling
+//
+// The -json report (schema "repro-bench/1", see internal/bench.Report)
+// records per-experiment wall time, kernel steps/sec, the kernel
+// microbenchmarks (ns/op, allocs/op), and the optional scaling sweep.
+// Progress notes for the extra passes go to stderr; stdout carries only the
+// tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -21,28 +40,76 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "", "experiment id (e1..e9); empty = all")
+	exp := flag.String("exp", "", "experiment id ("+strings.Join(bench.IDs(), ", ")+"); empty = all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	seed := flag.Int64("seed", 42, "base PRNG seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker-pool size (1 = serial, <=0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write a machine-readable report (BENCH_<n>.json) to this path")
+	scaling := flag.String("scaling", "", "comma-separated worker counts to sweep for the -json scaling section, e.g. 1,2,8")
 	flag.Parse()
 
 	opts := bench.Options{Quick: *quick, Seed: *seed}
-	var tables []bench.Table
-	if *exp == "" {
-		tables = bench.All(opts)
-	} else {
-		t, ok := bench.ByID(*exp, opts)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (want e1..e9)\n", *exp)
-			return 2
-		}
-		tables = []bench.Table{t}
+	var ids []string
+	if *exp != "" {
+		ids = []string{*exp}
 	}
-	for i, t := range tables {
+	runner := bench.Runner{Opts: opts, Parallel: *parallel}
+	start := time.Now()
+	results, err := runner.Run(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err) // the registry error already names the valid IDs
+		return 2
+	}
+	wall := time.Since(start)
+	for i, r := range results {
 		if i > 0 {
 			fmt.Println()
 		}
-		fmt.Print(t.Format())
+		fmt.Print(r.Table.Format())
 	}
+
+	if *jsonPath == "" {
+		if *scaling != "" {
+			fmt.Fprintln(os.Stderr, "bench: -scaling requires -json")
+			return 2
+		}
+		return 0
+	}
+	report := bench.NewReport(opts, *parallel, results, wall)
+	if *scaling != "" {
+		points, err := scalingSweep(runner, ids, *scaling)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 2
+		}
+		report.AddScaling(points)
+	}
+	fmt.Fprintln(os.Stderr, "bench: running kernel microbenchmarks")
+	report.Micro = bench.Microbenchmarks(*quick)
+	if err := report.WriteFile(*jsonPath); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "bench: report written to %s\n", *jsonPath)
 	return 0
+}
+
+// scalingSweep reruns the selected experiments once per worker count and
+// measures the suite wall time.
+func scalingSweep(base bench.Runner, ids []string, spec string) ([]bench.ScalingPoint, error) {
+	var points []bench.ScalingPoint
+	for _, s := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -scaling entry %q (want positive integers)", s)
+		}
+		fmt.Fprintf(os.Stderr, "bench: scaling sweep with %d workers\n", w)
+		r := bench.Runner{Opts: base.Opts, Parallel: w}
+		start := time.Now()
+		if _, err := r.Run(ids); err != nil {
+			return nil, err
+		}
+		points = append(points, bench.ScalingPoint{Workers: w, WallMS: float64(time.Since(start).Nanoseconds()) / 1e6})
+	}
+	return points, nil
 }

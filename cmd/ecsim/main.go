@@ -48,12 +48,14 @@ func run() int {
 	)
 	flag.Parse()
 
-	net, err := sim.Preset(*network)
+	netFactory, err := sim.PresetFactory(*network)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ecsim: %v\n", err)
 		return 2
 	}
-	if err := sim.ValidateNetwork(net, *n); err != nil {
+	// Probe one instance so a bad flag combination is a diagnostic, not a
+	// kernel panic; the kernel builds its own instance from the factory.
+	if err := sim.ValidateNetwork(netFactory(), *n); err != nil {
 		fmt.Fprintf(os.Stderr, "ecsim: -net %s with -n %d: %v\n", *network, *n, err)
 		return 2
 	}
@@ -108,7 +110,7 @@ func run() int {
 	}
 
 	rec := trace.NewRecorder(*n)
-	k := sim.New(fp, det, factory, sim.Options{Seed: *seed, Network: net})
+	k := sim.New(fp, det, factory, sim.Options{Seed: *seed, Network: netFactory})
 	k.SetObserver(rec)
 	var ids []string
 	for i := 0; i < *msgs; i++ {

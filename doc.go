@@ -10,7 +10,21 @@
 // behavior is pluggable (internal/sim's NetworkModel): uniform delays,
 // crash-free partitions that form and heal on a schedule, and jittery
 // asymmetric links ship built in, with named presets shared by the CLI
-// (cmd/ecsim -net), the examples, and the experiment tables.
+// (cmd/ecsim -net), the examples, and the experiment tables. Options.Network
+// takes a NetworkFactory, so every kernel owns a private seeded model and
+// options values are safe to share across concurrent kernels.
+//
+// The kernel's hot path is engineered for sweep scale: an inlined 4-ary
+// event heap over a reusable slab (no container/heap boxing, no per-event
+// allocation), interned broadcast message templates, and failure-detector
+// queries memoized per constancy segment (fd.Cached — sound because
+// histories are deterministic step functions of time). On top of it,
+// internal/bench decomposes every experiment into independent seeded cells
+// and fans them across a bounded worker pool (cmd/bench -parallel), with
+// rows reassembled deterministically so parallel output is byte-identical
+// to serial; cmd/bench -json writes a machine-readable BENCH_<n>.json
+// (per-experiment wall time, kernel steps/sec, microbenchmark ns/op and
+// allocs/op, optional worker-scaling sweep) tracking the perf trajectory.
 //
 // Start with README.md (overview and quickstart), DESIGN.md (system
 // inventory, per-experiment index, design decisions), and EXPERIMENTS.md

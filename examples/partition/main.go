@@ -69,7 +69,7 @@ func main() {
 		Consistency: core.Eventual,
 		Sim: sim.Options{
 			Seed:    11,
-			Network: sim.NewPartitioned(2, 500, 3000),
+			Network: func() sim.NetworkModel { return sim.NewPartitioned(2, 500, 3000) },
 		},
 	})
 	svc.Submit(1, 30, "set order-1 shipped")   // before the partition

@@ -16,6 +16,13 @@
 //
 // All experiments run on the deterministic kernel; absolute times are
 // simulator ticks, and "steps" are message delays (DESIGN.md decision 5).
+//
+// The suite lives in a single ordered registry (registry.go) from which All,
+// ByID, IDs, and the parallel sweep Runner all derive. Every experiment is
+// decomposed into independent seeded cells; Runner fans the cells of a whole
+// run across a bounded worker pool and reassembles rows in registry order,
+// so parallel output is byte-identical to serial. Report (report.go) is the
+// machine-readable BENCH_*.json emitted by cmd/bench alongside the tables.
 package bench
 
 import (
@@ -85,47 +92,6 @@ func (o Options) seed() int64 {
 		return 42
 	}
 	return o.Seed
-}
-
-// All runs every experiment in order.
-func All(opts Options) []Table {
-	return []Table{
-		E1Latency(opts),
-		E2AnyEnvironment(opts),
-		E3Equivalence(opts),
-		E4Extraction(opts),
-		E5SigmaGap(opts),
-		E6StableOmega(opts),
-		E7CausalOrder(opts),
-		E8EIC(opts),
-		E9PartitionSweep(opts),
-	}
-}
-
-// ByID returns the experiment with the given ID (e1..e9).
-func ByID(id string, opts Options) (Table, bool) {
-	switch strings.ToLower(id) {
-	case "e1":
-		return E1Latency(opts), true
-	case "e2":
-		return E2AnyEnvironment(opts), true
-	case "e3":
-		return E3Equivalence(opts), true
-	case "e4":
-		return E4Extraction(opts), true
-	case "e5":
-		return E5SigmaGap(opts), true
-	case "e6":
-		return E6StableOmega(opts), true
-	case "e7":
-		return E7CausalOrder(opts), true
-	case "e8":
-		return E8EIC(opts), true
-	case "e9":
-		return E9PartitionSweep(opts), true
-	default:
-		return Table{}, false
-	}
 }
 
 func boolCell(ok bool) string {

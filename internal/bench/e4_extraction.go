@@ -14,12 +14,17 @@ import (
 // consensus extension (§4). Reported per round: each correct process's Ω
 // estimate — the claim is that estimates stabilize on the same CORRECT
 // process.
-func E4Extraction(opts Options) Table {
+func E4Extraction(opts Options) Table { return e4Spec(opts).run() }
+
+// e4Spec decomposes E4 into one cell per reduction scenario; each cell
+// contributes one row per emulation round. E4 runs no kernel (the CHT
+// reduction samples histories directly), so its step counts are zero.
+func e4Spec(opts Options) spec {
 	rounds := 4
 	if opts.Quick {
 		rounds = 2
 	}
-	t := Table{
+	s := spec{shell: Table{
 		ID:     "E4",
 		Title:  "CHT extraction: emulating Omega from an EC implementation",
 		Claim:  "Omega is weaker than any D implementing EC (Lemma 1): the reduction's leader estimates stabilize on a correct process",
@@ -28,7 +33,7 @@ func E4Extraction(opts Options) Table {
 			"n=2; A = Algorithm 4; estimates carry over when the finite prefix has no gadget yet",
 			"outputs column: p -> estimate for each correct process",
 		},
-	}
+	}}
 	type scenario struct {
 		variant   string
 		classical bool
@@ -47,30 +52,35 @@ func E4Extraction(opts Options) Table {
 		{"EC (paper §4)", false, cht.NewEC4(2), fpCrash, fd.NewOmegaEventual(fpCrash, 2, 35), "eventual Omega(p2)@35, p1 crashes@55"},
 	}
 	for i, sc := range scenarios {
-		rs, err := cht.EmulateOmega(sc.alg, sc.fp, sc.det, cht.EmulateOptions{
-			Rounds:      rounds,
-			Classical:   sc.classical,
-			BaseSamples: 2,
-			Build:       cht.BuildOptions{Seed: opts.seed() + int64(i)},
-			ViewLag:     1,
-		})
-		if err != nil {
-			t.Rows = append(t.Rows, []string{sc.variant, sc.detName, "-", "-", "error: " + err.Error(), "-", "-", "-"})
-			continue
-		}
-		for _, r := range rs {
-			leader, agreed := r.Agreed(sc.fp.Correct())
-			correct := agreed && sc.fp.IsCorrect(leader)
-			outs := ""
-			for _, p := range sc.fp.Correct() {
-				outs += fmt.Sprintf("%v->%v ", p, r.Outputs[p])
-			}
-			t.Rows = append(t.Rows, []string{
-				sc.variant, sc.detName,
-				fmt.Sprint(r.Round), fmt.Sprint(r.Samples),
-				outs, boolCell(agreed), boolCell(correct), fmt.Sprint(r.Nodes),
+		s.cells = append(s.cells, func() cellOut {
+			rs, err := cht.EmulateOmega(sc.alg, sc.fp, sc.det, cht.EmulateOptions{
+				Rounds:      rounds,
+				Classical:   sc.classical,
+				BaseSamples: 2,
+				Build:       cht.BuildOptions{Seed: opts.seed() + int64(i)},
+				ViewLag:     1,
 			})
-		}
+			if err != nil {
+				return cellOut{rows: [][]string{{
+					sc.variant, sc.detName, "-", "-", "error: " + err.Error(), "-", "-", "-",
+				}}}
+			}
+			var rows [][]string
+			for _, r := range rs {
+				leader, agreed := r.Agreed(sc.fp.Correct())
+				correct := agreed && sc.fp.IsCorrect(leader)
+				outs := ""
+				for _, p := range sc.fp.Correct() {
+					outs += fmt.Sprintf("%v->%v ", p, r.Outputs[p])
+				}
+				rows = append(rows, []string{
+					sc.variant, sc.detName,
+					fmt.Sprint(r.Round), fmt.Sprint(r.Samples),
+					outs, boolCell(agreed), boolCell(correct), fmt.Sprint(r.Nodes),
+				})
+			}
+			return cellOut{rows: rows}
+		})
 	}
-	return t
+	return s
 }

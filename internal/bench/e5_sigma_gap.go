@@ -19,7 +19,12 @@ import (
 // oracle (detector Ω+Σ) restores liveness to the strong protocols, showing
 // that Σ is exactly the information separating consistency from eventual
 // consistency.
-func E5SigmaGap(opts Options) Table {
+func E5SigmaGap(opts Options) Table { return e5Spec(opts).run() }
+
+// e5Spec decomposes E5 into one cell per protocol: three broadcast stacks
+// and two ABD register configurations. Each cell builds its own crash
+// pattern, so nothing is shared.
+func e5Spec(opts Options) spec {
 	const n = 5
 	// 2 of 5 correct: p3, p4, p5 crash at t=0.
 	mkPattern := func() *model.FailurePattern {
@@ -33,7 +38,7 @@ func E5SigmaGap(opts Options) Table {
 	if opts.Quick {
 		ops = 3
 	}
-	t := Table{
+	s := spec{shell: Table{
 		ID:     "E5",
 		Title:  "Progress with a correct MINORITY (2 of 5)",
 		Claim:  "eventual consistency needs only Omega; strong consistency additionally needs Sigma (the exact gap)",
@@ -42,7 +47,7 @@ func E5SigmaGap(opts Options) Table {
 			"broadcast protocols: completed = messages stably delivered at every correct process",
 			"ABD register: completed = finished read/write operations at the clients",
 		},
-	}
+	}}
 
 	// Broadcast protocols.
 	type bcase struct {
@@ -62,34 +67,36 @@ func E5SigmaGap(opts Options) Table {
 			}, "Omega+Sigma"},
 	}
 	for _, c := range bcases {
-		fp := mkPattern()
-		rec := trace.NewRecorder(n)
-		k := sim.New(fp, c.det(fp), c.factory, sim.Options{Seed: opts.seed()})
-		k.SetObserver(rec)
-		var ids []string
-		for i := 0; i < ops; i++ {
-			p := fp.Correct()[i%2]
-			id := fmt.Sprintf("op%d", i)
-			ids = append(ids, id)
-			k.ScheduleInput(p, model.Time(30+40*i), model.BroadcastInput{ID: id})
-		}
-		k.RunUntil(20000, func(*sim.Kernel) bool { return rec.AllDelivered(fp.Correct(), ids) })
-		k.Run(k.Now() + 500)
-		completed := 0
-		for _, id := range ids {
-			everywhere := true
-			for _, p := range fp.Correct() {
-				if _, ok := rec.StableDeliveryTime(p, id); !ok {
-					everywhere = false
-					break
+		s.cells = append(s.cells, func() cellOut {
+			fp := mkPattern()
+			rec := trace.NewRecorder(n)
+			k := sim.New(fp, c.det(fp), c.factory, sim.Options{Seed: opts.seed()})
+			k.SetObserver(rec)
+			var ids []string
+			for i := 0; i < ops; i++ {
+				p := fp.Correct()[i%2]
+				id := fmt.Sprintf("op%d", i)
+				ids = append(ids, id)
+				k.ScheduleInput(p, model.Time(30+40*i), model.BroadcastInput{ID: id})
+			}
+			k.RunUntil(20000, func(*sim.Kernel) bool { return rec.AllDelivered(fp.Correct(), ids) })
+			k.Run(k.Now() + 500)
+			completed := 0
+			for _, id := range ids {
+				everywhere := true
+				for _, p := range fp.Correct() {
+					if _, ok := rec.StableDeliveryTime(p, id); !ok {
+						everywhere = false
+						break
+					}
+				}
+				if everywhere {
+					completed++
 				}
 			}
-			if everywhere {
-				completed++
-			}
-		}
-		t.Rows = append(t.Rows, []string{
-			c.name, c.detName, fmt.Sprint(ops), fmt.Sprint(completed), boolCell(completed == ops),
+			return cellOut{rows: [][]string{{
+				c.name, c.detName, fmt.Sprint(ops), fmt.Sprint(completed), boolCell(completed == ops),
+			}}, steps: k.Steps()}
 		})
 	}
 
@@ -109,23 +116,25 @@ func E5SigmaGap(opts Options) Table {
 			}, "Omega+Sigma"},
 	}
 	for _, c := range rcases {
-		fp := mkPattern()
-		done := 0
-		k := sim.New(fp, c.det(fp), quorum.Factory(c.mode), sim.Options{Seed: opts.seed()})
-		k.SetObserver(&opCounter{count: &done})
-		for i := 0; i < ops; i++ {
-			if i%2 == 0 {
-				k.ScheduleInput(1, model.Time(30+60*i), quorum.WriteInput{Value: fmt.Sprintf("v%d", i)})
-			} else {
-				k.ScheduleInput(2, model.Time(30+60*i), quorum.ReadInput{})
+		s.cells = append(s.cells, func() cellOut {
+			fp := mkPattern()
+			done := 0
+			k := sim.New(fp, c.det(fp), quorum.Factory(c.mode), sim.Options{Seed: opts.seed()})
+			k.SetObserver(&opCounter{count: &done})
+			for i := 0; i < ops; i++ {
+				if i%2 == 0 {
+					k.ScheduleInput(1, model.Time(30+60*i), quorum.WriteInput{Value: fmt.Sprintf("v%d", i)})
+				} else {
+					k.ScheduleInput(2, model.Time(30+60*i), quorum.ReadInput{})
+				}
 			}
-		}
-		k.Run(20000)
-		t.Rows = append(t.Rows, []string{
-			c.name, c.detName, fmt.Sprint(ops), fmt.Sprint(done), boolCell(done == ops),
+			k.Run(20000)
+			return cellOut{rows: [][]string{{
+				c.name, c.detName, fmt.Sprint(ops), fmt.Sprint(done), boolCell(done == ops),
+			}}, steps: k.Steps()}
 		})
 	}
-	return t
+	return s
 }
 
 // opCounter counts completed register operations.

@@ -23,7 +23,10 @@ import (
 // delivered the last broadcast (EC convergence), how far behind the heal
 // that is, and the worst per-broadcast ETOB decision latency (stable
 // delivery at ALL correct processes minus broadcast time).
-func E9PartitionSweep(opts Options) Table {
+func E9PartitionSweep(opts Options) Table { return e9Spec(opts).run() }
+
+// e9Spec decomposes E9 into one cell per partition duration.
+func e9Spec(opts Options) spec {
 	const (
 		n       = 5
 		splitAt = 500 // partition onset
@@ -34,7 +37,7 @@ func E9PartitionSweep(opts Options) Table {
 		durations = []model.Time{0, 1000}
 		msgs = 3
 	}
-	t := Table{
+	s := spec{shell: Table{
 		ID:     "E9",
 		Title:  "EC convergence and ETOB decision latency vs partition length",
 		Claim:  "with eventual delivery, ETOB (Omega only) always reconverges; lag tracks partition length (paper §2, Theorem 2)",
@@ -44,74 +47,83 @@ func E9PartitionSweep(opts Options) Table {
 			"cross-partition messages are buffered and released at heal time (sim.Partitioned)",
 			"converged at = last stable delivery of the last broadcast at any correct process",
 		},
-	}
+	}}
 	for _, dur := range durations {
-		fp := model.NewFailurePattern(n)
-		det := fd.NewOmegaStable(fp, 1)
-		rec := trace.NewRecorder(n)
-		k := sim.New(fp, det, etob.Factory(), sim.Options{
-			Seed:    opts.seed(),
-			Network: &sim.Partitioned{LeftSize: 2, FirstAt: splitAt, Duration: dur},
-		})
-		k.SetObserver(rec)
-		var ids []string
-		var sentAt []model.Time
-		for i := 0; i < msgs; i++ {
-			// Alternate sides so both partitions keep accepting operations.
-			sender := model.ProcID(2)
-			if i%2 == 1 {
-				sender = model.ProcID(4)
-			}
-			at := model.Time(100 + 300*i)
-			id := fmt.Sprintf("m%d", i)
-			ids = append(ids, id)
-			sentAt = append(sentAt, at)
-			k.ScheduleInput(sender, at, model.BroadcastInput{ID: id})
-		}
-		heal := splitAt + dur
-		horizon := heal + 20000
-		correct := fp.Correct() // hoisted: the stop predicate runs per event
-		k.RunUntil(horizon, func(*sim.Kernel) bool { return rec.AllDelivered(correct, ids) })
-		k.Run(k.Now() + 500)
-
-		convergedAt := model.Time(0)
-		worstLatency := model.Time(0)
-		converged := true
-		for i, id := range ids {
-			for _, p := range correct {
-				st, ok := rec.StableDeliveryTime(p, id)
-				if !ok {
-					converged = false
-					continue
-				}
-				if st > convergedAt {
-					convergedAt = st
-				}
-				if lat := st - sentAt[i]; lat > worstLatency {
-					worstLatency = lat
-				}
-			}
-		}
-		// "-" cells: no heal event when dur == 0 (no partition ever forms),
-		// and no convergence figures when a run did not converge.
-		healCell, convergedCell, lagCell, latencyCell := "-", "-", "-", "-"
-		if dur > 0 {
-			healCell = fmt.Sprint(heal)
-		}
-		if converged {
-			convergedCell = fmt.Sprint(convergedAt)
-			latencyCell = fmt.Sprint(worstLatency)
-			if dur > 0 {
-				lag := convergedAt - heal
-				if lag < 0 {
-					lag = 0 // converged before the heal
-				}
-				lagCell = fmt.Sprint(lag)
-			}
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(dur), healCell, boolCell(converged), convergedCell, lagCell, latencyCell,
+		s.cells = append(s.cells, func() cellOut {
+			return e9Cell(opts, dur, splitAt, msgs, n)
 		})
 	}
-	return t
+	return s
+}
+
+// e9Cell runs one partition-duration run and reports its row.
+func e9Cell(opts Options, dur, splitAt model.Time, msgs, n int) cellOut {
+	fp := model.NewFailurePattern(n)
+	det := fd.NewOmegaStable(fp, 1)
+	rec := trace.NewRecorder(n)
+	k := sim.New(fp, det, etob.Factory(), sim.Options{
+		Seed: opts.seed(),
+		Network: func() sim.NetworkModel {
+			return &sim.Partitioned{LeftSize: 2, FirstAt: splitAt, Duration: dur}
+		},
+	})
+	k.SetObserver(rec)
+	var ids []string
+	var sentAt []model.Time
+	for i := 0; i < msgs; i++ {
+		// Alternate sides so both partitions keep accepting operations.
+		sender := model.ProcID(2)
+		if i%2 == 1 {
+			sender = model.ProcID(4)
+		}
+		at := model.Time(100 + 300*i)
+		id := fmt.Sprintf("m%d", i)
+		ids = append(ids, id)
+		sentAt = append(sentAt, at)
+		k.ScheduleInput(sender, at, model.BroadcastInput{ID: id})
+	}
+	heal := splitAt + dur
+	horizon := heal + 20000
+	correct := fp.Correct() // hoisted: the stop predicate runs per event
+	k.RunUntil(horizon, func(*sim.Kernel) bool { return rec.AllDelivered(correct, ids) })
+	k.Run(k.Now() + 500)
+
+	convergedAt := model.Time(0)
+	worstLatency := model.Time(0)
+	converged := true
+	for i, id := range ids {
+		for _, p := range correct {
+			st, ok := rec.StableDeliveryTime(p, id)
+			if !ok {
+				converged = false
+				continue
+			}
+			if st > convergedAt {
+				convergedAt = st
+			}
+			if lat := st - sentAt[i]; lat > worstLatency {
+				worstLatency = lat
+			}
+		}
+	}
+	// "-" cells: no heal event when dur == 0 (no partition ever forms),
+	// and no convergence figures when a run did not converge.
+	healCell, convergedCell, lagCell, latencyCell := "-", "-", "-", "-"
+	if dur > 0 {
+		healCell = fmt.Sprint(heal)
+	}
+	if converged {
+		convergedCell = fmt.Sprint(convergedAt)
+		latencyCell = fmt.Sprint(worstLatency)
+		if dur > 0 {
+			lag := convergedAt - heal
+			if lag < 0 {
+				lag = 0 // converged before the heal
+			}
+			lagCell = fmt.Sprint(lag)
+		}
+	}
+	return cellOut{rows: [][]string{{
+		fmt.Sprint(dur), healCell, boolCell(converged), convergedCell, lagCell, latencyCell,
+	}}, steps: k.Steps()}
 }

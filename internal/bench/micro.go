@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// MicroResult is one kernel microbenchmark measurement, recorded in the
+// BENCH_*.json report so the perf trajectory of the hot path is tracked
+// per PR alongside the experiment wall times.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// pingAuto is a minimal protocol that keeps the kernel's hot path busy:
+// every process broadcasts on a fraction of its ticks and acks what it
+// receives, so the run exercises the event heap, the per-step detector
+// query, and the broadcast path without protocol-level cost dominating.
+type pingAuto struct {
+	self  model.ProcID
+	ticks int
+}
+
+func (a *pingAuto) Init(model.Context) {}
+
+func (a *pingAuto) Tick(ctx model.Context) {
+	a.ticks++
+	if a.ticks%4 == 1 {
+		ctx.Broadcast("ping")
+	}
+}
+
+func (a *pingAuto) Recv(ctx model.Context, from model.ProcID, payload any) {
+	if payload == "ping" && from != a.self {
+		ctx.Send(from, "ack")
+	}
+}
+
+func (a *pingAuto) Input(ctx model.Context, _ any) { ctx.Broadcast("ping") }
+
+func pingFactory() model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton { return &pingAuto{self: p} }
+}
+
+// microKernels defines the kernel microbenchmarks mirrored from
+// internal/sim's testing benchmarks (kernel_bench_test.go); they are
+// restated here because cmd/bench cannot import test files. One op = one
+// complete 8-process run to t=5000.
+func microKernels() []struct {
+	name string
+	run  func(seed int64)
+} {
+	run := func(opts sim.Options, det func(fp *model.FailurePattern) fd.Detector) {
+		fp := model.NewFailurePattern(8)
+		k := sim.New(fp, det(fp), pingFactory(), opts)
+		k.ScheduleInput(1, 60, "go")
+		k.Run(5000)
+	}
+	omega := func(fp *model.FailurePattern) fd.Detector { return fd.NewOmegaStable(fp, 1) }
+	return []struct {
+		name string
+		run  func(seed int64)
+	}{
+		{"kernel/uniform", func(seed int64) {
+			run(sim.Options{Seed: seed, MinDelay: 3, MaxDelay: 30}, omega)
+		}},
+		{"kernel/partitioned", func(seed int64) {
+			run(sim.Options{Seed: seed, Network: func() sim.NetworkModel {
+				return &sim.Partitioned{LeftSize: 4, FirstAt: 500, Duration: 400, Interval: 1500}
+			}}, omega)
+		}},
+		{"kernel/jittery", func(seed int64) {
+			run(sim.Options{Seed: seed, Network: func() sim.NetworkModel {
+				return sim.NewJittery(20)
+			}}, omega)
+		}},
+		{"kernel/omega-sigma-fd", func(seed int64) {
+			run(sim.Options{Seed: seed, MinDelay: 3, MaxDelay: 30},
+				func(fp *model.FailurePattern) fd.Detector {
+					return fd.NewOmegaSigma(fd.NewOmegaStable(fp, 1), fd.NewSigma(fp, 0))
+				})
+		}},
+	}
+}
+
+// Microbenchmarks measures the kernel microbenchmarks and returns their
+// results. One warm-up run precedes each measurement; quick shrinks the
+// iteration count for CI smoke jobs.
+func Microbenchmarks(quick bool) []MicroResult {
+	iters := 30
+	if quick {
+		iters = 3
+	}
+	var out []MicroResult
+	for _, m := range microKernels() {
+		m.run(0) // warm-up
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs := ms.Mallocs
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			m.run(int64(i + 1))
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		out = append(out, MicroResult{
+			Name:        m.name,
+			Iters:       iters,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+			AllocsPerOp: float64(ms.Mallocs-mallocs) / float64(iters),
+		})
+	}
+	return out
+}

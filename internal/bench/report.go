@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable record of a bench run, written by cmd/bench
+// as BENCH_<n>.json to track the perf trajectory across PRs.
+//
+// Schema ("repro-bench/1"):
+//
+//	{
+//	  "schema":     "repro-bench/1",
+//	  "seed":       42,            // base experiment seed
+//	  "quick":      false,         // reduced workloads?
+//	  "parallel":   8,             // worker-pool size of the recorded run
+//	  "gomaxprocs": 8,             // cores visible to the scheduler
+//	  "wall_ms":    1234.5,        // wall time of the full table run
+//	  "experiments": [             // per experiment, in suite order
+//	    {"id": "E1", "cells": 3, "steps": 123456,
+//	     "cell_ms": 456.7,         // summed cell time (CPU-ms, overlaps under parallelism)
+//	     "steps_per_sec": 270000}, // kernel steps / cell time
+//	    ...],
+//	  "scaling": [                 // optional -scaling sweep, one point per worker
+//	                               // count; each point reruns exactly the experiment
+//	                               // selection listed in "experiments" above
+//	    {"workers": 1, "wall_ms": 2000.0, "speedup": 1.0},
+//	    {"workers": 8, "wall_ms": 300.0,  "speedup": 6.7}],   // vs the first entry
+//	  "micro": [                   // kernel microbenchmarks (see Microbenchmarks)
+//	    {"name": "kernel/uniform", "iters": 30,
+//	     "ns_per_op": 590000, "allocs_per_op": 172}, ...]
+//	}
+type Report struct {
+	Schema      string         `json:"schema"`
+	Seed        int64          `json:"seed"`
+	Quick       bool           `json:"quick"`
+	Parallel    int            `json:"parallel"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	WallMS      float64        `json:"wall_ms"`
+	Experiments []ExpReport    `json:"experiments"`
+	Scaling     []ScalingPoint `json:"scaling,omitempty"`
+	Micro       []MicroResult  `json:"micro,omitempty"`
+}
+
+// ExpReport is one experiment's perf accounting inside a Report.
+type ExpReport struct {
+	ID          string  `json:"id"`
+	Cells       int     `json:"cells"`
+	Steps       int64   `json:"steps"`
+	CellMS      float64 `json:"cell_ms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
+// ScalingPoint is one worker-count measurement of the full suite.
+type ScalingPoint struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// NewReport assembles a Report from a Runner's results and the measured wall
+// time of the run.
+func NewReport(opts Options, parallel int, results []Result, wall time.Duration) *Report {
+	r := &Report{
+		Schema:     "repro-bench/1",
+		Seed:       opts.seed(),
+		Quick:      opts.Quick,
+		Parallel:   parallel,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		WallMS:     ms(wall),
+	}
+	for _, res := range results {
+		er := ExpReport{
+			ID:     res.Table.ID,
+			Cells:  res.Cells,
+			Steps:  res.Steps,
+			CellMS: ms(res.CellTime),
+		}
+		if res.CellTime > 0 {
+			er.StepsPerSec = float64(res.Steps) / res.CellTime.Seconds()
+		}
+		r.Experiments = append(r.Experiments, er)
+	}
+	return r
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// AddScaling records a worker-count sweep; speedups are computed against the
+// first point's wall time (conventionally workers=1).
+func (r *Report) AddScaling(points []ScalingPoint) {
+	if len(points) > 0 {
+		base := points[0].WallMS
+		for i := range points {
+			if points[i].WallMS > 0 {
+				points[i].Speedup = base / points[i].WallMS
+			}
+		}
+	}
+	r.Scaling = points
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

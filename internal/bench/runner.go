@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner is the parallel sweep engine: it decomposes experiments into their
+// independent cells (one seeded kernel per cell), fans the cells across a
+// bounded worker pool, and reassembles each table in registry/cell order —
+// so the output is byte-identical to the serial path no matter how the
+// scheduler interleaves workers. Determinism comes for free from the cell
+// contract (each cell is self-contained and seeded) plus index-addressed
+// result slots; there is no cross-worker communication beyond the job feed.
+type Runner struct {
+	// Opts are the experiment options applied to every experiment.
+	Opts Options
+	// Parallel is the worker-pool size: 1 runs the cells serially on the
+	// calling goroutine (the reference path), larger values fan out across
+	// that many workers, and values <= 0 default to GOMAXPROCS.
+	Parallel int
+}
+
+// Result is one experiment's assembled table plus the perf accounting the
+// BENCH_*.json report records.
+type Result struct {
+	Table Table
+	// Cells is the number of independent cells the experiment decomposed into.
+	Cells int
+	// Steps is the total kernel steps executed across the cells.
+	Steps int64
+	// CellTime is the summed execution time of the cells (CPU-seconds, not
+	// wall time: under parallelism cells overlap, so the suite's wall time is
+	// measured by the caller around Run).
+	CellTime time.Duration
+}
+
+// Run executes the selected experiments (nil or empty = the full suite) and
+// returns their results in suite order. An unknown ID fails the whole run.
+func (r Runner) Run(ids []string) ([]Result, error) {
+	specs, err := specsFor(ids, r.Opts)
+	if err != nil {
+		return nil, err
+	}
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type slot struct {
+		out cellOut
+		dur time.Duration
+	}
+	cells := make([][]slot, len(specs))
+	type job struct{ e, c int }
+	var jobs []job
+	for i, s := range specs {
+		cells[i] = make([]slot, len(s.cells))
+		for c := range s.cells {
+			jobs = append(jobs, job{i, c})
+		}
+	}
+
+	runJob := func(j job) {
+		start := time.Now()
+		out := specs[j.e].cells[j.c]()
+		cells[j.e][j.c] = slot{out: out, dur: time.Since(start)}
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			runJob(j)
+		}
+	} else {
+		feed := make(chan job)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range feed {
+					runJob(j)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			feed <- j
+		}
+		close(feed)
+		wg.Wait()
+	}
+
+	results := make([]Result, len(specs))
+	for i, s := range specs {
+		res := Result{Table: s.shell, Cells: len(s.cells)}
+		for _, sl := range cells[i] {
+			res.Table.Rows = append(res.Table.Rows, sl.out.rows...)
+			res.Steps += sl.out.steps
+			res.CellTime += sl.dur
+		}
+		results[i] = res
+	}
+	return results, nil
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// formatAll renders results the way cmd/bench prints them.
+func formatAll(results []Result) string {
+	var b strings.Builder
+	for i, r := range results {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(r.Table.Format())
+	}
+	return b.String()
+}
+
+// TestRunnerParallelMatchesSerial is the sweep engine's golden property: the
+// full nine-table suite under an 8-worker pool must be byte-identical to the
+// serial path (and to the legacy All entry point). Run under -race in CI,
+// this also shakes out any shared mutable state between cells.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	opts := Options{Quick: true}
+	serial, err := Runner{Opts: opts, Parallel: 1}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Opts: opts, Parallel: 8}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOut, pOut := formatAll(serial), formatAll(parallel)
+	if sOut != pOut {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sOut, pOut)
+	}
+	var b strings.Builder
+	for i, tbl := range All(opts) {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(tbl.Format())
+	}
+	if b.String() != sOut {
+		t.Fatal("Runner serial output differs from All()")
+	}
+}
+
+// TestRunnerPerfAccounting: cells and steps must be populated — the
+// BENCH_*.json report depends on them.
+func TestRunnerPerfAccounting(t *testing.T) {
+	results, err := Runner{Opts: Options{Quick: true}, Parallel: 4}.Run([]string{"e1", "E9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Table.ID != "E1" || results[1].Table.ID != "E9" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	for _, r := range results {
+		if r.Cells == 0 || r.Steps == 0 {
+			t.Errorf("%s: cells=%d steps=%d, want both > 0", r.Table.ID, r.Cells, r.Steps)
+		}
+		if len(r.Table.Rows) == 0 {
+			t.Errorf("%s: no rows", r.Table.ID)
+		}
+	}
+}
+
+// TestRunnerUnknownID: the error must list the valid IDs (cmd/bench prints
+// it verbatim).
+func TestRunnerUnknownID(t *testing.T) {
+	_, err := Runner{Opts: Options{Quick: true}}.Run([]string{"e42"})
+	if err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not list %s", err, id)
+		}
+	}
+}
+
+// TestRegistryCoherence: All, ByID, and IDs must agree — they all derive
+// from the single registry.
+func TestRegistryCoherence(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 9 {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	tables := All(Options{Quick: true})
+	if len(tables) != len(ids) {
+		t.Fatalf("All returned %d tables for %d IDs", len(tables), len(ids))
+	}
+	for i, id := range ids {
+		if tables[i].ID != id {
+			t.Errorf("All()[%d].ID = %s, want %s", i, tables[i].ID, id)
+		}
+		tbl, ok := ByID(strings.ToLower(id), Options{Quick: true})
+		if !ok {
+			t.Errorf("ByID(%q) not found", id)
+			continue
+		}
+		if tbl.ID != id {
+			t.Errorf("ByID(%q).ID = %s", id, tbl.ID)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package fd
+
+import "repro/internal/model"
+
+// Segmented is an optional Detector refinement for histories that are
+// piecewise constant in time — which every oracle in this package is, because
+// a history H(p, ·) changes only at finitely many structural instants (a
+// stabilization time, a crash, a rotation boundary).
+//
+// SegmentStart(p, t) must return the start s ≤ t of the maximal interval
+// [s, e) containing t on which Value(p, ·) is constant. Two queries inside
+// one segment must return the same s, and queries in different segments must
+// return different s — the segment start doubles as the cache key in Cached.
+// Returning t itself is always sound (it degrades caching to exact-time
+// memoization) and is the required fallback when constancy cannot be proved.
+type Segmented interface {
+	Detector
+	SegmentStart(p model.ProcID, t model.Time) model.Time
+}
+
+// Cached memoizes a Detector. Soundness rests on the Detector contract
+// (Value is a deterministic, side-effect-free function of (p, t)) plus, when
+// the detector is Segmented, the segment contract above: within one segment
+// the value cannot change, so one computed value serves every query in it.
+//
+// The cache keeps exactly one entry per process — the segment (or exact
+// time) most recently queried for that process — so memory stays O(n)
+// no matter how long a run gets. This fits both hot query patterns:
+//
+//   - the kernel's per-step query, where t advances monotonically and stays
+//     inside one segment for long stretches (a stable Ω run is one segment);
+//   - the CHT reduction's sampling, which re-queries identical (p, t) pairs
+//     when verifying DAG properties.
+//
+// Cached values are returned by reference: callers must treat detector
+// values (SigmaValue, SuspectValue, ...) as immutable, which the Detector
+// contract already demands. A Cached instance is NOT safe for concurrent
+// use; give each kernel its own wrapper (sim.New does this automatically)
+// and never share one across concurrently running kernels.
+type Cached struct {
+	inner Detector
+	seg   Segmented // nil when inner does not implement Segmented
+	slots []cacheSlot
+	hits  int64
+	miss  int64
+}
+
+type cacheSlot struct {
+	valid bool
+	key   model.Time // segment start (Segmented) or exact query time
+	val   any
+}
+
+var _ Detector = (*Cached)(nil)
+
+// NewCached wraps d in a memoizing cache. Wrapping an already-cached
+// detector returns it unchanged.
+func NewCached(d Detector) *Cached {
+	if c, ok := d.(*Cached); ok {
+		return c
+	}
+	c := &Cached{inner: d}
+	if s, ok := d.(Segmented); ok {
+		c.seg = s
+	}
+	return c
+}
+
+// Name implements Detector.
+func (c *Cached) Name() string { return c.inner.Name() }
+
+// Inner returns the wrapped detector.
+func (c *Cached) Inner() Detector { return c.inner }
+
+// Value implements Detector: H(p, t), served from the per-process cache when
+// the query lands in the segment already computed for p.
+func (c *Cached) Value(p model.ProcID, t model.Time) any {
+	i := int(p) - 1
+	if i < 0 {
+		return c.inner.Value(p, t)
+	}
+	if i >= len(c.slots) {
+		grown := make([]cacheSlot, i+1)
+		copy(grown, c.slots)
+		c.slots = grown
+	}
+	key := t
+	if c.seg != nil {
+		key = c.seg.SegmentStart(p, t)
+	}
+	s := &c.slots[i]
+	if s.valid && s.key == key {
+		c.hits++
+		return s.val
+	}
+	v := c.inner.Value(p, t)
+	s.valid, s.key, s.val = true, key, v
+	c.miss++
+	return v
+}
+
+// Values is the batch query path: it fills out (allocating it if nil or too
+// short) with H(p, t) for each p in ps, hitting the cache per process. Sweep
+// drivers that inspect a whole configuration at one instant use this instead
+// of n separate Value calls.
+func (c *Cached) Values(ps []model.ProcID, t model.Time, out []any) []any {
+	if cap(out) < len(ps) {
+		out = make([]any, len(ps))
+	}
+	out = out[:len(ps)]
+	for i, p := range ps {
+		out[i] = c.Value(p, t)
+	}
+	return out
+}
+
+// Stats reports cache hits and misses since construction.
+func (c *Cached) Stats() (hits, misses int64) { return c.hits, c.miss }

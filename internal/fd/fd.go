@@ -67,22 +67,30 @@ type Omega struct {
 	leader model.ProcID
 	stab   model.Time
 	pre    func(p model.ProcID, t model.Time) model.ProcID
+	// preSeg is the segmentation of the pre-stabilization phase: the start of
+	// the constant segment containing t (see Segmented). The shipped pre
+	// schedules are either constant in t (self-trust, split: segment start 0)
+	// or periodic (rotating). nil with a non-nil pre means "unknown", which
+	// degrades to exact-time caching before stab.
+	preSeg func(t model.Time) model.Time
 }
 
 var _ Detector = (*Omega)(nil)
+var _ Segmented = (*Omega)(nil)
 
 // NewOmegaStable returns an Ω history that outputs the same correct leader at
 // every process from time 0 — the regime in which Algorithm 5 implements
 // *strong* total order broadcast (§5, property 2).
 func NewOmegaStable(fp *model.FailurePattern, leader model.ProcID) *Omega {
-	return newOmega(fp, leader, 0, nil)
+	return newOmega(fp, leader, 0, nil, constantPre)
 }
 
 // NewOmegaEventual returns an Ω history that stabilizes on the given leader
 // at stab. Before stab, every process trusts itself (a classic divergence
 // scenario: every process believes it is the leader — maximal disagreement).
 func NewOmegaEventual(fp *model.FailurePattern, leader model.ProcID, stab model.Time) *Omega {
-	return newOmega(fp, leader, stab, func(p model.ProcID, _ model.Time) model.ProcID { return p })
+	return newOmega(fp, leader, stab,
+		func(p model.ProcID, _ model.Time) model.ProcID { return p }, constantPre)
 }
 
 // NewOmegaRotating returns an Ω history that, before stab, rotates the
@@ -95,7 +103,7 @@ func NewOmegaRotating(fp *model.FailurePattern, leader model.ProcID, stab, perio
 	n := fp.N()
 	return newOmega(fp, leader, stab, func(_ model.ProcID, t model.Time) model.ProcID {
 		return model.ProcID(int(t/period)%n + 1)
-	})
+	}, func(t model.Time) model.Time { return (t / period) * period })
 }
 
 // NewOmegaSplit returns an Ω history that, before stab, partitions processes
@@ -107,18 +115,22 @@ func NewOmegaSplit(fp *model.FailurePattern, leaderA, leaderB, leader model.Proc
 			return leaderA
 		}
 		return leaderB
-	})
+	}, constantPre)
 }
 
+// constantPre marks a pre-stabilization schedule that does not depend on t:
+// the whole pre phase is one constant segment per process.
+func constantPre(model.Time) model.Time { return 0 }
+
 func newOmega(fp *model.FailurePattern, leader model.ProcID, stab model.Time,
-	pre func(model.ProcID, model.Time) model.ProcID) *Omega {
+	pre func(model.ProcID, model.Time) model.ProcID, preSeg func(model.Time) model.Time) *Omega {
 	if !fp.IsCorrect(leader) {
 		panic(fmt.Sprintf("fd: eventual leader %v is not correct in %v", leader, fp))
 	}
 	if stab < 0 {
 		panic("fd: stabilization time must be >= 0")
 	}
-	return &Omega{fp: fp, leader: leader, stab: stab, pre: pre}
+	return &Omega{fp: fp, leader: leader, stab: stab, pre: pre, preSeg: preSeg}
 }
 
 // Name implements Detector.
@@ -130,6 +142,21 @@ func (o *Omega) Value(p model.ProcID, t model.Time) any {
 		return o.leader
 	}
 	return o.pre(p, t)
+}
+
+// SegmentStart implements Segmented: from stab on the output is the constant
+// eventual leader; before stab the pre schedule's own segmentation applies.
+func (o *Omega) SegmentStart(_ model.ProcID, t model.Time) model.Time {
+	if o.pre == nil {
+		return 0 // constant history
+	}
+	if t >= o.stab {
+		return o.stab
+	}
+	if o.preSeg == nil {
+		return t // unknown pre schedule: exact-time caching only
+	}
+	return o.preSeg(t)
 }
 
 // StabTime returns the time from which the output is the stable leader.
@@ -169,6 +196,15 @@ func (s *Sigma) Value(p model.ProcID, t model.Time) any {
 	return SigmaValue(s.fp.Correct())
 }
 
+// SegmentStart implements Segmented: Π until stab, correct(F) afterwards —
+// two constant segments.
+func (s *Sigma) SegmentStart(_ model.ProcID, t model.Time) model.Time {
+	if t < s.stab {
+		return 0
+	}
+	return s.stab
+}
+
 // ---------------------------------------------------------------------------
 // P and ◇P — (eventually) perfect
 // ---------------------------------------------------------------------------
@@ -190,6 +226,12 @@ func (d *Perfect) Name() string { return "P" }
 // Value implements Detector.
 func (d *Perfect) Value(_ model.ProcID, t model.Time) any {
 	return crashedBy(d.fp, t)
+}
+
+// SegmentStart implements Segmented: the suspect set changes exactly at crash
+// times, so the segment containing t starts at the latest crash ≤ t.
+func (d *Perfect) SegmentStart(_ model.ProcID, t model.Time) model.Time {
+	return latestCrashBy(d.fp, t)
 }
 
 // EventuallyPerfect is ◇P: before stab it may suspect arbitrary processes
@@ -224,6 +266,32 @@ func (d *EventuallyPerfect) Value(p model.ProcID, t model.Time) any {
 		}
 	}
 	return out
+}
+
+// SegmentStart implements Segmented: one constant (parity-based) segment per
+// process before stab; from stab on, boundaries at stab and each later crash.
+func (d *EventuallyPerfect) SegmentStart(_ model.ProcID, t model.Time) model.Time {
+	if t < d.stab {
+		return 0
+	}
+	if c := latestCrashBy(d.fp, t); c > d.stab {
+		return c
+	}
+	return d.stab
+}
+
+// latestCrashBy returns the largest crash time ≤ t in fp, or 0 if no process
+// has crashed by t. It reads fp live (never a precomputed snapshot) so that
+// segment answers stay correct even if crashes are added after the detector
+// is built.
+func latestCrashBy(fp *model.FailurePattern, t model.Time) model.Time {
+	var s model.Time
+	for q := 1; q <= fp.N(); q++ {
+		if ct := fp.CrashTime(model.ProcID(q)); ct >= 0 && ct <= t && ct > s {
+			s = ct
+		}
+	}
+	return s
 }
 
 func crashedBy(fp *model.FailurePattern, t model.Time) SuspectValue {
@@ -264,6 +332,18 @@ func (d *OmegaSigma) Value(p model.ProcID, t model.Time) any {
 		Leader: d.O.Value(p, t).(OmegaValue),
 		Quorum: d.S.Value(p, t).(SigmaValue),
 	}
+}
+
+// SegmentStart implements Segmented: the pair is constant exactly on the
+// intersection of the components' segments, and the intersection segment
+// containing t starts at the later of the two component starts.
+func (d *OmegaSigma) SegmentStart(p model.ProcID, t model.Time) model.Time {
+	so := d.O.SegmentStart(p, t)
+	ss := d.S.SegmentStart(p, t)
+	if ss > so {
+		return ss
+	}
+	return so
 }
 
 // ---------------------------------------------------------------------------

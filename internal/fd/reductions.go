@@ -49,6 +49,21 @@ func (d *OmegaFromSuspects) Value(p model.ProcID, t model.Time) any {
 	return OmegaValue(p)
 }
 
+// SegmentStart implements Segmented: the emulated output is a pure function
+// of the inner detector's value, so it is constant wherever the inner
+// history is. Non-Segmented inners degrade to exact-time caching.
+func (d *OmegaFromSuspects) SegmentStart(p model.ProcID, t model.Time) model.Time {
+	return innerSegmentStart(d.inner, p, t)
+}
+
+// innerSegmentStart is the shared delegation used by reduction wrappers.
+func innerSegmentStart(inner Detector, p model.ProcID, t model.Time) model.Time {
+	if s, ok := inner.(Segmented); ok {
+		return s.SegmentStart(p, t)
+	}
+	return t
+}
+
 // SuspectsFromOmega emulates a (weak) suspect list from Ω: suspect everyone
 // except the current leader. The result satisfies the eventually-weak
 // accuracy/completeness mix of ◇S restricted to leaders — enough for the
@@ -82,4 +97,10 @@ func (d *SuspectsFromOmega) Value(p model.ProcID, t model.Time) any {
 		}
 	}
 	return out
+}
+
+// SegmentStart implements Segmented by delegation, exactly as in
+// OmegaFromSuspects.
+func (d *SuspectsFromOmega) SegmentStart(p model.ProcID, t model.Time) model.Time {
+	return innerSegmentStart(d.inner, p, t)
 }

@@ -54,12 +54,16 @@ func TestKernelTraceDeterminism(t *testing.T) {
 		"uniform-default": func() Options { return Options{Seed: 7} },
 		"uniform-wide":    func() Options { return Options{Seed: 7, MinDelay: 1, MaxDelay: 80} },
 		"partitioned": func() Options {
-			return Options{Seed: 7, Network: &Partitioned{LeftSize: 2, FirstAt: 200, Duration: 600}}
+			return Options{Seed: 7, Network: func() NetworkModel {
+				return &Partitioned{LeftSize: 2, FirstAt: 200, Duration: 600}
+			}}
 		},
 		"partitioned-recurring": func() Options {
-			return Options{Seed: 7, Network: &Partitioned{LeftSize: 1, FirstAt: 100, Duration: 150, Interval: 500}}
+			return Options{Seed: 7, Network: func() NetworkModel {
+				return &Partitioned{LeftSize: 1, FirstAt: 100, Duration: 150, Interval: 500}
+			}}
 		},
-		"jittery": func() Options { return Options{Seed: 7, Network: NewJittery(10)} },
+		"jittery": func() Options { return Options{Seed: 7, Network: func() NetworkModel { return NewJittery(10) }} },
 	}
 	for name, mk := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -81,10 +85,10 @@ func TestKernelTraceDeterminism(t *testing.T) {
 }
 
 // TestKernelTraceDeterminismSharedOptions re-runs with the SAME Options value
-// (hence the same NetworkModel instance): the kernel must re-seed the model
-// at construction so sequential runs still coincide.
+// (hence the same NetworkFactory): every kernel builds and seeds a fresh
+// instance, so sequential runs must coincide.
 func TestKernelTraceDeterminismSharedOptions(t *testing.T) {
-	opts := Options{Seed: 11, Network: NewJittery(7)}
+	opts := Options{Seed: 11, Network: func() NetworkModel { return NewJittery(7) }}
 	a := runTrace(opts)
 	b := runTrace(opts)
 	if len(a) != len(b) {
@@ -102,7 +106,9 @@ func TestKernelTraceDeterminismSharedOptions(t *testing.T) {
 func TestKernelTraceSeedSensitivity(t *testing.T) {
 	mks := map[string]func(seed int64) Options{
 		"uniform": func(seed int64) Options { return Options{Seed: seed, MinDelay: 1, MaxDelay: 80} },
-		"jittery": func(seed int64) Options { return Options{Seed: seed, Network: NewJittery(10)} },
+		"jittery": func(seed int64) Options {
+			return Options{Seed: seed, Network: func() NetworkModel { return NewJittery(10) }}
+		},
 	}
 	for name, mk := range mks {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,127 @@
+package sim
+
+import "repro/internal/model"
+
+// eventHeap is the kernel's event queue: a 4-ary min-heap ordered by
+// (t, seq). It replaces container/heap over []*event — the interface-based
+// heap paid an indirect Less/Swap call per comparison and boxed every element
+// through `any` on Push/Pop, and its pointer elements forced a freelist to
+// keep steady-state allocation flat.
+//
+// Layout: the heap itself holds compact 24-byte key entries (t, seq, slot
+// index); the full event values live in a slab of reusable slots addressed
+// by index. Sift operations therefore move small, pointer-free keys — not
+// ~112-byte events and not GC-visible pointers — while events are still
+// stored by value (one slab slot each, recycled on pop, so steady-state runs
+// allocate nothing per event). The 4-ary layout halves the tree depth of a
+// binary heap; the wider child scan is cheap on adjacent 24-byte keys.
+//
+// Determinism: (t, seq) is a total order (seq is unique), so every correct
+// heap — any arity, any layout — pops events in the identical sequence. The
+// kernel's bit-for-bit reproducibility cannot depend on this file's internals.
+type eventHeap struct {
+	keys  []heapKey
+	slots []event // payload storage; keys[i].slot indexes into this
+	free  []int32 // recycled slot indexes
+}
+
+type heapKey struct {
+	t    model.Time
+	seq  int64
+	slot int32
+}
+
+func keyLess(a, b *heapKey) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) len() int { return len(h.keys) }
+
+// peekTime returns the timestamp of the minimum event without removing it.
+// Callers must ensure the heap is non-empty.
+func (h *eventHeap) peekTime() model.Time { return h.keys[0].t }
+
+// emplace enqueues a key for time t and returns a pointer to the payload
+// slot so the caller can fill the event IN PLACE — one write instead of
+// build-then-copy. The pointer is only valid until the next heap operation
+// (a later emplace may grow the slab and move it).
+func (h *eventHeap) emplace(t model.Time, seq int64) *event {
+	var idx int32
+	if n := len(h.free); n > 0 {
+		idx = h.free[n-1]
+		h.free = h.free[:n-1]
+	} else {
+		idx = int32(len(h.slots))
+		h.slots = append(h.slots, event{})
+	}
+	h.keys = append(h.keys, heapKey{t: t, seq: seq, slot: idx})
+	h.up(len(h.keys) - 1)
+	e := &h.slots[idx]
+	e.t, e.seq = t, seq
+	return e
+}
+
+// pop removes and returns the minimum event, recycling its slab slot. It
+// returns a copy because dispatching an event pushes new ones, which may
+// reuse or move the slot.
+func (h *eventHeap) pop() event {
+	q := h.keys
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	h.keys = q[:n]
+	if n > 0 {
+		q[0] = last
+		h.down(0)
+	}
+	s := &h.slots[top.slot]
+	e := *s
+	s.msg.Payload, s.in = nil, nil // release payload references to the GC
+	h.free = append(h.free, top.slot)
+	return e
+}
+
+func (h *eventHeap) up(i int) {
+	q := h.keys
+	k := q[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !keyLess(&k, &q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = k
+}
+
+func (h *eventHeap) down(i int) {
+	q := h.keys
+	n := len(q)
+	k := q[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if keyLess(&q[c], &q[min]) {
+				min = c
+			}
+		}
+		if !keyLess(&q[min], &k) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = k
+}

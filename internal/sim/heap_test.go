@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestEventHeapTotalOrder drains a randomly-built heap and checks that
+// events come out in strict (t, seq) order — the total order the kernel's
+// determinism rests on — including interleaved pushes mid-drain, and that
+// payloads stay attached to their keys through slot recycling.
+func TestEventHeapTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var h eventHeap
+	seq := int64(0)
+	push := func(tm model.Time) {
+		seq++
+		e := h.emplace(tm, seq)
+		e.kind, e.p, e.in = evInput, model.ProcID(1), seq
+	}
+	for i := 0; i < 500; i++ {
+		push(model.Time(rng.Intn(64))) // dense times: many ties broken by seq
+	}
+	var prevT model.Time
+	var prevSeq int64
+	popped := 0
+	for h.len() > 0 {
+		e := h.pop()
+		if popped > 0 && (e.t < prevT || (e.t == prevT && e.seq <= prevSeq)) {
+			t.Fatalf("pop %d out of order: (%d,%d) then (%d,%d)",
+				popped, prevT, prevSeq, e.t, e.seq)
+		}
+		if e.in.(int64) != e.seq {
+			t.Fatalf("payload detached from key: slot holds %v for seq %d", e.in, e.seq)
+		}
+		prevT, prevSeq = e.t, e.seq
+		popped++
+		// Mid-drain pushes, as the kernel does on every tick and send.
+		if popped%3 == 0 && popped < 900 {
+			push(prevT + model.Time(rng.Intn(32)))
+		}
+	}
+	if popped < 500 {
+		t.Fatalf("drained only %d events", popped)
+	}
+}
+
+// TestEventHeapPeekMatchesPop verifies the peekTime/pop pair used by
+// RunUntil's horizon check.
+func TestEventHeapPeekMatchesPop(t *testing.T) {
+	var h eventHeap
+	for i, tm := range []model.Time{9, 3, 7, 3, 1} {
+		h.emplace(tm, int64(i+1))
+	}
+	for h.len() > 0 {
+		want := h.peekTime()
+		if got := h.pop(); got.t != want {
+			t.Fatalf("peekTime %d != popped t %d", want, got.t)
+		}
+	}
+}
+
+// TestEventHeapSlotReuse checks the slab stays flat: a long push/pop churn
+// must not grow the slot array beyond the high-water mark of queued events.
+func TestEventHeapSlotReuse(t *testing.T) {
+	var h eventHeap
+	seq := int64(0)
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 8; i++ {
+			seq++
+			h.emplace(model.Time(round*10+i), seq)
+		}
+		for i := 0; i < 8; i++ {
+			h.pop()
+		}
+	}
+	if len(h.slots) > 16 {
+		t.Errorf("slot slab grew to %d for a queue that never exceeds 8", len(h.slots))
+	}
+}

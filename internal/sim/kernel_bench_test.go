@@ -28,11 +28,29 @@ func BenchmarkKernelUniform(b *testing.B) {
 }
 
 func BenchmarkKernelPartitioned(b *testing.B) {
-	benchKernel(b, Options{Seed: 1, Network: &Partitioned{
-		LeftSize: 4, FirstAt: 500, Duration: 400, Interval: 1500,
+	benchKernel(b, Options{Seed: 1, Network: func() NetworkModel {
+		return &Partitioned{LeftSize: 4, FirstAt: 500, Duration: 400, Interval: 1500}
 	}})
 }
 
 func BenchmarkKernelJittery(b *testing.B) {
-	benchKernel(b, Options{Seed: 1, Network: NewJittery(20)})
+	benchKernel(b, Options{Seed: 1, Network: func() NetworkModel { return NewJittery(20) }})
+}
+
+// BenchmarkKernelSigmaFD drives the same run under the composite Ω+Σ
+// detector, whose uncached Value allocates a quorum slice per query. The
+// kernel's per-step query goes through fd.Cached, so allocs/op must stay in
+// the same regime as the Ω-only benchmarks.
+func BenchmarkKernelSigmaFD(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fp := model.NewFailurePattern(8)
+		det := fd.NewOmegaSigma(fd.NewOmegaStable(fp, 1), fd.NewSigma(fp, 0))
+		k := New(fp, det, echoFactory(), Options{Seed: 1, MinDelay: 3, MaxDelay: 30})
+		k.ScheduleInput(1, 60, "go")
+		k.Run(5000)
+		if k.Steps() == 0 {
+			b.Fatal("run did nothing")
+		}
+	}
 }

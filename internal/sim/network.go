@@ -26,6 +26,13 @@ import (
 // must always return deliver=true and express disruptions as finite extra
 // delay — Partitioned, for example, buffers cross-partition traffic and
 // releases it at heal time rather than dropping it.
+// NetworkFactory builds a fresh NetworkModel instance. Options.Network takes
+// a factory — not an instance — so that every kernel owns a private model and
+// a shared Options value can never alias one stateful model across
+// interleaved or concurrent kernels. The preset registry has always had this
+// shape; Options now matches it.
+type NetworkFactory func() NetworkModel
+
 type NetworkModel interface {
 	// Reset re-seeds the model's PRNG and clears any per-run state.
 	Reset(seed int64)
@@ -288,6 +295,17 @@ func Preset(name string) (NetworkModel, error) {
 		return nil, fmt.Errorf("sim: unknown network preset %q (want one of %v)", name, PresetNames())
 	}
 	return mk(), nil
+}
+
+// PresetFactory returns the factory of a named network environment, ready to
+// assign to Options.Network. Each kernel built from the Options gets its own
+// fresh instance.
+func PresetFactory(name string) (NetworkFactory, error) {
+	mk, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown network preset %q (want one of %v)", name, PresetNames())
+	}
+	return NetworkFactory(mk), nil
 }
 
 // PresetNames lists the available network presets, sorted.

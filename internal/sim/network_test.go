@@ -233,7 +233,8 @@ func TestKernelRejectsDegeneratePartition(t *testing.T) {
 			t.Error("Partitioned with LeftSize >= n must panic at kernel construction")
 		}
 	}()
-	New(fp, fd.NewOmegaStable(fp, 1), echoFactory(), Options{Seed: 1, Network: NewPartitioned(2, 500, 2000)})
+	New(fp, fd.NewOmegaStable(fp, 1), echoFactory(), Options{Seed: 1,
+		Network: func() NetworkModel { return NewPartitioned(2, 500, 2000) }})
 }
 
 func TestPresetInstancesIndependent(t *testing.T) {

@@ -4,9 +4,12 @@
 // message delays, crash failures injected from a failure pattern, and a
 // failure-detector oracle queried at every step.
 //
-// Link behavior is pluggable: a NetworkModel (Options.Network) decides every
-// message's delay and delivery, making the environment — the paper's central
-// parameter — a first-class object. Three deterministic seeded models ship
+// Link behavior is pluggable: a NetworkModel decides every message's delay
+// and delivery, making the environment — the paper's central parameter — a
+// first-class object. Options.Network carries a NetworkFactory (not an
+// instance): each kernel builds and seeds a private model, so one Options
+// value is safe to share across sequential and concurrent kernels alike —
+// the property the parallel sweep engine in internal/bench relies on. Three deterministic seeded models ship
 // with the kernel: Uniform (the default: i.i.d. delays in [MinDelay,
 // MaxDelay]), Partitioned (crash-free partitions that form and heal on a
 // schedule, buffering cross-partition traffic until heal time so eventual
@@ -22,7 +25,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/fd"
@@ -40,15 +42,22 @@ type Options struct {
 	// steps). Defaults: 10 and 20. Ignored when Network is non-nil.
 	MinDelay model.Time
 	MaxDelay model.Time
-	// Network is the link-behavior engine. Nil selects
+	// Network is a FACTORY for the link-behavior engine: each kernel calls
+	// it once at construction to obtain its own fresh NetworkModel, then
+	// seeds that instance with Network().Reset(Seed). Nil selects
 	// NewUniform(MinDelay, MaxDelay) — the kernel's historical behavior,
-	// bit-for-bit. The kernel calls Network.Reset(Seed) at construction, so
-	// the same Options value can be reused across sequential runs. Because
-	// the model instance is shared, not cloned, do NOT reuse an Options
-	// value with a non-nil Network while another kernel built from it is
-	// still mid-run (construction would re-seed that kernel's delay stream),
-	// and never share one instance between concurrently running kernels.
-	Network NetworkModel
+	// bit-for-bit. Because every kernel gets a private instance, one Options
+	// value can be shared freely across sequential AND concurrent kernels;
+	// the old aliasing hazard (two interleaved kernels re-seeding one shared
+	// stateful model) is gone by construction.
+	//
+	// Migrating from the pre-factory API (Network NetworkModel): wrap the
+	// model construction in a closure —
+	//
+	//	Options{Network: func() NetworkModel { return NewPartitioned(2, 500, 2000) }}
+	//
+	// or use PresetFactory("partition") for a named environment.
+	Network NetworkFactory
 	// TickInterval is the period of λ-steps (the paper's "local timeout").
 	// Default: 5. Ticks of distinct processes are staggered by one tick each
 	// so no two processes ever step at the same instant.
@@ -135,38 +144,18 @@ type event struct {
 	in   any          // input
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
 // Kernel is a deterministic simulation of one run R = (F, H, H_I, H_O, S, T).
 type Kernel struct {
 	fp    *model.FailurePattern
-	det   fd.Detector
+	det   fd.Detector // the history as given to New
+	fdc   *fd.Cached  // memoized query path used by step (one per kernel)
 	autos map[model.ProcID]model.Automaton
 	opts  Options
 	net   NetworkModel
 	procs []model.ProcID // Π, computed once (hot-path allocation saver)
 
-	queue    eventQueue
-	free     []*event // recycled event structs
-	sctx     stepCtx  // reused per step
+	queue    eventHeap
+	sctx     stepCtx // reused per step
 	seq      int64
 	msgSeq   int64
 	now      model.Time
@@ -180,10 +169,23 @@ type Kernel struct {
 
 // New builds a kernel over failure pattern fp, detector history det, and the
 // automaton factory. The run starts when Run/RunUntil is first called.
+//
+// Detector queries made by the kernel's step loop go through a private
+// fd.Cached wrapper: histories are deterministic step functions of time, so
+// within one constancy segment the value is computed once and served from a
+// per-process cache (see fd.Cached for the soundness argument). The wrapper
+// belongs to this kernel alone, so sharing det across kernels — including
+// concurrently running ones — stays safe as long as det itself is the usual
+// immutable oracle.
 func New(fp *model.FailurePattern, det fd.Detector, factory model.AutomatonFactory, opts Options) *Kernel {
 	opts = opts.withDefaults()
-	net := opts.Network
-	if net == nil {
+	var net NetworkModel
+	if opts.Network != nil {
+		net = opts.Network()
+		if net == nil {
+			panic("sim: Options.Network factory returned nil")
+		}
+	} else {
 		net = NewUniform(opts.MinDelay, opts.MaxDelay)
 	}
 	if err := ValidateNetwork(net, fp.N()); err != nil {
@@ -193,11 +195,12 @@ func New(fp *model.FailurePattern, det fd.Detector, factory model.AutomatonFacto
 	k := &Kernel{
 		fp:    fp,
 		det:   det,
+		fdc:   fd.NewCached(det),
 		autos: make(map[model.ProcID]model.Automaton, fp.N()),
 		opts:  opts,
 		net:   net,
 		procs: model.Procs(fp.N()),
-		queue: make(eventQueue, 0, 256),
+		queue: eventHeap{keys: make([]heapKey, 0, 256), slots: make([]event, 0, 256)},
 		obs:   NopObserver{},
 	}
 	for _, p := range k.procs {
@@ -252,32 +255,17 @@ func (k *Kernel) Network() NetworkModel { return k.net }
 // process p at time t. Inputs scheduled for crashed processes are ignored at
 // execution time.
 func (k *Kernel) ScheduleInput(p model.ProcID, t model.Time, v any) {
-	e := k.newEvent()
-	e.t, e.kind, e.p, e.in = t, evInput, p, v
-	k.push(e)
+	e := k.enqueue(t)
+	e.kind, e.p, e.in = evInput, p, v
 }
 
-// newEvent takes an event struct from the freelist, or allocates one. Events
-// are recycled after dispatch, so steady-state runs allocate no events.
-func (k *Kernel) newEvent() *event {
-	if n := len(k.free); n > 0 {
-		e := k.free[n-1]
-		k.free[n-1] = nil
-		k.free = k.free[:n-1]
-		return e
-	}
-	return &event{}
-}
-
-func (k *Kernel) recycle(e *event) {
-	*e = event{}
-	k.free = append(k.free, e)
-}
-
-func (k *Kernel) push(e *event) {
+// enqueue stamps the FIFO tie-break sequence and reserves the event's slot
+// in the heap's slab; the caller fills the remaining fields in place.
+// Events are plain values living inside that backing array: no per-event
+// allocation, no boxing, no freelist of pointers.
+func (k *Kernel) enqueue(t model.Time) *event {
 	k.seq++
-	e.seq = k.seq
-	heap.Push(&k.queue, e)
+	return k.queue.emplace(t, k.seq)
 }
 
 func (k *Kernel) start() {
@@ -285,7 +273,6 @@ func (k *Kernel) start() {
 		return
 	}
 	k.started = true
-	heap.Init(&k.queue)
 	// Initial configuration: every automaton initializes at time 0 in
 	// process-ID order (deterministic), then periodic ticks are scheduled,
 	// staggered by one tick per process so steps never coincide.
@@ -295,9 +282,8 @@ func (k *Kernel) start() {
 		}
 	}
 	for i, p := range k.procs {
-		e := k.newEvent()
-		e.t, e.kind, e.p = 1+model.Time(i), evTick, p
-		k.push(e)
+		e := k.enqueue(1 + model.Time(i))
+		e.kind, e.p = evTick, p
 	}
 }
 
@@ -314,16 +300,14 @@ func (k *Kernel) RunUntil(maxTime model.Time, stop func(k *Kernel) bool) {
 	if maxTime > k.opts.MaxTime {
 		maxTime = k.opts.MaxTime
 	}
-	for k.queue.Len() > 0 {
-		e := k.queue[0]
-		if e.t > maxTime {
+	for k.queue.len() > 0 {
+		if k.queue.peekTime() > maxTime {
 			k.now = maxTime
 			return
 		}
-		heap.Pop(&k.queue)
+		e := k.queue.pop()
 		k.now = e.t
-		k.dispatch(e)
-		k.recycle(e)
+		k.dispatch(&e)
 		if stop != nil && stop(k) {
 			return
 		}
@@ -336,9 +320,8 @@ func (k *Kernel) dispatch(e *event) {
 		alive := k.fp.Alive(e.p, e.t)
 		if alive {
 			k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Tick(ctx) }, 0, 0)
-			next := k.newEvent()
-			next.t, next.kind, next.p = e.t+k.opts.TickInterval, evTick, e.p
-			k.push(next)
+			next := k.enqueue(e.t + k.opts.TickInterval)
+			next.kind, next.p = evTick, e.p
 		}
 	case evInput:
 		if k.fp.Alive(e.p, e.t) {
@@ -373,7 +356,7 @@ func (k *Kernel) step(p model.ProcID, h func(*stepCtx), causeDepth int, causeID 
 		k:          k,
 		self:       p,
 		t:          k.now,
-		fdv:        k.det.Value(p, k.now),
+		fdv:        k.fdc.Value(p, k.now),
 		causeDepth: causeDepth,
 		causeID:    causeID,
 	}
@@ -410,9 +393,7 @@ func (c *stepCtx) Broadcast(payload any) {
 	if c.done {
 		panic("sim: Broadcast outside of a step")
 	}
-	for _, q := range c.k.procs {
-		c.k.send(c, q, payload)
-	}
+	c.k.broadcast(c, payload)
 }
 
 func (c *stepCtx) Output(v any) {
@@ -423,14 +404,8 @@ func (c *stepCtx) Output(v any) {
 }
 
 func (k *Kernel) send(c *stepCtx, to model.ProcID, payload any) {
-	k.msgSeq++
-	k.nSent++
-	delay, deliver := k.net.Delay(c.self, to, c.t)
-	if delay < 0 {
-		delay = 0
-	}
 	m := Message{
-		ID:      k.msgSeq,
+		ID:      0, // stamped by dispatchSend
 		From:    c.self,
 		To:      to,
 		Payload: payload,
@@ -438,12 +413,45 @@ func (k *Kernel) send(c *stepCtx, to model.ProcID, payload any) {
 		Depth:   c.causeDepth + 1,
 		CauseID: c.causeID,
 	}
-	k.obs.OnSend(c.t, m)
+	k.dispatchSend(&m)
+}
+
+// broadcast interns the per-broadcast message value: the template (payload,
+// sender, depth, cause) is built ONCE and only the per-recipient fields (ID,
+// To) are stamped in the loop, instead of reconstructing the full Message for
+// each of the n recipients. Delay draws, message IDs, and observer callbacks
+// happen in exactly the same order as n individual sends, so traces are
+// bit-for-bit unchanged.
+func (k *Kernel) broadcast(c *stepCtx, payload any) {
+	m := Message{
+		From:    c.self,
+		Payload: payload,
+		SentAt:  c.t,
+		Depth:   c.causeDepth + 1,
+		CauseID: c.causeID,
+	}
+	for _, q := range k.procs {
+		m.To = q
+		k.dispatchSend(&m)
+	}
+}
+
+// dispatchSend stamps the next message ID onto m, draws the link delay, and
+// either enqueues the delivery or counts the loss. m is caller-owned scratch:
+// the event stores a copy.
+func (k *Kernel) dispatchSend(m *Message) {
+	k.msgSeq++
+	k.nSent++
+	m.ID = k.msgSeq
+	delay, deliver := k.net.Delay(m.From, m.To, m.SentAt)
+	if delay < 0 {
+		delay = 0
+	}
+	k.obs.OnSend(m.SentAt, *m)
 	if !deliver {
 		k.nLost++
 		return
 	}
-	e := k.newEvent()
-	e.t, e.kind, e.msg = c.t+delay, evDeliver, m
-	k.push(e)
+	e := k.enqueue(m.SentAt + delay)
+	e.kind, e.msg = evDeliver, *m
 }
