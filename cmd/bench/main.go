@@ -11,13 +11,20 @@
 //	bench -quick                # smaller workloads
 //	bench -seed 7               # change the base seed
 //	bench -parallel 4           # worker-pool size (default GOMAXPROCS)
-//	bench -json BENCH_2.json    # also write the machine-readable report
-//	bench -json BENCH_2.json -scaling 1,2,4,8
+//	bench -cell-timeout 2m      # abandon any cell that runs longer (a
+//	                            # divergent run cannot hang the table; the
+//	                            # cell's rows become a TIMEOUT marker)
+//	bench -shard 0/2            # run only this shard's cells (deterministic
+//	                            # partition for multi-machine sweeps; shards
+//	                            # 0/2 and 1/2 together cover every cell
+//	                            # exactly once)
+//	bench -json BENCH_3.json    # also write the machine-readable report
+//	bench -json BENCH_3.json -scaling 1,2,4,8
 //	                            # additionally rerun the suite per worker
 //	                            # count and record the wall-time scaling
 //
 // The -json report (schema "repro-bench/1", see internal/bench.Report)
-// records per-experiment wall time, kernel steps/sec, the kernel
+// records per-experiment wall time, kernel steps/sec, the kernel and CHT
 // microbenchmarks (ns/op, allocs/op), and the optional scaling sweep.
 // Progress notes for the extra passes go to stderr; stdout carries only the
 // tables.
@@ -44,6 +51,8 @@ func run() int {
 	quick := flag.Bool("quick", false, "smaller workloads")
 	seed := flag.Int64("seed", 42, "base PRNG seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker-pool size (1 = serial, <=0 = GOMAXPROCS)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell execution bound; a cell exceeding it is abandoned with a TIMEOUT row (0 = unbounded)")
+	shard := flag.String("shard", "", "run only shard i of n cells, as \"i/n\" (deterministic partition for multi-machine sweeps)")
 	jsonPath := flag.String("json", "", "write a machine-readable report (BENCH_<n>.json) to this path")
 	scaling := flag.String("scaling", "", "comma-separated worker counts to sweep for the -json scaling section, e.g. 1,2,8")
 	flag.Parse()
@@ -53,7 +62,15 @@ func run() int {
 	if *exp != "" {
 		ids = []string{*exp}
 	}
-	runner := bench.Runner{Opts: opts, Parallel: *parallel}
+	sh, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	if sh.Count > 1 {
+		fmt.Fprintf(os.Stderr, "bench: running shard %d/%d (tables are partial; reassemble with the other shards)\n", sh.Index, sh.Count)
+	}
+	runner := bench.Runner{Opts: opts, Parallel: *parallel, CellTimeout: *cellTimeout, Shard: sh}
 	start := time.Now()
 	results, err := runner.Run(ids)
 	if err != nil {
@@ -92,6 +109,23 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "bench: report written to %s\n", *jsonPath)
 	return 0
+}
+
+// parseShard parses the -shard "i/n" syntax; empty means no sharding.
+func parseShard(spec string) (bench.Shard, error) {
+	if spec == "" {
+		return bench.Shard{}, nil
+	}
+	parts := strings.SplitN(spec, "/", 2)
+	if len(parts) != 2 {
+		return bench.Shard{}, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/2)", spec)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	n, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
+		return bench.Shard{}, fmt.Errorf("bad -shard %q (want i/n with 0 <= i < n)", spec)
+	}
+	return bench.Shard{Index: i, Count: n}, nil
 }
 
 // scalingSweep reruns the selected experiments once per worker count and

@@ -18,9 +18,21 @@
 // event heap over a reusable slab (no container/heap boxing, no per-event
 // allocation), interned broadcast message templates, and failure-detector
 // queries memoized per constancy segment (fd.Cached — sound because
-// histories are deterministic step functions of time). On top of it,
-// internal/bench decomposes every experiment into independent seeded cells
-// and fans them across a bounded worker pool (cmd/bench -parallel), with
+// histories are deterministic step functions of time). The CHT reduction —
+// the heaviest detector consumer — runs on an interned execution engine
+// (internal/cht): states, payloads, messages, and whole configurations map
+// to dense int32 IDs, algorithms can opt into a structured stepping fast
+// path (cht.StructuredAlgorithm) that skips the per-step decode/encode
+// round-trip, and simulation trees grow incrementally across the reduction's
+// monotone DAG prefixes (cht.TreeCache) instead of being rebuilt per round.
+// The ETOB protocol layer avoids the quadratic costs the transformation
+// stacks used to pay: causality graphs are positional with copy-on-write
+// snapshot clones, promote extension skips no-op updates, and the ETOB→EC
+// First(ℓ) poll resumes its scan instead of re-decoding the sequence per
+// tick. On top of it, internal/bench decomposes every experiment into
+// independent seeded cells and fans them across a bounded worker pool
+// (cmd/bench -parallel) with per-cell timeout isolation (-cell-timeout) and
+// deterministic cell sharding for multi-machine sweeps (-shard i/n), with
 // rows reassembled deterministically so parallel output is byte-identical
 // to serial; cmd/bench -json writes a machine-readable BENCH_<n>.json
 // (per-experiment wall time, kernel steps/sec, microbenchmark ns/op and

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenTables pins the E3, E4, and E8 table output byte-for-byte against
+// snapshots captured before the CHT hot-path overhaul (testdata/golden_E*.txt,
+// generated with `bench -exp eN -parallel 1` at the default seed). The
+// interned configuration engine, the StructuredAlgorithm fast path, the
+// incremental tree growth, and the transform-layer caches are all pure
+// performance changes: every emitted row must stay identical.
+func TestGoldenTables(t *testing.T) {
+	opts := Options{Seed: 42}
+	for _, id := range []string{"E3", "E4", "E8"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden_"+id+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, ok := ByID(id, opts)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			if got := tbl.Format(); got != string(want) {
+				t.Errorf("%s output drifted from golden snapshot.\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}

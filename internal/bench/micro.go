@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cht"
 	"repro/internal/fd"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -90,16 +91,84 @@ func microKernels() []struct {
 	}
 }
 
-// Microbenchmarks measures the kernel microbenchmarks and returns their
-// results. One warm-up run precedes each measurement; quick shrinks the
+// microCHT defines the CHT-reduction microbenchmarks tracking the interned
+// engine's hot paths: DAG construction (batched detector sampling), the
+// incremental tree growth over monotone DAG prefixes, and the per-view
+// valency tagging (k-tag recomputation on a settled tree). They mirror the
+// Go benchmarks in internal/cht (cht_bench_test.go), restated here because
+// cmd/bench cannot import test files.
+func microCHT() []struct {
+	name string
+	run  func(seed int64)
+} {
+	setup := func(seed int64) (*model.FailurePattern, fd.Detector) {
+		fp := model.NewFailurePattern(3)
+		det := fd.NewOmegaEventual(fp, 2, 35)
+		return fp, det
+	}
+	return []struct {
+		name string
+		run  func(seed int64)
+	}{
+		{"cht/build-dag", func(seed int64) {
+			fp, det := setup(seed)
+			cht.BuildDAG(fp, det, cht.BuildOptions{SamplesPerProcess: 12, Seed: seed})
+		}},
+		{"cht/tree-growth", func(seed int64) {
+			// One op grows a single cached tree across every prefix of the
+			// DAG, the way EmulateOmega's lagged views consume it.
+			fp, det := setup(seed)
+			g := cht.BuildDAG(fp, det, cht.BuildOptions{SamplesPerProcess: 3, Seed: seed})
+			cache := cht.NewTreeCache(cht.NewEC4(1), fp.N(), nil, 0)
+			for m := 1; m <= g.Len(); m++ {
+				if _, err := cache.View(g, m); err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{"cht/valency-tagging", func() func(seed int64) {
+			// The tree is grown once at definition time; each op re-views the
+			// settled cache 8 times, which re-runs only the k-tag (reach)
+			// propagation over the existing nodes.
+			fp, det := setup(0)
+			g := cht.BuildDAG(fp, det, cht.BuildOptions{SamplesPerProcess: 3, Seed: 1})
+			cache := cht.NewTreeCache(cht.NewEC4(1), fp.N(), nil, 0)
+			if _, err := cache.View(g, g.Len()); err != nil {
+				panic(err)
+			}
+			return func(int64) {
+				for i := 0; i < 8; i++ {
+					if _, err := cache.View(g, g.Len()); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}()},
+		{"cht/emulate-omega", func(seed int64) {
+			// One op is a full 3-round incremental emulation (E4's shape).
+			fp, det := setup(seed)
+			if _, err := cht.EmulateOmega(cht.NewEC4(1), fp, det, cht.EmulateOptions{
+				Rounds: 3, BaseSamples: 2, ViewLag: 1,
+				Build: cht.BuildOptions{Seed: seed},
+			}); err != nil {
+				panic(err)
+			}
+		}},
+	}
+}
+
+// Microbenchmarks measures the kernel and CHT microbenchmarks and returns
+// their results. One warm-up run precedes each measurement; quick shrinks the
 // iteration count for CI smoke jobs.
 func Microbenchmarks(quick bool) []MicroResult {
 	iters := 30
 	if quick {
 		iters = 3
 	}
+	benches := microKernels()
+	benches = append(benches, microCHT()...)
 	var out []MicroResult
-	for _, m := range microKernels() {
+	for _, m := range benches {
 		m.run(0) // warm-up
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)

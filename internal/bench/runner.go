@@ -1,10 +1,28 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 )
+
+// Shard selects a deterministic 1/Count slice of the suite's cells for
+// multi-machine sweeps: the cell with global index g (counting across the
+// selected experiments in registry/cell order) belongs to shard Index iff
+// g % Count == Index. Count <= 1 means no sharding. Because the partition is
+// a pure function of the cell order, running every shard anywhere and
+// concatenating their per-cell rows (Result.ByCell) reassembles the exact
+// serial table.
+type Shard struct {
+	Index, Count int
+}
+
+// enabled reports whether sharding is active.
+func (s Shard) enabled() bool { return s.Count > 1 }
+
+// owns reports whether this shard runs global cell g.
+func (s Shard) owns(g int) bool { return !s.enabled() || g%s.Count == s.Index }
 
 // Runner is the parallel sweep engine: it decomposes experiments into their
 // independent cells (one seeded kernel per cell), fans the cells across a
@@ -20,25 +38,46 @@ type Runner struct {
 	// calling goroutine (the reference path), larger values fan out across
 	// that many workers, and values <= 0 default to GOMAXPROCS.
 	Parallel int
+	// CellTimeout, when positive, bounds each cell's execution: a cell that
+	// exceeds it is abandoned (its goroutine keeps running detached — the
+	// deterministic kernel has no preemption points — but the worker moves
+	// on) and contributes a single "TIMEOUT: ..." row, so one divergent run
+	// cannot hang the whole table.
+	CellTimeout time.Duration
+	// Shard restricts the run to a deterministic subset of cells for
+	// multi-machine sweeps; cells owned by other shards are skipped and
+	// their ByCell entries stay nil.
+	Shard Shard
 }
 
 // Result is one experiment's assembled table plus the perf accounting the
 // BENCH_*.json report records.
 type Result struct {
 	Table Table
-	// Cells is the number of independent cells the experiment decomposed into.
+	// Cells is the number of independent cells the experiment decomposed into
+	// (including cells skipped by sharding).
 	Cells int
-	// Steps is the total kernel steps executed across the cells.
+	// Steps is the total kernel steps executed across the cells that ran.
 	Steps int64
 	// CellTime is the summed execution time of the cells (CPU-seconds, not
 	// wall time: under parallelism cells overlap, so the suite's wall time is
 	// measured by the caller around Run).
 	CellTime time.Duration
+	// ByCell holds each cell's rows in cell order: nil for cells this shard
+	// skipped, so shards reassemble into the serial table by picking every
+	// cell's rows from the shard that owns it.
+	ByCell [][][]string
+	// TimedOut counts cells that hit CellTimeout.
+	TimedOut int
 }
 
 // Run executes the selected experiments (nil or empty = the full suite) and
-// returns their results in suite order. An unknown ID fails the whole run.
+// returns their results in suite order. An unknown ID or an invalid shard
+// fails the whole run.
 func (r Runner) Run(ids []string) ([]Result, error) {
+	if r.Shard.enabled() && (r.Shard.Index < 0 || r.Shard.Index >= r.Shard.Count) {
+		return nil, fmt.Errorf("bench: shard index %d out of range [0, %d)", r.Shard.Index, r.Shard.Count)
+	}
 	specs, err := specsFor(ids, r.Opts)
 	if err != nil {
 		return nil, err
@@ -49,23 +88,29 @@ func (r Runner) Run(ids []string) ([]Result, error) {
 	}
 
 	type slot struct {
-		out cellOut
-		dur time.Duration
+		out      cellOut
+		dur      time.Duration
+		ran      bool
+		timedOut bool
 	}
 	cells := make([][]slot, len(specs))
 	type job struct{ e, c int }
 	var jobs []job
+	global := 0
 	for i, s := range specs {
 		cells[i] = make([]slot, len(s.cells))
 		for c := range s.cells {
-			jobs = append(jobs, job{i, c})
+			if r.Shard.owns(global) {
+				jobs = append(jobs, job{i, c})
+			}
+			global++
 		}
 	}
 
 	runJob := func(j job) {
 		start := time.Now()
-		out := specs[j.e].cells[j.c]()
-		cells[j.e][j.c] = slot{out: out, dur: time.Since(start)}
+		out, timedOut := runCell(specs[j.e].cells[j.c], r.CellTimeout)
+		cells[j.e][j.c] = slot{out: out, dur: time.Since(start), ran: true, timedOut: timedOut}
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
@@ -92,13 +137,40 @@ func (r Runner) Run(ids []string) ([]Result, error) {
 
 	results := make([]Result, len(specs))
 	for i, s := range specs {
-		res := Result{Table: s.shell, Cells: len(s.cells)}
-		for _, sl := range cells[i] {
+		res := Result{Table: s.shell, Cells: len(s.cells), ByCell: make([][][]string, len(s.cells))}
+		for c, sl := range cells[i] {
+			if !sl.ran {
+				continue
+			}
+			res.ByCell[c] = sl.out.rows
 			res.Table.Rows = append(res.Table.Rows, sl.out.rows...)
 			res.Steps += sl.out.steps
 			res.CellTime += sl.dur
+			if sl.timedOut {
+				res.TimedOut++
+			}
 		}
 		results[i] = res
 	}
 	return results, nil
+}
+
+// runCell executes one cell, bounded by timeout when positive. A timed-out
+// cell is replaced by a marker row; its goroutine is abandoned (Go cannot
+// kill it), which isolates the table from a divergent run at the cost of the
+// runaway goroutine's CPU until process exit.
+func runCell(c cell, timeout time.Duration) (cellOut, bool) {
+	if timeout <= 0 {
+		return c(), false
+	}
+	done := make(chan cellOut, 1)
+	go func() { done <- c() }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out, false
+	case <-timer.C:
+		return cellOut{rows: [][]string{{fmt.Sprintf("TIMEOUT: cell abandoned after %v", timeout)}}}, true
+	}
 }

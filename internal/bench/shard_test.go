@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardsReassembleToSerialTable is the -shard contract: running shards
+// 0/2 and 1/2 independently and stitching each cell's rows back together (in
+// cell order, from whichever shard owns the cell) must reproduce the serial
+// table byte-for-byte.
+func TestShardsReassembleToSerialTable(t *testing.T) {
+	opts := Options{Quick: true}
+	serial, err := Runner{Opts: opts, Parallel: 1}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard0, err := Runner{Opts: opts, Parallel: 2, Shard: Shard{Index: 0, Count: 2}}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard1, err := Runner{Opts: opts, Parallel: 2, Shard: Shard{Index: 1, Count: 2}}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shard0) != len(serial) || len(shard1) != len(serial) {
+		t.Fatalf("result counts differ: serial=%d shard0=%d shard1=%d", len(serial), len(shard0), len(shard1))
+	}
+
+	merged := make([]Result, len(serial))
+	for i := range serial {
+		m := Result{Table: shard0[i].Table}
+		m.Table.Rows = nil
+		if shard0[i].Cells != shard1[i].Cells {
+			t.Fatalf("%s: shards disagree on cell count", serial[i].Table.ID)
+		}
+		for c := 0; c < shard0[i].Cells; c++ {
+			r0, r1 := shard0[i].ByCell[c], shard1[i].ByCell[c]
+			switch {
+			case r0 != nil && r1 != nil:
+				t.Fatalf("%s cell %d: owned by both shards", serial[i].Table.ID, c)
+			case r0 != nil:
+				m.Table.Rows = append(m.Table.Rows, r0...)
+			case r1 != nil:
+				m.Table.Rows = append(m.Table.Rows, r1...)
+			default:
+				t.Fatalf("%s cell %d: owned by neither shard", serial[i].Table.ID, c)
+			}
+		}
+		merged[i] = m
+	}
+	if got, want := formatAll(merged), formatAll(serial); got != want {
+		t.Fatalf("reassembled shards differ from serial:\n--- merged ---\n%s\n--- serial ---\n%s", got, want)
+	}
+}
+
+// TestShardValidation: out-of-range shard indices must fail the run.
+func TestShardValidation(t *testing.T) {
+	for _, sh := range []Shard{{Index: 2, Count: 2}, {Index: -1, Count: 3}} {
+		if _, err := (Runner{Opts: Options{Quick: true}, Shard: sh}).Run([]string{"e2"}); err == nil {
+			t.Errorf("shard %+v must be rejected", sh)
+		}
+	}
+}
+
+// TestCellTimeoutIsolatesDivergentCell: a cell that never finishes must not
+// hang the run; it is replaced by a TIMEOUT marker row while the other cells
+// of the suite still produce their normal rows.
+func TestCellTimeoutIsolatesDivergentCell(t *testing.T) {
+	hang := spec{
+		shell: Table{ID: "EHANG", Header: []string{"x"}},
+		cells: []cell{
+			func() cellOut { return cellOut{rows: [][]string{{"ok"}}} },
+			func() cellOut { select {} }, // diverges forever
+		},
+	}
+	type slowRunner struct{ Runner }
+	r := slowRunner{Runner{CellTimeout: 50 * time.Millisecond, Parallel: 2}}
+
+	// Exercise runCell directly against the divergent cell, then the Runner
+	// plumbing against the normal one.
+	out, timedOut := runCell(hang.cells[1], r.CellTimeout)
+	if !timedOut {
+		t.Fatal("divergent cell did not time out")
+	}
+	if len(out.rows) != 1 || !strings.HasPrefix(out.rows[0][0], "TIMEOUT:") {
+		t.Fatalf("unexpected timeout rows: %v", out.rows)
+	}
+	out, timedOut = runCell(hang.cells[0], r.CellTimeout)
+	if timedOut || len(out.rows) != 1 || out.rows[0][0] != "ok" {
+		t.Fatalf("healthy cell mangled: %v timedOut=%v", out.rows, timedOut)
+	}
+}
+
+// TestCellTimeoutUnboundedByDefault: without a CellTimeout the suite runs on
+// the calling goroutine exactly as before (the golden tests pin the output).
+func TestCellTimeoutUnboundedByDefault(t *testing.T) {
+	res, err := Runner{Opts: Options{Quick: true}, Parallel: 1}.Run([]string{"e2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].TimedOut != 0 {
+		t.Fatalf("unexpected timeouts: %d", res[0].TimedOut)
+	}
+}

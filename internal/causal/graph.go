@@ -12,6 +12,14 @@
 // the graph exactly once, and for every edge (m1, m2), m1 appears before m2.
 // Ties are broken deterministically (lexicographically by message ID), which
 // makes promote sequences reproducible across runs — see DESIGN.md decision 3.
+//
+// Storage is positional — nodes in insertion order with a parallel
+// predecessor table — so Clone is a copy-on-write snapshot: it copies slice
+// headers, not map entries. Every mutation appends past the clipped lengths
+// (or reallocates), so snapshots carried inside protocol messages can never
+// observe the owner's later updates. The string→position index is rebuilt
+// lazily on clones, and only if the clone is itself mutated or queried by ID;
+// the union path (MergeFrom) walks positions directly and never needs it.
 package causal
 
 import (
@@ -22,16 +30,24 @@ import (
 
 // Graph is a DAG over message IDs. The zero value is not usable; use New.
 type Graph struct {
-	preds map[string][]string // preds[m] = C(m), the direct causal predecessors
-	nodes []string            // insertion order (stable, deduplicated)
-	index map[string]int      // node → position in nodes
+	nodes []string   // insertion order (stable, deduplicated)
+	preds [][]string // preds[i] = C(nodes[i]), the direct causal predecessors
+	index map[string]int
 }
 
 // New returns an empty causality graph.
 func New() *Graph {
-	return &Graph{
-		preds: make(map[string][]string),
-		index: make(map[string]int),
+	return &Graph{index: make(map[string]int)}
+}
+
+// ensureIndex rebuilds the string→position index after a Clone dropped it.
+func (g *Graph) ensureIndex() {
+	if g.index != nil {
+		return
+	}
+	g.index = make(map[string]int, len(g.nodes))
+	for i, m := range g.nodes {
+		g.index[m] = i
 	}
 }
 
@@ -39,43 +55,82 @@ func New() *Graph {
 // Predecessors not yet present are inserted as nodes too, so the graph stays
 // closed under dependency. Re-adding an existing node merges dependency sets.
 func (g *Graph) Add(m string, deps []string) {
-	g.addNode(m)
+	g.AddReporting(m, deps, nil)
+}
+
+// AddReporting is Add with frontier bookkeeping support: it calls onNewEdge
+// for every predecessor it actually appends to m's dependency set (i.e. every
+// edge that is new to the graph), and reports whether the call changed the
+// graph at all (new node or new edge). Callers that track causal-successor
+// counts hook onNewEdge instead of diffing dependency snapshots.
+func (g *Graph) AddReporting(m string, deps []string, onNewEdge func(dep string)) (changed bool) {
+	g.ensureIndex()
+	mi, fresh := g.addNode(m)
+	changed = fresh
 	for _, d := range deps {
-		g.addNode(d)
+		if _, isNew := g.addNode(d); isNew {
+			changed = true
+		}
 		if d == m {
 			continue // self-loops are meaningless; drop defensively
 		}
-		if !containsStr(g.preds[m], d) {
-			g.preds[m] = append(g.preds[m], d)
+		if !containsStr(g.preds[mi], d) {
+			g.preds[mi] = append(g.preds[mi], d)
+			changed = true
+			if onNewEdge != nil {
+				onNewEdge(d)
+			}
 		}
 	}
+	return changed
 }
 
-func (g *Graph) addNode(m string) {
-	if _, ok := g.index[m]; ok {
-		return
+func (g *Graph) addNode(m string) (pos int, isNew bool) {
+	if i, ok := g.index[m]; ok {
+		return i, false
 	}
-	g.index[m] = len(g.nodes)
+	i := len(g.nodes)
+	g.index[m] = i
 	g.nodes = append(g.nodes, m)
-	if _, ok := g.preds[m]; !ok {
-		g.preds[m] = nil
-	}
+	g.preds = append(g.preds, nil)
+	return i, true
 }
 
 // Union merges other into g (UnionCG).
 func (g *Graph) Union(other *Graph) {
+	g.MergeFrom(other, nil)
+}
+
+// MergeFrom merges other into g, calling onNewEdge for every edge that is new
+// to g (once per appended predecessor, in other's insertion order) and
+// reporting whether g changed. It walks other's positional storage directly,
+// so snapshots without an index merge without rebuilding one and no
+// dependency copies materialize on this path.
+func (g *Graph) MergeFrom(other *Graph, onNewEdge func(dep string)) (changed bool) {
 	if other == nil {
-		return
+		return false
 	}
-	for _, m := range other.nodes {
-		g.Add(m, other.preds[m])
+	for i, m := range other.nodes {
+		if g.AddReporting(m, other.preds[i], onNewEdge) {
+			changed = true
+		}
 	}
+	return changed
 }
 
 // Has reports whether m is a node of the graph.
 func (g *Graph) Has(m string) bool {
+	g.ensureIndex()
 	_, ok := g.index[m]
 	return ok
+}
+
+// HasEdge reports whether d is a direct causal predecessor of m, without
+// copying m's dependency set.
+func (g *Graph) HasEdge(m, d string) bool {
+	g.ensureIndex()
+	i, ok := g.index[m]
+	return ok && containsStr(g.preds[i], d)
 }
 
 // Len returns the number of messages in the graph.
@@ -88,19 +143,27 @@ func (g *Graph) Nodes() []string {
 
 // Deps returns the direct causal predecessors of m (copy).
 func (g *Graph) Deps(m string) []string {
-	return append([]string(nil), g.preds[m]...)
+	g.ensureIndex()
+	i, ok := g.index[m]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), g.preds[i]...)
 }
 
-// Clone returns a deep copy of the graph. Protocol messages carry clones so
-// that in-memory kernels cannot alias mutable state across processes.
+// Clone returns an independent copy of the graph. Protocol messages carry
+// clones so that in-memory kernels cannot alias mutable state across
+// processes. The copy is O(nodes) slice-header work: the node and
+// predecessor arrays are shared copy-on-write (clipped so any later append —
+// by the owner or the clone — reallocates instead of overwriting), and the
+// index is rebuilt lazily only if the clone is mutated or queried by ID.
 func (g *Graph) Clone() *Graph {
-	cp := New()
-	cp.nodes = append(cp.nodes, g.nodes...)
-	for m, i := range g.index {
-		cp.index[m] = i
+	cp := &Graph{
+		nodes: g.nodes[:len(g.nodes):len(g.nodes)],
+		preds: make([][]string, len(g.preds)),
 	}
-	for m, ds := range g.preds {
-		cp.preds[m] = append([]string(nil), ds...)
+	for i, ps := range g.preds {
+		cp.preds[i] = ps[:len(ps):len(ps)]
 	}
 	return cp
 }
@@ -123,10 +186,13 @@ func (g *Graph) Extend(prefix []string) ([]string, error) {
 		inPrefix[m] = i
 	}
 	// Check prefix consistency against edges among prefix members.
+	g.ensureIndex()
 	for m, i := range inPrefix {
-		for _, d := range g.preds[m] {
-			if j, ok := inPrefix[d]; ok && j > i {
-				return nil, fmt.Errorf("causal: prefix violates edge (%q before %q)", d, m)
+		if mi, ok := g.index[m]; ok {
+			for _, d := range g.preds[mi] {
+				if j, ok := inPrefix[d]; ok && j > i {
+					return nil, fmt.Errorf("causal: prefix violates edge (%q before %q)", d, m)
+				}
 			}
 		}
 	}
@@ -138,12 +204,12 @@ func (g *Graph) Extend(prefix []string) ([]string, error) {
 	indeg := make(map[string]int)
 	succs := make(map[string][]string)
 	var missing []string
-	for _, m := range g.nodes {
+	for i, m := range g.nodes {
 		if _, ok := inPrefix[m]; ok {
 			continue
 		}
 		missing = append(missing, m)
-		for _, d := range g.preds[m] {
+		for _, d := range g.preds[i] {
 			if _, ok := inPrefix[d]; ok {
 				continue
 			}
@@ -189,7 +255,7 @@ func (g *Graph) String() string {
 		if i > 0 {
 			b.WriteString("; ")
 		}
-		deps := append([]string(nil), g.preds[m]...)
+		deps := append([]string(nil), g.preds[i]...)
 		sort.Strings(deps)
 		fmt.Fprintf(&b, "%s<-{%s}", m, strings.Join(deps, ","))
 	}

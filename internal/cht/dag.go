@@ -27,6 +27,39 @@
 // this implementation reproduces it over monotonically growing finite DAGs
 // and exposes the stabilization behavior the proof describes (see DESIGN.md,
 // decision 4).
+//
+// # Execution engine
+//
+// The simulation trees are executed on an interned engine (intern.go,
+// tree.go). Algorithm states, message payloads, whole messages, and whole
+// configurations are mapped to dense int32 IDs by an Interner, so a
+// configuration is a value of small integer slices, node deduplication is an
+// integer-key map lookup (configuration ID, last DAG vertex), and the
+// fmt-formatted canonical strings survive only at trace/debug boundaries:
+// the per-node encoding that fixes the deterministic enumeration order is
+// rendered once per unique node, never per simulated step.
+//
+// Algorithms step through the string-based Algorithm interface — the
+// reference semantics — or, when they also implement StructuredAlgorithm,
+// through a structured fast path: the engine caches one decoded state per
+// interned state ID, steps on it directly, and re-encodes only when a step
+// actually changed the state. Equivalence of the two paths is pinned by
+// tests (equivalence_test.go).
+//
+// Trees grow incrementally (TreeCache). This is sound because the reduction
+// only ever consumes monotone prefixes of one growing DAG (the paper's
+// ever-growing Υ over G): BuildDAG adds edges only into newly created
+// vertices, and every tree edge strictly increases the DAG vertex index, so
+// (a) the simulation tree over the first m vertices consists exactly of the
+// nodes whose last step uses a vertex < m, (b) growing the DAG appends
+// one-step extensions over new vertices but never revisits or reorders the
+// settled prefix, and (c) the deterministic enumeration (by last vertex,
+// then canonical encoding) is append-only. A per-prefix view therefore needs
+// only a fresh valency (k-tag) pass, not a re-exploration; EmulateOmega
+// carries one TreeCache per forest tree across all rounds and lagged
+// per-process views. The DAG builder itself batches its detector sampling
+// through fd.Cached.ValuesAt, so re-building a grown DAG re-reads history
+// segments from the cache instead of recomputing them.
 package cht
 
 import (
@@ -176,6 +209,14 @@ func (o BuildOptions) withDefaults() BuildOptions {
 // plus every vertex older than a bounded gossip lag) to the new vertex, and
 // the new vertex becomes available to others after the lag.
 //
+// The builder is the reduction's heaviest detector consumer: it wraps det in
+// fd.Cached (a no-op if the caller already did, as EmulateOmega does once per
+// emulation so rounds share segments) and batch-queries each sweep's samples
+// through the cache's ValuesAt before materializing vertices. Predecessor
+// sets are assembled without scratch maps: a process's knowledge is the
+// contiguous gossip window [0, cutoff) plus its own later samples, already
+// sorted.
+//
 // The resulting DAG satisfies the paper's properties (1)–(4) on its finite
 // prefix: samples are consistent with H and F, edges respect temporal order,
 // consecutive samples of one process are connected, and the graph is
@@ -184,19 +225,42 @@ func BuildDAG(fp *model.FailurePattern, det fd.Detector, opts BuildOptions) *DAG
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	g := &DAG{byProc: make(map[model.ProcID][]int)}
+	cached := fd.NewCached(det)
 
 	type known struct {
 		cutoff int // knows all vertices with Index < cutoff
 		own    []int
 	}
-	views := make(map[model.ProcID]*known, fp.N())
-	for _, p := range model.Procs(fp.N()) {
+	n := fp.N()
+	procs := model.Procs(n)
+	views := make(map[model.ProcID]*known, n)
+	for _, p := range procs {
 		views[p] = &known{}
 	}
 
+	// Per-sweep sampling scratch, reused across sweeps.
+	alive := make([]model.ProcID, 0, n)
+	times := make([]model.Time, 0, n)
+	samples := make([]any, 0, n)
+
 	now := model.Time(0)
 	for s := 0; s < opts.SamplesPerProcess; s++ {
-		for _, p := range model.Procs(fp.N()) {
+		// Batch the sweep's detector queries: the clock advances per process
+		// slot whether or not the process is alive, exactly as the serial
+		// loop did, and crashed processes take no sample.
+		alive, times = alive[:0], times[:0]
+		t := now
+		for _, p := range procs {
+			t += opts.QueryInterval
+			if !fp.Crashed(p, t) {
+				alive = append(alive, p)
+				times = append(times, t)
+			}
+		}
+		samples = cached.ValuesAt(alive, times, samples)
+
+		si := 0
+		for _, p := range procs {
 			now += opts.QueryInterval
 			if fp.Crashed(p, now) {
 				continue
@@ -205,7 +269,7 @@ func BuildDAG(fp *model.FailurePattern, det fd.Detector, opts BuildOptions) *DAG
 			// Gossip: advance the cutoff to within MaxLag (in vertices) of the
 			// present, at a random but monotone rate.
 			maxCut := len(g.vertices)
-			minCut := maxCut - opts.MaxLag*fp.N()
+			minCut := maxCut - opts.MaxLag*n
 			if minCut < v.cutoff {
 				minCut = v.cutoff
 			}
@@ -219,34 +283,36 @@ func BuildDAG(fp *model.FailurePattern, det fd.Detector, opts BuildOptions) *DAG
 			g.vertices = append(g.vertices, Vertex{
 				Index: idx,
 				P:     p,
-				D:     det.Value(p, now),
+				D:     samples[si],
 				K:     len(v.own) + 1,
 				Time:  now,
 			})
+			si++
 			g.preds = append(g.preds, nil)
 			g.succs = append(g.succs, nil)
 			g.byProc[p] = append(g.byProc[p], idx)
 
-			// Edges from every known vertex: all indices < cutoff, plus own.
-			seen := make(map[int]bool, v.cutoff+len(v.own))
+			// Edges from every known vertex: the contiguous window
+			// [0, cutoff) plus own samples at or past the cutoff. own is
+			// ascending, so the union is already sorted — no set, no sort.
+			preds := make([]int, 0, v.cutoff+len(v.own))
 			for i := 0; i < v.cutoff; i++ {
-				seen[i] = true
-			}
-			for _, o := range v.own {
-				seen[o] = true
-			}
-			preds := make([]int, 0, len(seen))
-			for i := range seen {
 				preds = append(preds, i)
 			}
-			sort.Ints(preds)
+			for _, o := range v.own {
+				if o >= v.cutoff {
+					preds = append(preds, o)
+				}
+			}
+			g.preds[idx] = preds
 			for _, i := range preds {
-				g.preds[idx] = append(g.preds[idx], i)
 				g.succs[i] = append(g.succs[i], idx)
 			}
 			v.own = append(v.own, idx)
 		}
 	}
+	// Successors accumulate in creation order, which is ascending already;
+	// keep the normalization pass as a cheap invariant guard.
 	for i := range g.succs {
 		sort.Ints(g.succs[i])
 	}

@@ -24,55 +24,44 @@ type Extraction struct {
 	Nodes int
 }
 
-// ExtractEC runs the paper's §4 extraction against algorithm alg and the DAG
-// view: build the single simulation tree with branching inputs, locate the
-// first k-bivalent vertex (Algorithm 3's target), and return the deciding
-// process of the smallest decision gadget below it.
-func ExtractEC(alg Algorithm, n int, dag *DAG, maxNodes int) (Extraction, error) {
-	ex := NewExplorer(alg, n, dag, nil, maxNodes)
-	if err := ex.Build(); err != nil {
-		return Extraction{}, err
-	}
+// extractECView runs the §4 extraction over one built view: locate the first
+// k-bivalent vertex (Algorithm 3's target) and return the deciding process of
+// the smallest decision gadget below it.
+func extractECView(ex *Explorer) Extraction {
 	res := Extraction{Nodes: ex.Len()}
 	pivot, k, ok := ex.FirstBivalent()
 	if !ok {
-		return res, nil
+		return res
 	}
 	g, ok := ex.FindGadget(pivot, k)
 	if !ok {
-		return res, nil
+		return res
 	}
 	res.Found = true
 	res.Leader = g.Deciding
 	res.How = string(g.Kind)
 	res.Instance = k
-	return res, nil
+	return res
 }
 
-// ExtractClassical runs the Appendix-B extraction for a one-shot consensus
-// algorithm (alg.MaxInstance() == 1): build the simulation forest over the
-// initial configurations I^0..I^n (p_1..p_i propose 1 in I^i, the rest 0),
-// find the smallest critical index, and output either p_i (univalent
-// critical, Lemma 7) or the deciding process of a decision gadget in Υ^i
-// (bivalent critical, Lemmas 8–9).
-func ExtractClassical(alg Algorithm, n int, dag *DAG, maxNodes int) (Extraction, error) {
-	if alg.MaxInstance() != 1 {
-		return Extraction{}, fmt.Errorf("cht: classical extraction needs a one-shot algorithm, got L=%d", alg.MaxInstance())
+// ExtractEC runs the paper's §4 extraction against algorithm alg and the DAG
+// view: build the single simulation tree with branching inputs, locate the
+// first k-bivalent vertex, and return the deciding process of the smallest
+// decision gadget below it.
+func ExtractEC(alg Algorithm, n int, dag *DAG, maxNodes int) (Extraction, error) {
+	ex := NewExplorer(alg, n, dag, nil, maxNodes)
+	if err := ex.Build(); err != nil {
+		return Extraction{}, err
 	}
+	return extractECView(ex), nil
+}
+
+// extractClassicalViews runs the Appendix-B critical-index argument over the
+// n+1 built forest views (view i fixes p_1..p_i proposing 1, the rest 0).
+func extractClassicalViews(views []*Explorer, n int) Extraction {
 	res := Extraction{}
-	// Valency of the root of each tree Υ^i.
 	tags := make([]uint8, n+1)
-	explorers := make([]*Explorer, n+1)
-	for i := 0; i <= n; i++ {
-		inputs := make([]int, n)
-		for j := 1; j <= i; j++ {
-			inputs[j-1] = 1
-		}
-		ex := NewExplorer(alg, n, dag, inputs, maxNodes)
-		if err := ex.Build(); err != nil {
-			return Extraction{}, err
-		}
-		explorers[i] = ex
+	for i, ex := range views {
 		tags[i] = ex.KTag(ex.Root(), 1)
 		res.Nodes += ex.Len()
 	}
@@ -89,17 +78,49 @@ func ExtractClassical(alg Algorithm, n int, dag *DAG, maxNodes int) (Extraction,
 			res.Found = true
 			res.Leader = model.ProcID(i)
 			res.How = "univalent-critical"
-			return res, nil
+			return res
 		}
-		if g, ok := explorers[i].FindGadget(explorers[i].Root(), 1); ok {
+		if g, ok := views[i].FindGadget(views[i].Root(), 1); ok {
 			res.Found = true
 			res.Leader = g.Deciding
 			res.How = string(g.Kind)
-			return res, nil
+			return res
 		}
-		return res, nil // bivalent critical but no gadget in this finite prefix
+		return res // bivalent critical but no gadget in this finite prefix
 	}
-	return res, nil
+	return res
+}
+
+// classicalInputs returns the paper's initial configuration I^i: p_1..p_i
+// propose 1, the rest 0.
+func classicalInputs(n, i int) []int {
+	inputs := make([]int, n)
+	for j := 1; j <= i; j++ {
+		inputs[j-1] = 1
+	}
+	return inputs
+}
+
+// ExtractClassical runs the Appendix-B extraction for a one-shot consensus
+// algorithm (alg.MaxInstance() == 1): build the simulation forest over the
+// initial configurations I^0..I^n, find the smallest critical index, and
+// output either p_i (univalent critical, Lemma 7) or the deciding process of
+// a decision gadget in Υ^i (bivalent critical, Lemmas 8–9).
+func ExtractClassical(alg Algorithm, n int, dag *DAG, maxNodes int) (Extraction, error) {
+	if alg.MaxInstance() != 1 {
+		return Extraction{}, fmt.Errorf("cht: classical extraction needs a one-shot algorithm, got L=%d", alg.MaxInstance())
+	}
+	views := make([]*Explorer, n+1)
+	for i := 0; i <= n; i++ {
+		ex := NewExplorer(alg, n, dag, classicalInputs(n, i), maxNodes)
+		if err := ex.Build(); err != nil {
+			return Extraction{}, err
+		}
+		views[i] = ex
+	}
+	// KTag reads the engine's reach slab, which is per-engine here (one
+	// engine per forest tree), so the views stay valid side by side.
+	return extractClassicalViews(views, n), nil
 }
 
 // EmulationRound records the Ω estimates of every correct process after one
@@ -155,6 +176,14 @@ type EmulateOptions struct {
 // previous estimate (initially itself) when the finite prefix does not yet
 // contain a gadget — exactly the reduction's behavior on a finite prefix of
 // the limit tree.
+//
+// Across rounds the DAG grows monotonically (same build seed, more samples),
+// and every per-process view is a prefix of it, so the simulation trees are
+// built incrementally: one TreeCache per forest tree carries all nodes, edges
+// and interned configurations from round to round and only extends frontiers
+// reachable from the new DAG vertices. The detector is wrapped in fd.Cached
+// once, so each round's rebuilt DAG re-samples H(p, t) from the per-segment
+// cache instead of recomputing histories.
 func EmulateOmega(alg Algorithm, fp *model.FailurePattern, det fd.Detector, opts EmulateOptions) ([]EmulationRound, error) {
 	if opts.Rounds <= 0 {
 		opts.Rounds = 3
@@ -165,11 +194,28 @@ func EmulateOmega(alg Algorithm, fp *model.FailurePattern, det fd.Detector, opts
 	if opts.ViewLag < 0 {
 		opts.ViewLag = 0
 	}
-	estimates := make(map[model.ProcID]model.ProcID, fp.N())
-	for _, p := range model.Procs(fp.N()) {
+	n := fp.N()
+	det = fd.NewCached(det)
+
+	var caches []*TreeCache
+	if opts.Classical {
+		if alg.MaxInstance() != 1 {
+			return nil, fmt.Errorf("cht: classical extraction needs a one-shot algorithm, got L=%d", alg.MaxInstance())
+		}
+		caches = make([]*TreeCache, n+1)
+		for i := 0; i <= n; i++ {
+			caches[i] = NewTreeCache(alg, n, classicalInputs(n, i), opts.MaxNodes)
+		}
+	} else {
+		caches = []*TreeCache{NewTreeCache(alg, n, nil, opts.MaxNodes)}
+	}
+
+	estimates := make(map[model.ProcID]model.ProcID, n)
+	for _, p := range model.Procs(n) {
 		estimates[p] = p // Ω-output_p initially p (Figure 6)
 	}
 	var rounds []EmulationRound
+	views := make([]*Explorer, len(caches))
 	for r := 1; r <= opts.Rounds; r++ {
 		b := opts.Build
 		b.SamplesPerProcess = opts.BaseSamples + r - 1
@@ -177,26 +223,30 @@ func EmulateOmega(alg Algorithm, fp *model.FailurePattern, det fd.Detector, opts
 		round := EmulationRound{
 			Round:   r,
 			Samples: b.SamplesPerProcess,
-			Outputs: make(map[model.ProcID]model.ProcID, fp.N()),
-			Hows:    make(map[model.ProcID]string, fp.N()),
+			Outputs: make(map[model.ProcID]model.ProcID, n),
+			Hows:    make(map[model.ProcID]string, n),
 		}
 		for _, p := range fp.Correct() {
 			cut := full.Len() - int(p-1)*opts.ViewLag
 			if cut < 1 {
 				cut = 1
 			}
-			view := full.Prefix(cut)
-			var (
-				ext Extraction
-				err error
-			)
+			var ext Extraction
 			if opts.Classical {
-				ext, err = ExtractClassical(alg, fp.N(), view, opts.MaxNodes)
+				for i, c := range caches {
+					ex, err := c.View(full, cut)
+					if err != nil {
+						return rounds, err
+					}
+					views[i] = ex
+				}
+				ext = extractClassicalViews(views, n)
 			} else {
-				ext, err = ExtractEC(alg, fp.N(), view, opts.MaxNodes)
-			}
-			if err != nil {
-				return rounds, err
+				ex, err := caches[0].View(full, cut)
+				if err != nil {
+					return rounds, err
+				}
+				ext = extractECView(ex)
 			}
 			round.Nodes += ext.Nodes
 			if ext.Found {

@@ -25,85 +25,122 @@ const (
 type Gadget struct {
 	Kind     GadgetKind
 	Instance int
-	Pivot    *node
+	Pivot    int // enumeration order of the pivot node
 	Deciding model.ProcID
 }
 
 // String renders a description for logs.
 func (g Gadget) String() string {
-	return fmt.Sprintf("%s@node%d k=%d deciding=%v", g.Kind, g.Pivot.id, g.Instance, g.Deciding)
+	return fmt.Sprintf("%s@node%d k=%d deciding=%v", g.Kind, g.Pivot, g.Instance, g.Deciding)
 }
 
-// stepLabel identifies a step (q, m, ·) ignoring the detector value, to group
-// fork candidates: two edges with the same label but different DAG vertices
-// are "two different steps by the same process consuming the same message".
-func stepLabel(e *Explorer, ed edge) (string, model.ProcID) {
-	q := e.dag.Vertex(ed.vertex).P
-	switch ed.kind {
-	case edgeMsg:
-		return fmt.Sprintf("m|%v|%d>%s", q, ed.msg.From, ed.msg.Payload), q
-	case edgeLambda:
-		return fmt.Sprintf("l|%v", q), q
-	default:
-		return fmt.Sprintf("i|%v|inst", q), q
+// forkKey groups step edges by (process, consumed message) ignoring the
+// detector sample: two edges with the same key but different DAG vertices are
+// "two different steps by the same process consuming the same message". All
+// components are interned, so the key is a comparable integer struct instead
+// of a formatted string.
+type forkKey struct {
+	kind    edgeKind
+	q       model.ProcID
+	from    model.ProcID
+	payload int32
+}
+
+func (ex *Explorer) forkKeyOf(ed treeEdge) forkKey {
+	q := ex.eng.dag.Vertex(int(ed.vertex)).P
+	if ed.kind == edgeMsg {
+		m := ex.eng.in.msgMeta(ed.msg)
+		return forkKey{kind: edgeMsg, q: q, from: m.From, payload: m.Payload}
 	}
+	return forkKey{kind: edgeLambda, q: q}
+}
+
+// hookKey identifies a step (vertex, kind, message, input value) exactly, to
+// match steps applicable at both ends of a hook's connecting edge.
+type hookKey struct {
+	vertex int32
+	kind   edgeKind
+	msg    int32
+	ival   int8
 }
 
 // FindGadget searches the subtree of pivot for the smallest decision gadget
 // with respect to instance k, in deterministic order. ok=false if the finite
 // prefix contains none (the limit tree always does, Lemma 9).
-func (e *Explorer) FindGadget(pivot *node, k int) (Gadget, bool) {
-	sub := e.Subtree(pivot)
+func (ex *Explorer) FindGadget(pivot NodeID, k int) (Gadget, bool) {
+	e := ex.eng
+	sub := ex.Subtree(pivot)
 
-	// Forks first (including input forks), in node order.
+	// Forks first (including input forks), in node order. Groups are scanned
+	// in first-occurrence edge order, which is deterministic (edge lists are
+	// generated in sorted successor order).
+	groups := make(map[forkKey][]treeEdge)
+	var keys []forkKey
+	var inputs []treeEdge
 	for _, nd := range sub {
-		groups := make(map[string][]edge)
-		var inputs []edge
-		for _, ed := range nd.edges {
+		clear(groups)
+		keys = keys[:0]
+		inputs = inputs[:0]
+		for _, ed := range e.nodes[nd].edges {
+			if int(ed.vertex) >= ex.m {
+				continue
+			}
 			if ed.kind == edgeInvoke {
 				inputs = append(inputs, ed)
 				continue
 			}
-			lbl, _ := stepLabel(e, ed)
-			groups[lbl] = append(groups[lbl], ed)
+			fk := ex.forkKeyOf(ed)
+			if _, seen := groups[fk]; !seen {
+				keys = append(keys, fk)
+			}
+			groups[fk] = append(groups[fk], ed)
 		}
 		// Classic fork: same (q, m), different detector sample, opposite
 		// univalent children.
-		for _, eds := range groups {
-			if g, ok := e.forkIn(nd, eds, k, GadgetFork); ok {
+		for _, fk := range keys {
+			if g, ok := ex.forkIn(nd, groups[fk], k, GadgetFork); ok {
 				return g, true
 			}
 		}
-		// Input fork: same process invoking with 0 vs 1, opposite univalent
-		// children.
-		if g, ok := e.forkIn(nd, inputs, k, GadgetInputFork); ok {
+		// Input fork: invocation steps with opposite univalent children.
+		if g, ok := ex.forkIn(nd, inputs, k, GadgetInputFork); ok {
 			return g, true
 		}
 	}
 
 	// Hooks: S --e'--> S', and a step σ applicable at both S and S' whose two
 	// applications are opposite univalent.
+	byStep := make(map[hookKey]treeEdge)
 	for _, nd := range sub {
-		for _, ePrime := range nd.edges {
-			sPrime := ePrime.child
-			// Match steps of nd and sPrime by identical (vertex, kind, msg).
-			byStep := make(map[string]edge, len(nd.edges))
-			for _, ed := range nd.edges {
-				byStep[fmt.Sprintf("%d/%d/%v/%d", ed.vertex, ed.kind, ed.msg, ed.ival)] = ed
+		edges := e.nodes[nd].edges
+		for _, ePrime := range edges {
+			if int(ePrime.vertex) >= ex.m {
+				continue
 			}
-			for _, ed2 := range sPrime.edges {
-				ed1, ok := byStep[fmt.Sprintf("%d/%d/%v/%d", ed2.vertex, ed2.kind, ed2.msg, ed2.ival)]
+			sPrime := ePrime.child
+			clear(byStep)
+			for _, ed := range edges {
+				if int(ed.vertex) >= ex.m {
+					continue
+				}
+				byStep[hookKey{ed.vertex, ed.kind, ed.msg, ed.ival}] = ed
+			}
+			for _, ed2 := range e.nodes[sPrime].edges {
+				if int(ed2.vertex) >= ex.m {
+					continue
+				}
+				ed1, ok := byStep[hookKey{ed2.vertex, ed2.kind, ed2.msg, ed2.ival}]
 				if !ok {
 					continue
 				}
-				x1, ok1 := e.univalence(ed1.child, k)
-				x2, ok2 := e.univalence(ed2.child, k)
+				x1, ok1 := ex.univalence(NodeID(ed1.child), k)
+				x2, ok2 := ex.univalence(NodeID(ed2.child), k)
 				if ok1 && ok2 && x1 != x2 {
 					return Gadget{
 						Kind:     GadgetHook,
 						Instance: k,
-						Pivot:    nd,
-						Deciding: e.dag.Vertex(ed2.vertex).P,
+						Pivot:    int(e.nodes[nd].order),
+						Deciding: e.dag.Vertex(int(ed2.vertex)).P,
 					}, true
 				}
 			}
@@ -114,10 +151,10 @@ func (e *Explorer) FindGadget(pivot *node, k int) (Gadget, bool) {
 
 // forkIn looks for a pair of edges within eds with opposite univalent
 // children.
-func (e *Explorer) forkIn(nd *node, eds []edge, k int, kind GadgetKind) (Gadget, bool) {
-	var zero, one *edge
+func (ex *Explorer) forkIn(nd NodeID, eds []treeEdge, k int, kind GadgetKind) (Gadget, bool) {
+	var zero, one *treeEdge
 	for i := range eds {
-		if x, ok := e.univalence(eds[i].child, k); ok {
+		if x, ok := ex.univalence(NodeID(eds[i].child), k); ok {
 			if x == 0 && zero == nil {
 				zero = &eds[i]
 			}
@@ -127,15 +164,19 @@ func (e *Explorer) forkIn(nd *node, eds []edge, k int, kind GadgetKind) (Gadget,
 		}
 	}
 	if zero != nil && one != nil {
-		_, q := stepLabel(e, *zero)
-		return Gadget{Kind: kind, Instance: k, Pivot: nd, Deciding: q}, true
+		return Gadget{
+			Kind:     kind,
+			Instance: k,
+			Pivot:    int(ex.eng.nodes[nd].order),
+			Deciding: ex.eng.dag.Vertex(int(zero.vertex)).P,
+		}, true
 	}
 	return Gadget{}, false
 }
 
 // univalence returns (x, true) if nd is (k, x)-valent.
-func (e *Explorer) univalence(nd *node, k int) (int, bool) {
-	switch e.KTag(nd, k) {
+func (ex *Explorer) univalence(nd NodeID, k int) (int, bool) {
+	switch ex.KTag(nd, k) {
 	case 1:
 		return 0, true
 	case 2:

@@ -2,76 +2,15 @@ package cht
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
-	"strings"
 
 	"repro/internal/model"
 )
 
-// config is a configuration of the simulated algorithm A: per-process states,
-// the message buffer, and the bookkeeping the k-tag machinery needs.
-type config struct {
-	states    []string // states[p-1]
-	buffer    []SimMsg // multiset, kept canonically sorted
-	decided   []uint8  // decided[k-1]: bit0/bit1 = value 0/1 returned to proposeEC_k so far
-	invoked   []int    // invoked[p-1]: highest instance p has invoked
-	responded []int    // responded[p-1]: highest instance p has responded to
-}
-
-func (c *config) clone() config {
-	return config{
-		states:    append([]string(nil), c.states...),
-		buffer:    append([]SimMsg(nil), c.buffer...),
-		decided:   append([]uint8(nil), c.decided...),
-		invoked:   append([]int(nil), c.invoked...),
-		responded: append([]int(nil), c.responded...),
-	}
-}
-
-func (c *config) encode() string {
-	var b strings.Builder
-	b.WriteString(strings.Join(c.states, "|"))
-	b.WriteString("#")
-	for _, m := range c.buffer {
-		fmt.Fprintf(&b, "%d>%d:%s;", m.From, m.To, m.Payload)
-	}
-	b.WriteString("#")
-	for _, d := range c.decided {
-		fmt.Fprintf(&b, "%d", d)
-	}
-	b.WriteString("#")
-	for i := range c.invoked {
-		fmt.Fprintf(&b, "%d.%d,", c.invoked[i], c.responded[i])
-	}
-	return b.String()
-}
-
-func (c *config) sortBuffer() {
-	sort.Slice(c.buffer, func(i, j int) bool {
-		a, b := c.buffer[i], c.buffer[j]
-		if a.To != b.To {
-			return a.To < b.To
-		}
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		return a.Payload < b.Payload
-	})
-}
-
-// removeMsg removes one occurrence of m from the buffer.
-func (c *config) removeMsg(m SimMsg) {
-	for i := range c.buffer {
-		if c.buffer[i] == m {
-			c.buffer = append(c.buffer[:i:i], c.buffer[i+1:]...)
-			return
-		}
-	}
-}
-
 // edgeKind distinguishes the three step flavors of §2: accepting an input
 // (an invocation of proposeEC), receiving a message, or receiving λ.
-type edgeKind int
+type edgeKind uint8
 
 const (
 	edgeInvoke edgeKind = iota + 1
@@ -79,336 +18,620 @@ const (
 	edgeLambda
 )
 
-// edge is one step extension in the simulation tree, labeled with the DAG
-// vertex that supplied the failure detector value.
-type edge struct {
-	vertex int      // DAG vertex index (determines process and FD value)
-	kind   edgeKind // input, message, or λ
-	ival   int      // invoke: proposed value
-	msg    SimMsg   // message consumed (kind == edgeMsg)
-	child  *node
+// noMsg is the message-ID sentinel for invoke and λ edges.
+const noMsg int32 = -1
+
+// treeEdge is one step extension in the simulation tree: the DAG vertex that
+// supplied the failure detector value, the step flavor, and the interned
+// message consumed (noMsg unless kind == edgeMsg). Everything is an integer;
+// the engine's hot loop never touches a string.
+type treeEdge struct {
+	vertex int32
+	kind   edgeKind
+	ival   int8  // invoke: proposed value
+	msg    int32 // interned message ID consumed (kind == edgeMsg)
+	child  int32 // child node, by creation index
 }
 
-func (e edge) label() string {
-	switch e.kind {
-	case edgeInvoke:
-		return fmt.Sprintf("v%d!inv(%d)", e.vertex, e.ival)
-	case edgeMsg:
-		return fmt.Sprintf("v%d!msg(%v)", e.vertex, e.msg)
-	default:
-		return fmt.Sprintf("v%d!λ", e.vertex)
-	}
+// treeNode is a vertex of the simulation tree, deduplicated by (interned
+// configuration, last DAG vertex): distinct schedules reaching the same
+// configuration via the same sample frontier have identical futures, so the
+// tree is explored as a DAG (the paper's Υ is its unfolding).
+type treeNode struct {
+	cfgID int32 // interned configuration
+	last  int32 // DAG vertex of the last step, -1 at the root
+	// nextSucc counts how many successor vertices of `last` (all DAG
+	// vertices, for the root) have been expanded, which is what makes growth
+	// incremental: extending the DAG resumes every node exactly where its
+	// sorted successor list left off.
+	nextSucc int32
+	order    int32 // position in the deterministic enumeration (byOrder)
+	edges    []treeEdge
+	enc      string // canonical configuration encoding (ordering/debug only)
 }
 
-// node is a vertex of the simulation tree, deduplicated by (configuration,
-// last DAG vertex): distinct schedules reaching the same configuration via
-// the same sample frontier have identical futures, so the tree is explored
-// as a DAG (the paper's Υ is its unfolding).
-type node struct {
-	id    int // deterministic enumeration order (by last vertex, then config)
-	cfg   config
-	enc   string
-	last  int // DAG vertex of the last step, -1 at the root
-	edges []edge
+// NodeID identifies a tree node inside its engine (by creation index). It is
+// the handle Explorer's valency and gadget queries take.
+type NodeID int32
 
-	// reach[k-1]: bit0/bit1 = some descendant-or-self returns 0/1 to
-	// proposeEC_k; bit2 = some descendant-or-self has both (the ⊥ tag).
-	reach     []uint8
-	reachDone bool
-}
-
-const invalidBit = 4
-
-// Explorer builds and tags the simulation tree induced by a DAG and an
-// algorithm. fixedInputs non-nil switches to the classical simulation-forest
-// mode: process p's proposeEC_1 value is fixedInputs[p-1] and no input
-// branching occurs (Appendix B); nil means EC mode with branching inputs (§4).
-type Explorer struct {
+// engine is the interned simulation-tree engine. It owns the interner, the
+// append-only node store, and the deterministic enumeration, and it grows
+// incrementally: incorporating DAG vertices [0, m) is resumable, so a
+// monotonically growing DAG (the paper's ever-growing G) reuses every node
+// and edge discovered for its earlier prefixes.
+type engine struct {
 	alg         Algorithm
+	salg        StructuredAlgorithm // non-nil when alg has the fast path
 	n           int
-	dag         *DAG
+	L           int
 	fixedInputs []int
 	maxNodes    int
 
-	nodes     map[string]*node
-	byOrder   []*node
-	root      *node
+	in  *Interner
+	dag *DAG
+
+	dagLen    int // DAG vertices incorporated so far
+	nodes     []treeNode
+	nodeIdx   map[int64]int32 // (cfgID, last) → creation index
+	byOrder   []int32         // creation indices sorted by (last, enc); append-only
 	truncated bool
+
+	// Reusable scratch (single-threaded, like the engine).
+	scrStates    []int32
+	scrBuffer    []int32
+	scrDecided   []uint8
+	scrInvoked   []int32
+	scrResponded []int32
+	scrSends     []SimMsg
+	encBuf       []byte
+	queue        []int32
+	reachBuf     []uint8
+	subBuf       []int32
+	visited      []bool
 }
 
-// NewExplorer prepares an exploration. maxNodes caps the node count (the
-// limit tree is infinite; see DESIGN.md decision 4); 0 means 200000.
-func NewExplorer(alg Algorithm, n int, dag *DAG, fixedInputs []int, maxNodes int) *Explorer {
+func newEngine(alg Algorithm, n int, fixedInputs []int, maxNodes int) *engine {
 	if maxNodes <= 0 {
 		maxNodes = 200000
 	}
-	return &Explorer{
+	e := &engine{
 		alg:         alg,
 		n:           n,
-		dag:         dag,
+		L:           alg.MaxInstance(),
 		fixedInputs: fixedInputs,
 		maxNodes:    maxNodes,
-		nodes:       make(map[string]*node),
+		in:          NewInterner(),
+		nodeIdx:     make(map[int64]int32),
 	}
+	if s, ok := alg.(StructuredAlgorithm); ok {
+		e.salg = s
+	}
+	return e
 }
 
-// Build explores every schedule compatible with paths in the DAG, then
-// computes the k-tags. It returns an error if the node cap is exceeded.
-func (e *Explorer) Build() error {
-	L := e.alg.MaxInstance()
-	rootCfg := config{
-		states:    make([]string, e.n),
-		decided:   make([]uint8, L),
-		invoked:   make([]int, e.n),
-		responded: make([]int, e.n),
-	}
-	for _, p := range model.Procs(e.n) {
-		rootCfg.states[p-1] = e.alg.InitState(p, e.n)
-	}
-	e.root = &node{cfg: rootCfg, enc: rootCfg.encode(), last: -1}
-	e.nodes[key(e.root.enc, -1)] = e.root
+func nodeKey(cfgID, last int32) int64 {
+	return int64(cfgID)<<32 | int64(uint32(last+1))
+}
 
-	queue := []*node{e.root}
-	for len(queue) > 0 {
-		nd := queue[0]
-		queue = queue[1:]
-		if nd.edges != nil {
-			continue
+// reset drops the tree (but keeps the interner: states, payloads, and
+// configurations stay valid across DAGs). Used when a caller hands the cache
+// a DAG that does not extend the previous one.
+func (e *engine) reset() {
+	e.dag = nil
+	e.dagLen = 0
+	e.nodes = e.nodes[:0]
+	e.byOrder = e.byOrder[:0]
+	e.nodeIdx = make(map[int64]int32)
+	e.truncated = false
+}
+
+// extendsPrior reports whether dag's first e.dagLen vertices match the
+// incorporated prefix — the monotone-growth property of BuildDAG under a
+// fixed seed, detector, and gossip configuration. Samples (including the
+// detector value) and the predecessor structure are both checked: a
+// same-shape DAG from a different seed or detector must reset the tree, not
+// silently reuse successor cursors computed against different edges. The
+// check runs once per new DAG object (not per view) and is O(prefix edges),
+// the same order as one valency pass.
+func (e *engine) extendsPrior(dag *DAG) bool {
+	if dag.Len() < e.dagLen {
+		return false
+	}
+	if e.dag == dag {
+		return true
+	}
+	for i := 0; i < e.dagLen; i++ {
+		a, b := e.dag.Vertex(i), dag.Vertex(i)
+		if a.P != b.P || a.K != b.K || a.Time != b.Time {
+			return false
 		}
-		children := e.expand(nd)
-		for _, c := range children {
-			if c.child.edges == nil { // not yet expanded; duplicates are skipped at pop
-				queue = append(queue, c.child)
+		// DeepEqual, not ==: detector values may be uncomparable slices
+		// (SigmaValue, SuspectValue), which == would panic on.
+		if !reflect.DeepEqual(a.D, b.D) {
+			return false
+		}
+		ap, bp := e.dag.Preds(i), dag.Preds(i)
+		if len(ap) != len(bp) {
+			return false
+		}
+		for j := range ap {
+			if ap[j] != bp[j] {
+				return false
 			}
 		}
-		if len(e.nodes) > e.maxNodes {
-			e.truncated = true
-			return fmt.Errorf("cht: simulation tree exceeded %d nodes (shrink the DAG)", e.maxNodes)
-		}
 	}
+	return true
+}
 
-	// Deterministic enumeration order: by last vertex index (the paper's
-	// m-based order), then by configuration encoding.
-	e.byOrder = make([]*node, 0, len(e.nodes))
-	for _, nd := range e.nodes {
-		e.byOrder = append(e.byOrder, nd)
+// extendTo incorporates DAG vertices [0, m) into the tree, reusing all work
+// done for shorter prefixes. Soundness of the reuse rests on two structural
+// facts: (a) BuildDAG only ever adds edges into newly created vertices, so an
+// old vertex's successor list gains only indices ≥ the old length, and (b)
+// every tree edge strictly increases the DAG vertex index, so a node's
+// one-step extensions over vertices < m are final once computed — growing the
+// DAG can only append extensions over the new vertices. Consequently the node
+// set of the prefix-m tree is exactly {nodes with last < m} and never changes
+// retroactively (see the package documentation).
+func (e *engine) extendTo(dag *DAG, m int) error {
+	if m > dag.Len() {
+		m = dag.Len()
 	}
-	sort.Slice(e.byOrder, func(i, j int) bool {
-		a, b := e.byOrder[i], e.byOrder[j]
-		if a.last != b.last {
-			return a.last < b.last
+	if !e.extendsPrior(dag) {
+		e.reset()
+	}
+	e.dag = dag
+	firstNew := len(e.nodes)
+	if len(e.nodes) == 0 {
+		e.initRoot()
+	}
+	if m > e.dagLen {
+		// Every existing node may gain extensions over the new vertices;
+		// nodes created along the way expand exactly once too.
+		e.queue = e.queue[:0]
+		for i := range e.nodes {
+			e.queue = append(e.queue, int32(i))
 		}
-		return a.enc < b.enc
-	})
-	for i, nd := range e.byOrder {
-		nd.id = i
+		for qi := 0; qi < len(e.queue); qi++ {
+			e.expandNode(e.queue[qi], m)
+			if len(e.nodes) > e.maxNodes {
+				e.truncated = true
+				return fmt.Errorf("cht: simulation tree exceeded %d nodes (shrink the DAG)", e.maxNodes)
+			}
+		}
+		e.dagLen = m
 	}
-	e.computeReach()
+	e.enumerate(firstNew)
 	return nil
 }
 
-func key(enc string, last int) string { return fmt.Sprintf("%d~%s", last, enc) }
+// initRoot builds and interns the initial configuration.
+func (e *engine) initRoot() {
+	e.scrStates = e.scrStates[:0]
+	for _, p := range model.Procs(e.n) {
+		e.scrStates = append(e.scrStates, e.in.State(e.alg.InitState(p, e.n)))
+	}
+	e.scrBuffer = e.scrBuffer[:0]
+	e.scrDecided = append(e.scrDecided[:0], make([]uint8, e.L)...)
+	e.scrInvoked = append(e.scrInvoked[:0], make([]int32, e.n)...)
+	e.scrResponded = append(e.scrResponded[:0], make([]int32, e.n)...)
+	cfgID, _ := e.in.Config(e.scrStates, e.scrBuffer, e.scrDecided, e.scrInvoked, e.scrResponded)
+	e.nodes = append(e.nodes, treeNode{cfgID: cfgID, last: -1})
+	e.nodeIdx[nodeKey(cfgID, -1)] = 0
+}
 
-// expand generates every one-step extension of nd.
-func (e *Explorer) expand(nd *node) []edge {
-	nd.edges = []edge{} // mark expanded
-	var nexts []int
-	if nd.last < 0 {
-		nexts = make([]int, e.dag.Len())
-		for i := range nexts {
-			nexts[i] = i
+// expandNode generates the one-step extensions of node ni over DAG vertices
+// < m that were not processed yet.
+func (e *engine) expandNode(ni int32, m int) {
+	last := e.nodes[ni].last
+	if last < 0 {
+		for vi := e.nodes[ni].nextSucc; int(vi) < m; vi++ {
+			e.addEdgesFor(ni, vi)
 		}
-	} else {
-		nexts = e.dag.Succs(nd.last)
+		e.nodes[ni].nextSucc = int32(m)
+		return
 	}
-	for _, vi := range nexts {
-		v := e.dag.Vertex(vi)
-		q := v.P
-		switch {
-		case e.pendingInvoke(nd, q):
-			inst := nd.cfg.invoked[q-1] + 1
-			if e.fixedInputs != nil && inst == 1 {
-				e.addInvokeEdge(nd, vi, inst, e.fixedInputs[q-1])
-			} else {
-				e.addInvokeEdge(nd, vi, inst, 0)
-				e.addInvokeEdge(nd, vi, inst, 1)
-			}
-		default:
-			// λ-step plus one step per distinct pending message for q.
-			e.addStepEdge(nd, vi, nil)
-			seen := make(map[SimMsg]bool)
-			for _, m := range nd.cfg.buffer {
-				if m.To == q && !seen[m] {
-					seen[m] = true
-					mm := m
-					e.addStepEdge(nd, vi, &mm)
-				}
-			}
-		}
+	succs := e.dag.Succs(int(last))
+	i := e.nodes[ni].nextSucc
+	for ; int(i) < len(succs) && succs[i] < m; i++ {
+		e.addEdgesFor(ni, int32(succs[i]))
 	}
-	return nd.edges
+	e.nodes[ni].nextSucc = i
 }
 
 // pendingInvoke reports whether process q's next step must accept an input:
 // it has not invoked proposeEC_1 yet, or it has responded to its current
 // instance and the next one is within the cap ("every process invokes
 // proposeEC_j as soon as it returns a response to proposeEC_{j-1}").
-func (e *Explorer) pendingInvoke(nd *node, q model.ProcID) bool {
-	inv := nd.cfg.invoked[q-1]
+func (e *engine) pendingInvoke(cfg *frozenConfig, q model.ProcID) bool {
+	inv := cfg.invoked[q-1]
 	if inv == 0 {
 		return true
 	}
-	return nd.cfg.responded[q-1] == inv && inv < e.alg.MaxInstance()
+	return cfg.responded[q-1] == inv && int(inv) < e.L
 }
 
-func (e *Explorer) addInvokeEdge(nd *node, vi, inst, val int) {
-	cfg := nd.cfg.clone()
-	q := e.dag.Vertex(vi).P
-	st, sends := e.alg.Invoke(q, e.n, cfg.states[q-1], inst, val)
-	cfg.states[q-1] = st
-	cfg.invoked[q-1] = inst
-	cfg.buffer = append(cfg.buffer, sends...)
-	cfg.sortBuffer()
-	e.attach(nd, edge{vertex: vi, kind: edgeInvoke, ival: val}, cfg)
-}
-
-func (e *Explorer) addStepEdge(nd *node, vi int, m *SimMsg) {
-	cfg := nd.cfg.clone()
-	v := e.dag.Vertex(vi)
+// addEdgesFor generates every extension of node ni at DAG vertex vi.
+func (e *engine) addEdgesFor(ni, vi int32) {
+	v := e.dag.Vertex(int(vi))
 	q := v.P
-	if m != nil {
-		cfg.removeMsg(*m)
-	}
-	st, sends, decs := e.alg.Step(q, e.n, cfg.states[q-1], m, v.D)
-	cfg.states[q-1] = st
-	cfg.buffer = append(cfg.buffer, sends...)
-	cfg.sortBuffer()
-	for _, d := range decs {
-		if d.Instance >= 1 && d.Instance <= len(cfg.decided) {
-			cfg.decided[d.Instance-1] |= 1 << uint(d.Value&1)
+	cfg := e.in.ConfigValue(e.nodes[ni].cfgID)
+	if e.pendingInvoke(cfg, q) {
+		inst := int(cfg.invoked[q-1]) + 1
+		if e.fixedInputs != nil && inst == 1 {
+			e.addInvokeEdge(ni, vi, inst, e.fixedInputs[q-1])
+		} else {
+			e.addInvokeEdge(ni, vi, inst, 0)
+			e.addInvokeEdge(ni, vi, inst, 1)
 		}
-		if d.Instance > cfg.responded[q-1] {
-			cfg.responded[q-1] = d.Instance
+		return
+	}
+	// λ-step plus one step per distinct pending message for q. The buffer is
+	// sorted by (to, from, payload), so q's messages are contiguous and
+	// duplicates are adjacent equal IDs.
+	e.addStepEdge(ni, vi, noMsg, v.D)
+	prev := noMsg
+	for _, mid := range e.in.ConfigValue(e.nodes[ni].cfgID).buffer {
+		if e.in.msgMeta(mid).To != q {
+			continue
 		}
+		if mid == prev {
+			continue
+		}
+		prev = mid
+		e.addStepEdge(ni, vi, mid, v.D)
 	}
-	ed := edge{vertex: vi, kind: edgeLambda}
-	if m != nil {
-		ed.kind = edgeMsg
-		ed.msg = *m
-	}
-	e.attach(nd, ed, cfg)
 }
 
-func (e *Explorer) attach(nd *node, ed edge, cfg config) {
-	enc := cfg.encode()
-	k := key(enc, ed.vertex)
-	child, ok := e.nodes[k]
-	if !ok {
-		child = &node{cfg: cfg, enc: enc, last: ed.vertex}
-		e.nodes[k] = child
-	}
-	ed.child = child
-	nd.edges = append(nd.edges, ed)
+// loadScratch copies cfg into the engine's working scratch.
+func (e *engine) loadScratch(cfg *frozenConfig) {
+	e.scrStates = append(e.scrStates[:0], cfg.states...)
+	e.scrBuffer = append(e.scrBuffer[:0], cfg.buffer...)
+	e.scrDecided = append(e.scrDecided[:0], cfg.decided...)
+	e.scrInvoked = append(e.scrInvoked[:0], cfg.invoked...)
+	e.scrResponded = append(e.scrResponded[:0], cfg.responded...)
 }
 
-// computeReach computes reach masks bottom-up. The node graph is acyclic:
-// every edge strictly increases the last DAG vertex index.
-func (e *Explorer) computeReach() {
-	L := e.alg.MaxInstance()
-	var visit func(nd *node)
-	visit = func(nd *node) {
-		if nd.reachDone {
+// insertMsgs interns and inserts sends into the sorted scratch buffer.
+func (e *engine) insertMsgs(sends []SimMsg) {
+	for _, sm := range sends {
+		mid := e.in.Msg(sm)
+		pos := len(e.scrBuffer)
+		for pos > 0 && e.in.msgLess(mid, e.scrBuffer[pos-1]) {
+			pos--
+		}
+		e.scrBuffer = append(e.scrBuffer, 0)
+		copy(e.scrBuffer[pos+1:], e.scrBuffer[pos:])
+		e.scrBuffer[pos] = mid
+	}
+}
+
+// removeMsg removes one occurrence of mid from the scratch buffer.
+func (e *engine) removeMsg(mid int32) {
+	for i, b := range e.scrBuffer {
+		if b == mid {
+			e.scrBuffer = append(e.scrBuffer[:i], e.scrBuffer[i+1:]...)
 			return
 		}
-		nd.reachDone = true // safe: recursion only descends to higher last index
-		nd.reach = make([]uint8, L)
-		for k := 0; k < L; k++ {
-			nd.reach[k] = nd.cfg.decided[k] & 3
-			if nd.cfg.decided[k]&3 == 3 {
-				nd.reach[k] |= invalidBit
+	}
+}
+
+func (e *engine) addInvokeEdge(ni, vi int32, inst, val int) {
+	cfg := e.in.ConfigValue(e.nodes[ni].cfgID)
+	e.loadScratch(cfg)
+	q := e.dag.Vertex(int(vi)).P
+	st, sends := e.alg.Invoke(q, e.n, e.in.StateString(cfg.states[q-1]), inst, val)
+	e.scrStates[q-1] = e.in.State(st)
+	e.scrInvoked[q-1] = int32(inst)
+	e.insertMsgs(sends)
+	e.attach(ni, treeEdge{vertex: vi, kind: edgeInvoke, ival: int8(val), msg: noMsg})
+}
+
+func (e *engine) addStepEdge(ni, vi, mid int32, d any) {
+	cfg := e.in.ConfigValue(e.nodes[ni].cfgID)
+	e.loadScratch(cfg)
+	q := e.dag.Vertex(int(vi)).P
+	var mptr *SimMsg
+	var mval SimMsg
+	if mid != noMsg {
+		mval = e.in.MsgValue(mid)
+		mptr = &mval
+		e.removeMsg(mid)
+	}
+
+	stateID := cfg.states[q-1]
+	var sends []SimMsg
+	var decs []Decided
+	if e.salg != nil {
+		stv := e.in.decoded[stateID]
+		if stv == nil {
+			stv = e.salg.DecodeState(e.n, e.in.StateString(stateID))
+			e.in.decoded[stateID] = stv
+		}
+		next, changed, s2, d2 := e.salg.StepStructured(q, e.n, stv, mptr, d)
+		sends, decs = s2, d2
+		if changed {
+			id, fresh := e.in.stateIntern(e.salg.EncodeState(next))
+			if fresh {
+				e.in.decoded[id] = next
 			}
+			e.scrStates[q-1] = id
+		}
+	} else {
+		st, s2, d2 := e.alg.Step(q, e.n, e.in.StateString(stateID), mptr, d)
+		sends, decs = s2, d2
+		e.scrStates[q-1] = e.in.State(st)
+	}
+	e.insertMsgs(sends)
+	for _, dd := range decs {
+		if dd.Instance >= 1 && dd.Instance <= len(e.scrDecided) {
+			e.scrDecided[dd.Instance-1] |= 1 << uint(dd.Value&1)
+		}
+		if int32(dd.Instance) > e.scrResponded[q-1] {
+			e.scrResponded[q-1] = int32(dd.Instance)
+		}
+	}
+	ed := treeEdge{vertex: vi, kind: edgeLambda, msg: noMsg}
+	if mid != noMsg {
+		ed.kind = edgeMsg
+		ed.msg = mid
+	}
+	e.attach(ni, ed)
+}
+
+// attach interns the scratch configuration, finds or creates the child node,
+// and appends the edge to ni.
+func (e *engine) attach(ni int32, ed treeEdge) {
+	cfgID, _ := e.in.Config(e.scrStates, e.scrBuffer, e.scrDecided, e.scrInvoked, e.scrResponded)
+	key := nodeKey(cfgID, ed.vertex)
+	ci, ok := e.nodeIdx[key]
+	if !ok {
+		ci = int32(len(e.nodes))
+		e.nodes = append(e.nodes, treeNode{cfgID: cfgID, last: ed.vertex})
+		e.nodeIdx[key] = ci
+		e.queue = append(e.queue, ci)
+	}
+	ed.child = ci
+	e.nodes[ni].edges = append(e.nodes[ni].edges, ed)
+}
+
+// enumerate appends the nodes created since firstNew to the deterministic
+// enumeration: by last DAG vertex (the paper's m-based order), then by
+// canonical configuration encoding. Growth never reorders earlier nodes —
+// every new node's last vertex exceeds every old node's — so enumeration ids
+// are stable across extensions, and the prefix-m tree's order is exactly
+// byOrder truncated at last < m.
+func (e *engine) enumerate(firstNew int) {
+	if firstNew >= len(e.nodes) {
+		return
+	}
+	fresh := make([]int32, 0, len(e.nodes)-firstNew)
+	for i := firstNew; i < len(e.nodes); i++ {
+		nd := &e.nodes[i]
+		e.encBuf = e.in.encodeConfig(e.in.ConfigValue(nd.cfgID), e.encBuf[:0])
+		nd.enc = string(e.encBuf)
+		fresh = append(fresh, int32(i))
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		a, b := &e.nodes[fresh[i]], &e.nodes[fresh[j]]
+		if a.last != b.last {
+			return a.last < b.last
+		}
+		return a.enc < b.enc
+	})
+	for _, idx := range fresh {
+		e.nodes[idx].order = int32(len(e.byOrder))
+		e.byOrder = append(e.byOrder, idx)
+	}
+}
+
+// viewLen returns the number of tree nodes in the prefix-m view, i.e. the
+// byOrder prefix with last < m (the root's last is -1, so it is always
+// included).
+func (e *engine) viewLen(m int) int {
+	return sort.Search(len(e.byOrder), func(i int) bool {
+		return int(e.nodes[e.byOrder[i]].last) >= m
+	})
+}
+
+// computeReach fills the engine's reach slab for the prefix-m view:
+// reach[ni*L+k] has bit0/bit1 set if some view-descendant-or-self of node ni
+// returns 0/1 to proposeEC_{k+1}, and invalidBit if a single configuration
+// returned both (the ⊥ tag). Nodes are processed in reverse enumeration
+// order, which is reverse-topological: every edge strictly increases the last
+// vertex, hence the enumeration position.
+func (e *engine) computeReach(m, k int) {
+	L := e.L
+	need := len(e.nodes) * L
+	if cap(e.reachBuf) < need {
+		e.reachBuf = make([]uint8, need)
+	}
+	e.reachBuf = e.reachBuf[:need]
+	for oi := k - 1; oi >= 0; oi-- {
+		ni := e.byOrder[oi]
+		nd := &e.nodes[ni]
+		cfg := e.in.ConfigValue(nd.cfgID)
+		r := e.reachBuf[int(ni)*L : int(ni)*L+L]
+		for kk := 0; kk < L; kk++ {
+			d := cfg.decided[kk] & 3
+			if d == 3 {
+				d |= invalidBit
+			}
+			r[kk] = d
 		}
 		for _, ed := range nd.edges {
-			visit(ed.child)
-			for k := 0; k < L; k++ {
-				nd.reach[k] |= ed.child.reach[k]
+			if int(ed.vertex) >= m {
+				continue
+			}
+			cr := e.reachBuf[int(ed.child)*L : int(ed.child)*L+L]
+			for kk := 0; kk < L; kk++ {
+				r[kk] |= cr[kk]
 			}
 		}
 	}
-	visit(e.root)
-	for _, nd := range e.byOrder {
-		visit(nd)
+}
+
+const invalidBit = 4
+
+// ---------------------------------------------------------------------------
+// Explorer: the public face of one tree view
+// ---------------------------------------------------------------------------
+
+// Explorer builds and tags the simulation tree induced by a DAG and an
+// algorithm, as a view over the interned engine. fixedInputs non-nil switches
+// to the classical simulation-forest mode: process p's proposeEC_1 value is
+// fixedInputs[p-1] and no input branching occurs (Appendix B); nil means EC
+// mode with branching inputs (§4).
+type Explorer struct {
+	eng *engine
+	m   int // DAG prefix length of this view
+	k   int // number of tree nodes in the view
+}
+
+// NewExplorer prepares a one-shot exploration of the full DAG. maxNodes caps
+// the node count (the limit tree is infinite; see DESIGN.md decision 4); 0
+// means 200000. For repeated extractions over a growing DAG, use TreeCache,
+// which shares the engine across views.
+func NewExplorer(alg Algorithm, n int, dag *DAG, fixedInputs []int, maxNodes int) *Explorer {
+	ex := &Explorer{eng: newEngine(alg, n, fixedInputs, maxNodes)}
+	ex.eng.dag = dag
+	ex.m = dag.Len()
+	return ex
+}
+
+// Build explores every schedule compatible with paths in the DAG, then
+// computes the k-tags. It returns an error if the node cap is exceeded.
+func (ex *Explorer) Build() error {
+	dag := ex.eng.dag
+	if err := ex.eng.extendTo(dag, ex.m); err != nil {
+		return err
 	}
+	ex.k = ex.eng.viewLen(ex.m)
+	ex.eng.computeReach(ex.m, ex.k)
+	return nil
 }
 
 // Root returns the root node (for valency queries in the classical variant).
-func (e *Explorer) Root() *node { return e.root }
+func (ex *Explorer) Root() NodeID { return 0 }
 
-// Len returns the number of distinct tree nodes explored.
-func (e *Explorer) Len() int { return len(e.nodes) }
+// Len returns the number of distinct tree nodes in this view.
+func (ex *Explorer) Len() int { return ex.k }
 
 // Truncated reports whether the exploration hit the node cap.
-func (e *Explorer) Truncated() bool { return e.truncated }
+func (ex *Explorer) Truncated() bool { return ex.eng.truncated }
 
 // enabled reports whether nd is k-enabled: k = 1 or some response to
 // proposeEC_{k-1} appears in nd's schedule.
-func (e *Explorer) enabled(nd *node, k int) bool {
-	return k == 1 || nd.cfg.decided[k-2] != 0
+func (ex *Explorer) enabled(nd NodeID, k int) bool {
+	return k == 1 || ex.eng.in.ConfigValue(ex.eng.nodes[nd].cfgID).decided[k-2] != 0
 }
 
 // KTag returns the k-tag of nd: a subset of {0, 1, ⊥} encoded as a bitmask
 // (bit0 = 0-tag, bit1 = 1-tag, invalidBit = ⊥). Empty when not k-enabled.
-func (e *Explorer) KTag(nd *node, k int) uint8 {
-	if !e.enabled(nd, k) {
+func (ex *Explorer) KTag(nd NodeID, k int) uint8 {
+	if !ex.enabled(nd, k) {
 		return 0
 	}
-	return nd.reach[k-1]
+	return ex.eng.reachBuf[int(nd)*ex.eng.L+k-1]
 }
 
 // Valent reports whether nd is (k, x)-valent: its k-tag is exactly {x}.
-func (e *Explorer) Valent(nd *node, k, x int) bool {
-	return e.KTag(nd, k) == 1<<uint(x&1)
+func (ex *Explorer) Valent(nd NodeID, k, x int) bool {
+	return ex.KTag(nd, k) == 1<<uint(x&1)
 }
 
 // Bivalent reports whether nd is k-bivalent: its k-tag contains {0, 1}.
-func (e *Explorer) Bivalent(nd *node, k int) bool {
-	return e.KTag(nd, k)&3 == 3
+func (ex *Explorer) Bivalent(nd NodeID, k int) bool {
+	return ex.KTag(nd, k)&3 == 3
 }
 
 // FirstBivalent locates the first k-bivalent node in the deterministic node
 // order, scanning instances in increasing order; ok=false if none exists in
 // this finite prefix.
-func (e *Explorer) FirstBivalent() (nd *node, k int, ok bool) {
-	L := e.alg.MaxInstance()
-	for _, cand := range e.byOrder {
-		for kk := 1; kk <= L; kk++ {
-			if e.Bivalent(cand, kk) {
-				return cand, kk, true
+func (ex *Explorer) FirstBivalent() (nd NodeID, k int, ok bool) {
+	for oi := 0; oi < ex.k; oi++ {
+		ni := ex.eng.byOrder[oi]
+		for kk := 1; kk <= ex.eng.L; kk++ {
+			if ex.Bivalent(NodeID(ni), kk) {
+				return NodeID(ni), kk, true
 			}
 		}
 	}
-	return nil, 0, false
+	return 0, 0, false
 }
 
-// Subtree returns the nodes reachable from nd (including nd), in
-// deterministic order.
-func (e *Explorer) Subtree(nd *node) []*node {
-	seen := make(map[*node]bool)
-	var collect func(*node)
-	collect = func(x *node) {
-		if seen[x] {
+// Subtree returns the nodes of this view reachable from nd (including nd),
+// in deterministic enumeration order.
+func (ex *Explorer) Subtree(nd NodeID) []NodeID {
+	e := ex.eng
+	if cap(e.visited) < len(e.nodes) {
+		e.visited = make([]bool, len(e.nodes))
+	}
+	e.visited = e.visited[:len(e.nodes)]
+	for i := range e.visited {
+		e.visited[i] = false
+	}
+	e.subBuf = e.subBuf[:0]
+	var collect func(ni int32)
+	collect = func(ni int32) {
+		if e.visited[ni] {
 			return
 		}
-		seen[x] = true
-		for _, ed := range x.edges {
-			collect(ed.child)
+		e.visited[ni] = true
+		e.subBuf = append(e.subBuf, ni)
+		for _, ed := range e.nodes[ni].edges {
+			if int(ed.vertex) < ex.m {
+				collect(ed.child)
+			}
 		}
 	}
-	collect(nd)
-	out := make([]*node, 0, len(seen))
-	for x := range seen {
-		out = append(out, x)
+	collect(int32(nd))
+	out := make([]NodeID, len(e.subBuf))
+	for i, ni := range e.subBuf {
+		out[i] = NodeID(ni)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	sort.Slice(out, func(i, j int) bool {
+		return e.nodes[out[i]].order < e.nodes[out[j]].order
+	})
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// TreeCache: incremental views over a growing DAG
+// ---------------------------------------------------------------------------
+
+// TreeCache reuses one interned engine across the growing DAG prefixes the
+// reduction's round structure produces (§4's ever-growing G and the lagged
+// per-process views of Figure 6). View(dag, m) incorporates any new DAG
+// vertices — extending frontiers only, never revisiting settled prefixes —
+// and returns the prefix-m view; a DAG that does not extend the previous one
+// resets the tree (the interner survives). Views from one cache share scratch
+// state: use the returned Explorer before requesting the next view.
+type TreeCache struct {
+	eng *engine
+}
+
+// NewTreeCache prepares an incremental exploration cache. Arguments match
+// NewExplorer minus the DAG, which View supplies per round.
+func NewTreeCache(alg Algorithm, n int, fixedInputs []int, maxNodes int) *TreeCache {
+	return &TreeCache{eng: newEngine(alg, n, fixedInputs, maxNodes)}
+}
+
+// View returns the simulation-tree view over the first m vertices of dag,
+// reusing all exploration done for earlier prefixes.
+func (c *TreeCache) View(dag *DAG, m int) (*Explorer, error) {
+	if m > dag.Len() {
+		m = dag.Len()
+	}
+	// Grow the shared tree to the largest prefix seen, so later lagged views
+	// of the same round are pure lookups.
+	target := m
+	if c.eng.dagLen > target && c.eng.extendsPrior(dag) {
+		target = c.eng.dagLen
+	}
+	if err := c.eng.extendTo(dag, target); err != nil {
+		return nil, err
+	}
+	ex := &Explorer{eng: c.eng, m: m, k: c.eng.viewLen(m)}
+	c.eng.computeReach(m, ex.k)
+	return ex, nil
 }

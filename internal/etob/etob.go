@@ -63,6 +63,14 @@ type Automaton struct {
 
 	promoteCtr int64                  // counter stamped on our promote messages
 	lastCtr    map[model.ProcID]int64 // highest promote counter adopted per sender
+
+	// cgDirty is set when CG_i gained a node or edge since the last
+	// UpdatePromote. Extend is a pure function of (graph, prefix) and
+	// promote_i already contains every node after each UpdatePromote, so an
+	// update that adds nothing would extend to the identical sequence —
+	// skipping it is behavior-preserving and removes the dominant cost of
+	// redundant update floods.
+	cgDirty bool
 }
 
 var _ model.Automaton = (*Automaton)(nil)
@@ -143,47 +151,30 @@ func (a *Automaton) Tick(ctx model.Context) {
 	ctx.Broadcast(PromoteMsg{Seq: append([]string(nil), a.promote...), Counter: a.promoteCtr})
 }
 
-// updateCG is the paper's UpdateCG(m, C(m)).
+// updateCG is the paper's UpdateCG(m, C(m)). Successor counts advance once
+// per edge that is new to CG_i, which AddReporting surfaces directly —
+// missing succ keys read as zero, so no explicit zero entry is needed.
 func (a *Automaton) updateCG(m string, deps []string) {
-	for _, d := range deps {
-		if !a.cg.Has(d) || !containsStr(a.cg.Deps(m), d) {
-			a.succ[d]++
-		}
-	}
-	a.cg.Add(m, deps)
-	if _, ok := a.succ[m]; !ok {
-		a.succ[m] = 0
+	if a.cg.AddReporting(m, deps, func(d string) { a.succ[d]++ }) {
+		a.cgDirty = true
 	}
 }
 
 // unionCG is the paper's UnionCG(CG_j), keeping frontier bookkeeping in sync.
 func (a *Automaton) unionCG(other *causal.Graph) {
-	if other == nil {
-		return
-	}
-	for _, m := range other.Nodes() {
-		before := a.cg.Deps(m)
-		a.cg.Add(m, other.Deps(m))
-		if _, ok := a.succ[m]; !ok {
-			a.succ[m] = 0
-		}
-		// Count successor edges that are new to our graph.
-		beforeSet := make(map[string]bool, len(before))
-		for _, d := range before {
-			beforeSet[d] = true
-		}
-		for _, d := range a.cg.Deps(m) {
-			if !beforeSet[d] {
-				a.succ[d]++
-			}
-		}
+	if a.cg.MergeFrom(other, func(d string) { a.succ[d]++ }) {
+		a.cgDirty = true
 	}
 }
 
 // updatePromote is the paper's UpdatePromote(): extend promote_i to a
 // sequence containing all of CG_i once, respecting every edge, with the old
-// promote_i as a prefix.
+// promote_i as a prefix. When CG_i has not changed since the last extension,
+// promote_i already contains every node and Extend would return it unchanged.
 func (a *Automaton) updatePromote() {
+	if !a.cgDirty {
+		return
+	}
 	next, err := a.cg.Extend(a.promote)
 	if err != nil {
 		// Cannot occur in Algorithm 5: update messages carry dependency-closed
@@ -192,6 +183,7 @@ func (a *Automaton) updatePromote() {
 		panic(fmt.Sprintf("etob: UpdatePromote invariant violated at %v: %v", a.self, err))
 	}
 	a.promote = next
+	a.cgDirty = false
 }
 
 // frontier returns the causal frontier: all known messages with no known
@@ -226,13 +218,4 @@ func equalSeq(a, b []string) bool {
 		}
 	}
 	return true
-}
-
-func containsStr(xs []string, x string) bool {
-	for _, y := range xs {
-		if y == x {
-			return true
-		}
-	}
-	return false
 }

@@ -114,5 +114,21 @@ func (c *Cached) Values(ps []model.ProcID, t model.Time, out []any) []any {
 	return out
 }
 
+// ValuesAt is the vectorized sampling path: it fills out (allocating it if
+// nil or too short) with H(ps[i], ts[i]) for each index, hitting the
+// per-process cache entry by entry. The CHT DAG builder uses this to sample
+// a whole sweep — every alive process at its slot time — in one call against
+// a reused scratch slice; Values remains the single-instant convenience.
+func (c *Cached) ValuesAt(ps []model.ProcID, ts []model.Time, out []any) []any {
+	if cap(out) < len(ps) {
+		out = make([]any, len(ps))
+	}
+	out = out[:len(ps)]
+	for i, p := range ps {
+		out[i] = c.Value(p, ts[i])
+	}
+	return out
+}
+
 // Stats reports cache hits and misses since construction.
 func (c *Cached) Stats() (hits, misses int64) { return c.hits, c.miss }

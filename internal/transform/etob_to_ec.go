@@ -23,6 +23,23 @@ type ETOBToEC struct {
 	decided map[int]bool // instances already responded to
 	bseq    int          // per-process uniquifier for broadcast IDs
 	driver  Driver       // optional closed-loop proposer
+
+	// First(ℓ) cache. d_i changes only when the inner protocol emits a new
+	// snapshot, but the local timeout polls First every tick; scanning (and
+	// pair-decoding) the whole sequence per tick dominated the transformation
+	// stacks. firstKnown memoizes First per instance for the CURRENT d_i,
+	// filled by a single forward scan (scanned = resume point) that restarts
+	// when d_i is replaced; pairMemo caches decodePair per message ID, which
+	// is stable across snapshots.
+	firstKnown map[int]string
+	scanned    int
+	pairMemo   map[string]pairVal
+}
+
+type pairVal struct {
+	inst int
+	val  string
+	ok   bool
 }
 
 // Driver supplies the next proposal in closed-loop runs, mirroring ec.Driver
@@ -39,7 +56,14 @@ const layerETOBToEC = "etob->ec"
 // NewETOBToEC wraps an ETOB implementation into an EC implementation.
 // Proposals arrive as model.ProposeInput inputs or via Propose.
 func NewETOBToEC(p model.ProcID, n int, inner ETOBProtocol) *ETOBToEC {
-	return &ETOBToEC{self: p, n: n, inner: inner, decided: make(map[int]bool)}
+	return &ETOBToEC{
+		self:       p,
+		n:          n,
+		inner:      inner,
+		decided:    make(map[int]bool),
+		firstKnown: make(map[int]string),
+		pairMemo:   make(map[string]pairVal),
+	}
 }
 
 // NewETOBToECDriven adds a Driver that proposes instance 1 at Init and
@@ -124,22 +148,38 @@ func (a *ETOBToEC) maybeDecide(ctx model.Context) {
 	}
 }
 
-// onInnerOutput mirrors the inner protocol's d_i.
+// onInnerOutput mirrors the inner protocol's d_i and invalidates the First
+// cache: the new sequence may reorder messages (that is the "eventual" in
+// ETOB), so the scan restarts from the front.
 func (a *ETOBToEC) onInnerOutput(_ model.Context, v any) {
 	if s, ok := v.(model.SeqSnapshot); ok {
 		a.d = append(a.d[:0:0], s.Seq...)
+		a.scanned = 0
+		clear(a.firstKnown)
 	}
 }
 
 // first is the paper's First(ℓ): the value v of the first message of the
-// form (ℓ, ∗) in d_i, or ok=false if none.
+// form (ℓ, ∗) in d_i, or ok=false if none. The scan over d_i is resumed, not
+// repeated: each snapshot is decoded at most once no matter how many ticks
+// poll it.
 func (a *ETOBToEC) first(instance int) (string, bool) {
-	for _, id := range a.d {
-		if l, v, ok := decodePair(id); ok && l == instance {
-			return v, true
+	for a.scanned < len(a.d) {
+		id := a.d[a.scanned]
+		a.scanned++
+		pv, ok := a.pairMemo[id]
+		if !ok {
+			pv.inst, pv.val, pv.ok = decodePair(id)
+			a.pairMemo[id] = pv
+		}
+		if pv.ok {
+			if _, seen := a.firstKnown[pv.inst]; !seen {
+				a.firstKnown[pv.inst] = pv.val
+			}
 		}
 	}
-	return "", false
+	v, ok := a.firstKnown[instance]
+	return v, ok
 }
 
 // pairSep separates the fields of an encoded proposal message. It must
