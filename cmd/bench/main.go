@@ -18,16 +18,19 @@
 //	                            # partition for multi-machine sweeps; shards
 //	                            # 0/2 and 1/2 together cover every cell
 //	                            # exactly once)
-//	bench -json BENCH_3.json    # also write the machine-readable report
-//	bench -json BENCH_3.json -scaling 1,2,4,8
+//	bench -repeat 5             # time every cell as the median of 5 runs
+//	                            # (rows are deterministic and printed once;
+//	                            # only the recorded timings steady)
+//	bench -json BENCH_4.json    # also write the machine-readable report
+//	bench -json BENCH_4.json -scaling 1,2,4,8
 //	                            # additionally rerun the suite per worker
 //	                            # count and record the wall-time scaling
 //
-// The -json report (schema "repro-bench/1", see internal/bench.Report)
-// records per-experiment wall time, kernel steps/sec, the kernel and CHT
-// microbenchmarks (ns/op, allocs/op), and the optional scaling sweep.
-// Progress notes for the extra passes go to stderr; stdout carries only the
-// tables.
+// The -json report (schema "repro-bench/2", see internal/bench.Report)
+// records per-experiment wall time (median-of-(-repeat) per cell), kernel
+// steps/sec, the kernel and CHT microbenchmarks (ns/op, allocs/op), and the
+// optional scaling sweep. Progress notes for the extra passes go to stderr;
+// stdout carries only the tables.
 package main
 
 import (
@@ -53,6 +56,7 @@ func run() int {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker-pool size (1 = serial, <=0 = GOMAXPROCS)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell execution bound; a cell exceeding it is abandoned with a TIMEOUT row (0 = unbounded)")
 	shard := flag.String("shard", "", "run only shard i of n cells, as \"i/n\" (deterministic partition for multi-machine sweeps)")
+	repeat := flag.Int("repeat", 1, "run every cell N times and record the median cell time (tames single-core noise)")
 	jsonPath := flag.String("json", "", "write a machine-readable report (BENCH_<n>.json) to this path")
 	scaling := flag.String("scaling", "", "comma-separated worker counts to sweep for the -json scaling section, e.g. 1,2,8")
 	flag.Parse()
@@ -70,7 +74,7 @@ func run() int {
 	if sh.Count > 1 {
 		fmt.Fprintf(os.Stderr, "bench: running shard %d/%d (tables are partial; reassemble with the other shards)\n", sh.Index, sh.Count)
 	}
-	runner := bench.Runner{Opts: opts, Parallel: *parallel, CellTimeout: *cellTimeout, Shard: sh}
+	runner := bench.Runner{Opts: opts, Parallel: *parallel, CellTimeout: *cellTimeout, Shard: sh, Repeat: *repeat}
 	start := time.Now()
 	results, err := runner.Run(ids)
 	if err != nil {
@@ -92,7 +96,7 @@ func run() int {
 		}
 		return 0
 	}
-	report := bench.NewReport(opts, *parallel, results, wall)
+	report := bench.NewReport(opts, *parallel, *repeat, results, wall)
 	if *scaling != "" {
 		points, err := scalingSweep(runner, ids, *scaling)
 		if err != nil {
@@ -138,6 +142,8 @@ func scalingSweep(base bench.Runner, ids []string, spec string) ([]bench.Scaling
 			return nil, fmt.Errorf("bad -scaling entry %q (want positive integers)", s)
 		}
 		fmt.Fprintf(os.Stderr, "bench: scaling sweep with %d workers\n", w)
+		// Deliberately not inheriting Repeat (or CellTimeout/Shard): a scaling
+		// point records one wall time, so repetitions would only multiply work.
 		r := bench.Runner{Opts: base.Opts, Parallel: w}
 		start := time.Now()
 		if _, err := r.Run(ids); err != nil {

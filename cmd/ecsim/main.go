@@ -10,6 +10,18 @@
 //	ecsim -protocol etob -pre selftrust -stab 2000 -msgs 12
 //	ecsim -net partition -horizon 60000    # links partition at t=500, heal at 2500
 //	ecsim -net jitter-spiky                # asymmetric links with latency spikes
+//	ecsim -net lossy -retransmit           # drop ~15% of messages, restore
+//	                                       # eventual delivery end-to-end
+//	ecsim -net churn-fast -retransmit      # processes crash and rejoin on the
+//	                                       # preset schedule (restart = state
+//	                                       # reset); retransmission carries
+//	                                       # traffic across down intervals
+//	ecsim -net adversarial                 # divergence-maximizing scheduler
+//
+// The adversarial environment presets come from internal/sim/adversary. A
+// lossy or churning environment violates the paper's eventual-delivery
+// assumption on its own — run it raw to watch the property check fail, or
+// with -retransmit to see convergence restored.
 package main
 
 import (
@@ -23,7 +35,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/etob"
 	"repro/internal/model"
+	"repro/internal/retransmit"
 	"repro/internal/sim"
+	"repro/internal/sim/adversary" // imported for FaultSchedule; init registers the lossy/churn/adversarial presets
 	"repro/internal/tob"
 	"repro/internal/trace"
 )
@@ -44,6 +58,7 @@ func run() int {
 		horizon  = flag.Int64("horizon", 30000, "max simulated time")
 		crashes  = flag.String("crash", "", "comma-separated crashes p@t, e.g. 3@500,4@0")
 		network  = flag.String("net", "uniform", "network model preset: "+strings.Join(sim.PresetNames(), " | "))
+		retrans  = flag.Bool("retransmit", false, "wrap the protocol in retransmit.Wrap (restores eventual delivery over lossy links and across churn)")
 		verbose  = flag.Bool("v", false, "print every d_i snapshot")
 	)
 	flag.Parse()
@@ -109,18 +124,52 @@ func run() int {
 		return 2
 	}
 
+	if *retrans {
+		factory = retransmit.Wrap(factory, retransmit.Options{Seed: *seed})
+	}
+	// Environment presets can carry a fault schedule (churn-*); the kernel
+	// then suspends and restarts processes on it. When one is installed it is
+	// the kernel's ONLY liveness source, so -crash entries must be merged
+	// into it — otherwise they would be silently ignored while the header
+	// still printed them.
+	var faults model.FaultModel
+	if ff := sim.PresetFaults(*network); ff != nil {
+		faults = ff(*n)
+		if *crashes != "" {
+			fs, ok := faults.(*adversary.FaultSchedule)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ecsim: -crash cannot be combined with fault preset %q\n", *network)
+				return 2
+			}
+			for _, p := range model.Procs(*n) {
+				if ct := fp.CrashTime(p); ct >= 0 {
+					fs.Crash(p, ct)
+				}
+			}
+		}
+	}
 	rec := trace.NewRecorder(*n)
-	k := sim.New(fp, det, factory, sim.Options{Seed: *seed, Network: netFactory})
+	k := sim.New(fp, det, factory, sim.Options{Seed: *seed, Network: netFactory, Faults: faults})
 	k.SetObserver(rec)
 	var ids []string
 	for i := 0; i < *msgs; i++ {
+		at := model.Time(20 + 13*i)
 		p := model.ProcID(i%*n + 1)
-		if !fp.Alive(p, model.Time(20+13*i)) {
+		if !fp.Alive(p, at) {
 			p = fp.MinCorrect()
+		}
+		if faults != nil && !faults.Up(p, at) {
+			// Under churn, submit to a process that is actually up.
+			for _, q := range model.Procs(*n) {
+				if faults.Up(q, at) && fp.Alive(q, at) {
+					p = q
+					break
+				}
+			}
 		}
 		id := fmt.Sprintf("m%02d", i)
 		ids = append(ids, id)
-		k.ScheduleInput(p, model.Time(20+13*i), model.BroadcastInput{ID: id})
+		k.ScheduleInput(p, at, model.BroadcastInput{ID: id})
 	}
 	k.RunUntil(model.Time(*horizon), func(k *sim.Kernel) bool {
 		return k.Now() > model.Time(*stab)+200 && rec.AllDelivered(fp.Correct(), ids)
@@ -130,8 +179,8 @@ func run() int {
 
 	fmt.Printf("run: n=%d protocol=%s omega=%s/stab=%d pattern=%v seed=%d net=%s\n",
 		*n, *protocol, *pre, *stab, fp, *seed, *network)
-	fmt.Printf("steps=%d messages=%d dropped=%d finished_at=%d\n\n",
-		k.Steps(), k.MessagesSent(), k.MessagesDropped(), k.Now())
+	fmt.Printf("steps=%d messages=%d dropped=%d lost=%d finished_at=%d\n\n",
+		k.Steps(), k.MessagesSent(), k.MessagesDropped(), k.MessagesLost(), k.Now())
 
 	if *verbose {
 		for _, p := range model.Procs(*n) {
@@ -164,7 +213,11 @@ func run() int {
 	if *protocol == "etobcommit" {
 		fmt.Println("\ncommitted prefixes (§7 extension):")
 		for _, p := range fp.Correct() {
-			a := k.Automaton(p).(*etob.CommitAutomaton)
+			auto := k.Automaton(p)
+			if w, ok := auto.(*retransmit.Automaton); ok {
+				auto = w.Inner()
+			}
+			a := auto.(*etob.CommitAutomaton)
 			fmt.Printf("  %v committed %d/%d delivered\n", p, a.Committed(), len(rec.FinalSeq(p)))
 		}
 	}

@@ -6,13 +6,26 @@
 // eventual total order broadcast, eventual irrevocable consensus), all seven
 // of its algorithms, the generalized CHT reduction of its necessity proof,
 // and the strong-consistency baselines it compares against, over a
-// deterministic simulator and a live goroutine runtime. The simulator's link
-// behavior is pluggable (internal/sim's NetworkModel): uniform delays,
-// crash-free partitions that form and heal on a schedule, and jittery
-// asymmetric links ship built in, with named presets shared by the CLI
-// (cmd/ecsim -net), the examples, and the experiment tables. Options.Network
-// takes a NetworkFactory, so every kernel owns a private seeded model and
-// options values are safe to share across concurrent kernels.
+// deterministic simulator and a live goroutine runtime. The simulator's
+// environment is pluggable on both axes. Links (internal/sim's
+// NetworkModel): uniform delays, crash-free partitions — two-sided and
+// k-sided — that form and heal on a schedule, and jittery asymmetric links
+// ship built in; the adversarial engine (internal/sim/adversary) adds lossy
+// links with seeded per-link drop rates and burst losses, and a
+// divergence-maximizing scheduler that greedily starves a rotating victim
+// inside admissible delay bounds. Failures (model.FaultModel, via
+// sim.Options.Faults): the monotone crash pattern generalizes to up/down
+// intervals (adversary.FaultSchedule), with the kernel suspending a down
+// process, dropping everything sent to it, and restarting it with fresh
+// state — churn as crash+restart pairs. internal/retransmit restores the
+// paper's eventual-delivery assumption end-to-end over those hostile
+// environments (ack'd, deduplicated envelopes with seeded exponential
+// resend), turning loss rate and churn rate into sweepable parameters.
+// Named presets ("lossy", "churn-fast", "adversarial", ...) are shared by
+// the CLI (cmd/ecsim -net), the examples, and the experiment tables.
+// Options.Network takes a NetworkFactory, so every kernel owns a private
+// seeded model and options values are safe to share across concurrent
+// kernels.
 //
 // The kernel's hot path is engineered for sweep scale: an inlined 4-ary
 // event heap over a reusable slab (no container/heap boxing, no per-event
@@ -31,12 +44,14 @@
 // First(ℓ) poll resumes its scan instead of re-decoding the sequence per
 // tick. On top of it, internal/bench decomposes every experiment into
 // independent seeded cells and fans them across a bounded worker pool
-// (cmd/bench -parallel) with per-cell timeout isolation (-cell-timeout) and
-// deterministic cell sharding for multi-machine sweeps (-shard i/n), with
+// (cmd/bench -parallel) with per-cell timeout isolation (-cell-timeout),
+// deterministic cell sharding for multi-machine sweeps (-shard i/n), and
+// median-of-N cell timing (-repeat N) to tame single-core noise, with
 // rows reassembled deterministically so parallel output is byte-identical
 // to serial; cmd/bench -json writes a machine-readable BENCH_<n>.json
-// (per-experiment wall time, kernel steps/sec, microbenchmark ns/op and
-// allocs/op, optional worker-scaling sweep) tracking the perf trajectory.
+// (schema repro-bench/2: per-experiment wall time, kernel steps/sec,
+// microbenchmark ns/op and allocs/op, optional worker-scaling sweep)
+// tracking the perf trajectory.
 //
 // Start with README.md (overview and quickstart), DESIGN.md (system
 // inventory, per-experiment index, design decisions), and EXPERIMENTS.md

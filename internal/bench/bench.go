@@ -12,7 +12,17 @@
 //	E7  §5 P3     causal order holds even during leader disagreement
 //	E8  App. A    EC ≡ EIC (Algorithms 6 and 7; revocations are finite)
 //	E9  §2/Thm 2  EC reconverges after crash-free network partitions of any
-//	              length (partition-length sweep over sim.Partitioned)
+//	              length and side count, vs the strong Paxos baselines
+//	              (sweep over sim.Partitioned / sim.MultiPartitioned)
+//	E10 §2        EC rides out churn (crash+restart via adversary.Churn and
+//	              the kernel's suspend/restart semantics) once retransmission
+//	              restores eventual delivery; lag tracks the churn rate
+//	E11 §2        the eventual-delivery assumption itself: raw message loss
+//	              (adversary.Lossy) breaks EC-Termination, retransmit.Wrap
+//	              restores a finite convergence tick at every loss rate
+//	E12 §2        the scheduler as adversary: divergence-maximizing delays
+//	              (adversary.AdversarialScheduler) vs i.i.d. over the same
+//	              bounds — convergence still happens, but later
 //
 // All experiments run on the deterministic kernel; absolute times are
 // simulator ticks, and "steps" are message delays (DESIGN.md decision 5).

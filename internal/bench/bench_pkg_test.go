@@ -25,7 +25,7 @@ func TestTableFormat(t *testing.T) {
 
 func TestByID(t *testing.T) {
 	opts := Options{Quick: true}
-	for _, id := range []string{"e1", "E2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
+	for _, id := range []string{"e1", "E2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "E11", "e12"} {
 		if _, ok := ByID(id, opts); !ok {
 			t.Errorf("ByID(%q) not found", id)
 		}
@@ -149,29 +149,120 @@ func TestE8BothDirectionsOK(t *testing.T) {
 
 func TestE9AlwaysReconverges(t *testing.T) {
 	tbl := E9PartitionSweep(Options{Quick: true})
-	if len(tbl.Rows) < 2 {
+	if len(tbl.Rows) < 4 {
 		t.Fatalf("rows: %v", tbl.Rows)
 	}
+	var etob2 [][]string // the two-sided ETOB duration sweep, in order
+	sawKWay, sawBaseline := false, false
 	for _, row := range tbl.Rows {
-		if row[2] != "yes" {
-			t.Errorf("partition length %s never reconverged: %v", row[0], row)
+		if row[4] != "yes" {
+			t.Errorf("%s with %s sides, partition length %s never reconverged: %v", row[0], row[1], row[2], row)
+		}
+		switch {
+		case row[0] == "ETOB (Omega)" && row[1] == "2":
+			etob2 = append(etob2, row)
+		case row[0] == "ETOB (Omega)":
+			sawKWay = true
+		default:
+			sawBaseline = true
 		}
 	}
+	if !sawKWay {
+		t.Error("no multi-way (k-side) partition row")
+	}
+	if !sawBaseline {
+		t.Error("no strong-baseline row")
+	}
 	// Longer partitions must cost decision latency (first row has length 0).
-	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
-	firstLat, err1 := strconv.Atoi(first[5])
-	lastLat, err2 := strconv.Atoi(last[5])
+	first, last := etob2[0], etob2[len(etob2)-1]
+	firstLat, err1 := strconv.Atoi(first[7])
+	lastLat, err2 := strconv.Atoi(last[7])
 	if err1 != nil || err2 != nil {
-		t.Fatalf("non-numeric latency cells: %q %q", first[5], last[5])
+		t.Fatalf("non-numeric latency cells: %q %q", first[7], last[7])
 	}
 	if firstLat >= lastLat {
 		t.Errorf("worst decision latency did not grow with partition length: %v vs %v", first, last)
 	}
 }
 
+// TestE10ChurnConverges: every churn rate must reach convergence (the
+// retransmission layer restores eventual delivery across down intervals), and
+// churn must actually have happened (restarts > 0).
+func TestE10ChurnConverges(t *testing.T) {
+	tbl := E10ChurnSweep(Options{Quick: true})
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("rows: %v", tbl.Rows)
+	}
+	for _, row := range tbl.Rows {
+		if restarts, err := strconv.Atoi(row[2]); err != nil || restarts == 0 {
+			t.Errorf("mean up %s: restarts=%s, want > 0 (no churn exercised)", row[0], row[2])
+		}
+		if row[3] != "yes" {
+			t.Errorf("churn rate %s/%s never converged: %v", row[0], row[1], row)
+		}
+	}
+}
+
+// TestE11LossGate pins the experiment's acceptance shape at both workload
+// scales: raw loss at >= 10% drop never converges (EC-Termination breaks with
+// eventual delivery), while the retransmission rows converge at EVERY loss
+// rate with a finite convergence tick.
+func TestE11LossGate(t *testing.T) {
+	for _, opts := range []Options{{Quick: true}, {}} {
+		tbl := E11LossSweep(opts)
+		for _, row := range tbl.Rows {
+			rate, err := strconv.Atoi(strings.TrimSuffix(row[0], "%"))
+			if err != nil {
+				t.Fatalf("bad drop cell %q", row[0])
+			}
+			switch row[1] {
+			case "raw":
+				if rate >= 10 && row[2] != "no" {
+					t.Errorf("raw loss at %d%% converged — eventual delivery should be broken: %v", rate, row)
+				}
+				if rate == 0 && row[2] != "yes" {
+					t.Errorf("raw loss at 0%% did not converge: %v", row)
+				}
+			case "retransmit":
+				if row[2] != "yes" {
+					t.Errorf("retransmission did not restore convergence at %d%%: %v", rate, row)
+				}
+				if _, err := strconv.Atoi(row[4]); err != nil {
+					t.Errorf("retransmit row at %d%% has no finite convergence tick: %v", rate, row)
+				}
+			default:
+				t.Fatalf("unknown mode %q", row[1])
+			}
+		}
+	}
+}
+
+// TestE12AdversaryAdmissible: the adversarial scheduler must never prevent
+// convergence (it is an admissible environment), and on the broadcast
+// workload its worst decision latency must be at least i.i.d.'s.
+func TestE12AdversaryAdmissible(t *testing.T) {
+	tbl := E12AdversarialScheduler(Options{Quick: true})
+	lat := map[string]int{}
+	for _, row := range tbl.Rows {
+		if row[2] != "yes" {
+			t.Errorf("%s under %s did not converge: %v", row[0], row[1], row)
+		}
+		if row[0] == "broadcast (E9)" {
+			v, err := strconv.Atoi(row[4])
+			if err != nil {
+				t.Fatalf("bad latency cell: %v", row)
+			}
+			lat[row[1]] = v
+		}
+	}
+	if lat["adversarial"] < lat["i.i.d."] {
+		t.Errorf("adversarial worst latency %d below i.i.d. %d", lat["adversarial"], lat["i.i.d."])
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	tables := All(Options{Quick: true})
-	if len(tables) != 9 {
+	if len(tables) != 12 {
 		t.Fatalf("All returned %d tables", len(tables))
 	}
 	for _, tbl := range tables {

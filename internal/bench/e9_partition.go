@@ -3,75 +3,124 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/consensus"
 	"repro/internal/etob"
 	"repro/internal/fd"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/tob"
 	"repro/internal/trace"
 )
 
 // E9PartitionSweep measures eventual consistency under crash-free network
-// partitions of increasing length (the sim.Partitioned network model, new in
-// this revision of the kernel). All five processes stay up; the links between
-// {p1, p2} and {p3, p4, p5} sever at t=500 and heal after the sweep's
-// duration, with cross-partition traffic buffered until the heal (eventual
-// delivery, §2). The paper's claim: EC/ETOB needs only Ω and an environment
-// with eventual delivery — so convergence must always be reached, with the
-// convergence lag tracking the partition length rather than diverging.
+// partitions (the sim.Partitioned / sim.MultiPartitioned network models).
+// All five processes stay up; links sever at t=500 and heal after the
+// sweep's duration, with cross-partition traffic buffered until the heal
+// (eventual delivery, §2). The paper's claim: EC/ETOB needs only Ω and an
+// environment with eventual delivery — so convergence must always be
+// reached, with the convergence lag tracking partition length rather than
+// diverging.
 //
-// Reported per partition length: when the last correct process stably
-// delivered the last broadcast (EC convergence), how far behind the heal
-// that is, and the worst per-broadcast ETOB decision latency (stable
-// delivery at ALL correct processes minus broadcast time).
+// Three axes share the table:
+//
+//   - the original two-sided duration sweep ({p1,p2} | {p3,p4,p5}) for ETOB;
+//   - multi-way (k-side) partitions at a fixed duration: the network
+//     fragments into 3 and 4 mutually isolated sides and ETOB still
+//     reconverges after the heal (nothing in Algorithm 5 assumes two sides);
+//   - the strong baselines on the two-sided split: the Paxos log with
+//     majority quorums (Ω only) stalls while its leader sits in the minority
+//     side and catches up after the heal, and with Σ quorums (detector Ω+Σ)
+//     it behaves the same here — buffered links stall any quorum that spans
+//     the cut — so the contrast with ETOB is in decision latency, not
+//     liveness.
+//
+// Reported per row: when the last correct process stably delivered the last
+// broadcast (EC convergence), how far behind the heal that is, and the worst
+// per-broadcast decision latency (stable delivery at ALL correct processes
+// minus broadcast time).
 func E9PartitionSweep(opts Options) Table { return e9Spec(opts).run() }
 
-// e9Spec decomposes E9 into one cell per partition duration.
+// e9Case parameterizes one E9 cell: a protocol stack over a partition shape.
+type e9Case struct {
+	protocol string
+	factory  model.AutomatonFactory
+	det      func(fp *model.FailurePattern) fd.Detector
+	sides    int
+	dur      model.Time
+}
+
+// e9Spec decomposes E9 into one cell per (protocol, sides, duration).
 func e9Spec(opts Options) spec {
 	const (
 		n       = 5
 		splitAt = 500 // partition onset
 	)
 	durations := []model.Time{0, 500, 1000, 2000, 4000}
+	baselineDur := model.Time(2000)
+	kSides := []int{3, 4}
 	msgs := 6
 	if opts.Quick {
 		durations = []model.Time{0, 1000}
+		baselineDur = 1000
+		kSides = []int{3}
 		msgs = 3
+	}
+	omega := func(fp *model.FailurePattern) fd.Detector { return fd.NewOmegaStable(fp, 1) }
+	omegaSigma := func(fp *model.FailurePattern) fd.Detector {
+		return fd.NewOmegaSigma(fd.NewOmegaStable(fp, 1), fd.NewSigma(fp, 0))
 	}
 	s := spec{shell: Table{
 		ID:     "E9",
-		Title:  "EC convergence and ETOB decision latency vs partition length",
-		Claim:  "with eventual delivery, ETOB (Omega only) always reconverges; lag tracks partition length (paper §2, Theorem 2)",
-		Header: []string{"partition len", "heal at", "converged", "converged at", "lag after heal", "worst decision latency"},
+		Title:  "EC convergence and decision latency vs partition length, k-side partitions, and strong baselines",
+		Claim:  "with eventual delivery, ETOB (Omega only) always reconverges — across any partition length and any number of sides; lag tracks partition length (paper §2, Theorem 2)",
+		Header: []string{"protocol", "sides", "partition len", "heal at", "converged", "converged at", "lag after heal", "worst decision latency"},
 		Notes: []string{
-			fmt.Sprintf("n=%d, crash-free; links {p1,p2}|{p3,p4,p5} sever at t=%d; %d broadcasts from both sides", n, splitAt, msgs),
-			"cross-partition messages are buffered and released at heal time (sim.Partitioned)",
-			"converged at = last stable delivery of the last broadcast at any correct process",
+			fmt.Sprintf("n=%d, crash-free; partitions form at t=%d; %d broadcasts from senders on different sides", n, splitAt, msgs),
+			"2 sides: {p1,p2} | {p3,p4,p5} (sim.Partitioned); k sides: p on side (p-1) mod k (sim.MultiPartitioned)",
+			"cross-partition messages are buffered and released at heal time (eventual delivery)",
+			"baselines: Paxos log over majority and Sigma quorums — any quorum spanning the cut stalls until the heal",
 		},
 	}}
+	var cases []e9Case
 	for _, dur := range durations {
+		cases = append(cases, e9Case{"ETOB (Omega)", etob.Factory(), omega, 2, dur})
+	}
+	for _, k := range kSides {
+		cases = append(cases, e9Case{"ETOB (Omega)", etob.Factory(), omega, k, baselineDur})
+	}
+	cases = append(cases,
+		e9Case{"Paxos majority (Omega)", tob.PaxosLog(consensus.MajorityQuorums), omega, 2, baselineDur},
+		e9Case{"Paxos Sigma (Omega+Sigma)", tob.PaxosLog(consensus.SigmaQuorums), omegaSigma, 2, baselineDur},
+	)
+	for _, c := range cases {
+		c := c
 		s.cells = append(s.cells, func() cellOut {
-			return e9Cell(opts, dur, splitAt, msgs, n)
+			return e9Cell(opts, c, splitAt, msgs, n)
 		})
 	}
 	return s
 }
 
-// e9Cell runs one partition-duration run and reports its row.
-func e9Cell(opts Options, dur, splitAt model.Time, msgs, n int) cellOut {
+// e9Cell runs one partition run and reports its row.
+func e9Cell(opts Options, c e9Case, splitAt model.Time, msgs, n int) cellOut {
 	fp := model.NewFailurePattern(n)
-	det := fd.NewOmegaStable(fp, 1)
+	det := c.det(fp)
 	rec := trace.NewRecorder(n)
-	k := sim.New(fp, det, etob.Factory(), sim.Options{
+	k := sim.New(fp, det, c.factory, sim.Options{
 		Seed: opts.seed(),
 		Network: func() sim.NetworkModel {
-			return &sim.Partitioned{LeftSize: 2, FirstAt: splitAt, Duration: dur}
+			if c.sides == 2 {
+				return &sim.Partitioned{LeftSize: 2, FirstAt: splitAt, Duration: c.dur}
+			}
+			return &sim.MultiPartitioned{Sides: c.sides, FirstAt: splitAt, Duration: c.dur}
 		},
 	})
 	k.SetObserver(rec)
 	var ids []string
 	var sentAt []model.Time
 	for i := 0; i < msgs; i++ {
-		// Alternate sides so both partitions keep accepting operations.
+		// Alternate senders that sit on different sides under both the
+		// two-sided split and every k-way assignment used here.
 		sender := model.ProcID(2)
 		if i%2 == 1 {
 			sender = model.ProcID(4)
@@ -82,7 +131,7 @@ func e9Cell(opts Options, dur, splitAt model.Time, msgs, n int) cellOut {
 		sentAt = append(sentAt, at)
 		k.ScheduleInput(sender, at, model.BroadcastInput{ID: id})
 	}
-	heal := splitAt + dur
+	heal := splitAt + c.dur
 	horizon := heal + 20000
 	correct := fp.Correct() // hoisted: the stop predicate runs per event
 	k.RunUntil(horizon, func(*sim.Kernel) bool { return rec.AllDelivered(correct, ids) })
@@ -109,13 +158,13 @@ func e9Cell(opts Options, dur, splitAt model.Time, msgs, n int) cellOut {
 	// "-" cells: no heal event when dur == 0 (no partition ever forms),
 	// and no convergence figures when a run did not converge.
 	healCell, convergedCell, lagCell, latencyCell := "-", "-", "-", "-"
-	if dur > 0 {
+	if c.dur > 0 {
 		healCell = fmt.Sprint(heal)
 	}
 	if converged {
 		convergedCell = fmt.Sprint(convergedAt)
 		latencyCell = fmt.Sprint(worstLatency)
-		if dur > 0 {
+		if c.dur > 0 {
 			lag := convergedAt - heal
 			if lag < 0 {
 				lag = 0 // converged before the heal
@@ -124,6 +173,7 @@ func e9Cell(opts Options, dur, splitAt model.Time, msgs, n int) cellOut {
 		}
 	}
 	return cellOut{rows: [][]string{{
-		fmt.Sprint(dur), healCell, boolCell(converged), convergedCell, lagCell, latencyCell,
+		c.protocol, fmt.Sprint(c.sides), fmt.Sprint(c.dur), healCell,
+		boolCell(converged), convergedCell, lagCell, latencyCell,
 	}}, steps: k.Steps()}
 }

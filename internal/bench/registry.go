@@ -58,6 +58,9 @@ var registry = []struct {
 	{"E7", e7Spec},
 	{"E8", e8Spec},
 	{"E9", e9Spec},
+	{"E10", e10Spec},
+	{"E11", e11Spec},
+	{"E12", e12Spec},
 }
 
 // IDs returns the experiment IDs in suite order.

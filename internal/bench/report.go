@@ -10,18 +10,21 @@ import (
 // Report is the machine-readable record of a bench run, written by cmd/bench
 // as BENCH_<n>.json to track the perf trajectory across PRs.
 //
-// Schema ("repro-bench/1"):
+// Schema ("repro-bench/2" — rev 2 adds "repeat": per-cell times are the
+// median of that many repetitions, taming single-core scheduling noise;
+// "repeat": 1 reads exactly like schema 1):
 //
 //	{
-//	  "schema":     "repro-bench/1",
+//	  "schema":     "repro-bench/2",
 //	  "seed":       42,            // base experiment seed
 //	  "quick":      false,         // reduced workloads?
 //	  "parallel":   8,             // worker-pool size of the recorded run
+//	  "repeat":     5,             // each cell timed as median-of-5
 //	  "gomaxprocs": 8,             // cores visible to the scheduler
 //	  "wall_ms":    1234.5,        // wall time of the full table run
 //	  "experiments": [             // per experiment, in suite order
 //	    {"id": "E1", "cells": 3, "steps": 123456,
-//	     "cell_ms": 456.7,         // summed cell time (CPU-ms, overlaps under parallelism)
+//	     "cell_ms": 456.7,         // summed median cell time (CPU-ms, overlaps under parallelism)
 //	     "steps_per_sec": 270000}, // kernel steps / cell time
 //	    ...],
 //	  "scaling": [                 // optional -scaling sweep, one point per worker
@@ -38,6 +41,7 @@ type Report struct {
 	Seed        int64          `json:"seed"`
 	Quick       bool           `json:"quick"`
 	Parallel    int            `json:"parallel"`
+	Repeat      int            `json:"repeat"`
 	GoMaxProcs  int            `json:"gomaxprocs"`
 	WallMS      float64        `json:"wall_ms"`
 	Experiments []ExpReport    `json:"experiments"`
@@ -62,13 +66,18 @@ type ScalingPoint struct {
 }
 
 // NewReport assembles a Report from a Runner's results and the measured wall
-// time of the run.
-func NewReport(opts Options, parallel int, results []Result, wall time.Duration) *Report {
+// time of the run. repeat is the Runner.Repeat the results were timed with
+// (values <= 1 normalize to 1).
+func NewReport(opts Options, parallel, repeat int, results []Result, wall time.Duration) *Report {
+	if repeat < 1 {
+		repeat = 1
+	}
 	r := &Report{
-		Schema:     "repro-bench/1",
+		Schema:     "repro-bench/2",
 		Seed:       opts.seed(),
 		Quick:      opts.Quick,
 		Parallel:   parallel,
+		Repeat:     repeat,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		WallMS:     ms(wall),
 	}

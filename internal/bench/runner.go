@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -48,6 +49,12 @@ type Runner struct {
 	// multi-machine sweeps; cells owned by other shards are skipped and
 	// their ByCell entries stay nil.
 	Shard Shard
+	// Repeat runs every cell N times and records the MEDIAN execution time
+	// (values <= 1 mean once). Cells are deterministic, so the rows are
+	// identical across repetitions and only the timing varies — the median
+	// tames the ±2× single-core scheduling noise that makes one-shot cell
+	// times unreliable in BENCH_*.json comparisons.
+	Repeat int
 }
 
 // Result is one experiment's assembled table plus the perf accounting the
@@ -61,7 +68,8 @@ type Result struct {
 	Steps int64
 	// CellTime is the summed execution time of the cells (CPU-seconds, not
 	// wall time: under parallelism cells overlap, so the suite's wall time is
-	// measured by the caller around Run).
+	// measured by the caller around Run). With Repeat > 1 each cell
+	// contributes its median-of-N time.
 	CellTime time.Duration
 	// ByCell holds each cell's rows in cell order: nil for cells this shard
 	// skipped, so shards reassemble into the serial table by picking every
@@ -107,10 +115,36 @@ func (r Runner) Run(ids []string) ([]Result, error) {
 		}
 	}
 
+	repeat := r.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
 	runJob := func(j job) {
-		start := time.Now()
-		out, timedOut := runCell(specs[j.e].cells[j.c], r.CellTimeout)
-		cells[j.e][j.c] = slot{out: out, dur: time.Since(start), ran: true, timedOut: timedOut}
+		// Repetitions only steady the timing: the first SUCCESSFUL run's rows
+		// are the cell's rows, and a repetition that trips CellTimeout (the
+		// wall-clock noise -repeat exists to tame can push a borderline cell
+		// over the bound) neither overwrites them nor skews the median — it
+		// just ends the sampling early. Only a timeout with no successful run
+		// at all marks the cell TIMEOUT.
+		var durs []time.Duration
+		var out cellOut
+		var haveOut, timedOut bool
+		for rep := 0; rep < repeat; rep++ {
+			start := time.Now()
+			o, to := runCell(specs[j.e].cells[j.c], r.CellTimeout)
+			if to {
+				if !haveOut {
+					out, timedOut = o, true
+					durs = append(durs, time.Since(start))
+				}
+				break
+			}
+			if !haveOut {
+				out, haveOut = o, true
+			}
+			durs = append(durs, time.Since(start))
+		}
+		cells[j.e][j.c] = slot{out: out, dur: median(durs), ran: true, timedOut: timedOut}
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
@@ -153,6 +187,17 @@ func (r Runner) Run(ids []string) ([]Result, error) {
 		results[i] = res
 	}
 	return results, nil
+}
+
+// median returns the median duration (mean of the middle two for even
+// counts). The input is sorted in place.
+func median(durs []time.Duration) time.Duration {
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	n := len(durs)
+	if n%2 == 1 {
+		return durs[n/2]
+	}
+	return (durs[n/2-1] + durs[n/2]) / 2
 }
 
 // runCell executes one cell, bounded by timeout when positive. A timed-out

@@ -18,8 +18,8 @@ func formatAll(results []Result) string {
 }
 
 // TestRunnerParallelMatchesSerial is the sweep engine's golden property: the
-// full nine-table suite under an 8-worker pool must be byte-identical to the
-// serial path (and to the legacy All entry point). Run under -race in CI,
+// full twelve-table suite under an 8-worker pool must be byte-identical to
+// the serial path (and to the legacy All entry point). Run under -race in CI,
 // this also shakes out any shared mutable state between cells.
 func TestRunnerParallelMatchesSerial(t *testing.T) {
 	opts := Options{Quick: true}
@@ -47,6 +47,26 @@ func TestRunnerParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestRunnerParallelMatchesSerialAdversary pins the same byte-identity for
+// the adversarial-environment experiments specifically (E10 churn, E11 loss,
+// E12 scheduler): their cells build seeded schedules, lossy models, and
+// retransmission wrappers, and none of that state may leak across workers.
+func TestRunnerParallelMatchesSerialAdversary(t *testing.T) {
+	ids := []string{"E10", "E11", "E12"}
+	opts := Options{Quick: true}
+	serial, err := Runner{Opts: opts, Parallel: 1}.Run(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Opts: opts, Parallel: 8}.Run(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sOut, pOut := formatAll(serial), formatAll(parallel); sOut != pOut {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sOut, pOut)
+	}
+}
+
 // TestRunnerPerfAccounting: cells and steps must be populated — the
 // BENCH_*.json report depends on them.
 func TestRunnerPerfAccounting(t *testing.T) {
@@ -64,6 +84,31 @@ func TestRunnerPerfAccounting(t *testing.T) {
 		if len(r.Table.Rows) == 0 {
 			t.Errorf("%s: no rows", r.Table.ID)
 		}
+	}
+}
+
+// TestRunnerRepeatIdenticalRows: -repeat only steadies timings — the
+// assembled tables must be byte-identical to a single-shot run, and the
+// report must carry the repeat count under the bumped schema.
+func TestRunnerRepeatIdenticalRows(t *testing.T) {
+	opts := Options{Quick: true}
+	once, err := Runner{Opts: opts, Parallel: 2}.Run([]string{"E1", "E11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrice, err := Runner{Opts: opts, Parallel: 2, Repeat: 3}.Run([]string{"E1", "E11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := formatAll(once), formatAll(thrice); a != b {
+		t.Fatalf("repeat changed the tables:\n--- once ---\n%s\n--- median-of-3 ---\n%s", a, b)
+	}
+	rep := NewReport(opts, 2, 3, thrice, 0)
+	if rep.Schema != "repro-bench/2" || rep.Repeat != 3 {
+		t.Errorf("report schema/repeat = %q/%d, want repro-bench/2 and 3", rep.Schema, rep.Repeat)
+	}
+	if rep := NewReport(opts, 2, 0, once, 0); rep.Repeat != 1 {
+		t.Errorf("repeat <= 1 must normalize to 1, got %d", rep.Repeat)
 	}
 }
 
@@ -85,7 +130,7 @@ func TestRunnerUnknownID(t *testing.T) {
 // from the single registry.
 func TestRegistryCoherence(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 9 {
+	if len(ids) != 12 {
 		t.Fatalf("IDs() = %v", ids)
 	}
 	tables := All(Options{Quick: true})

@@ -26,6 +26,7 @@ import (
 	"repro/internal/etob"
 	"repro/internal/fd"
 	"repro/internal/model"
+	"repro/internal/retransmit"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/smr"
@@ -130,8 +131,15 @@ type Config struct {
 	Failures *model.FailurePattern
 	// Omega is the Ω history spec (default stable smallest-correct leader).
 	Omega OmegaSpec
-	// Sim tunes the kernel (Seed, delays, tick interval).
+	// Sim tunes the kernel (Seed, delays, tick interval, network model,
+	// fault schedule).
 	Sim sim.Options
+	// Retransmit wraps every replica in the retransmission layer
+	// (internal/retransmit.Wrap). Required for environments that genuinely
+	// lose messages — lossy networks (internal/sim/adversary.Lossy) and
+	// churn (Sim.Faults with restarts) — where the paper's eventual-delivery
+	// assumption must be restored end-to-end for convergence to hold.
+	Retransmit bool
 }
 
 // SimService is a replicated service running on the deterministic simulator.
@@ -171,7 +179,11 @@ func NewSimService(cfg Config) *SimService {
 		panic(fmt.Sprintf("core: unknown consistency %v", cfg.Consistency))
 	}
 	rec := trace.NewRecorder(cfg.N)
-	k := sim.New(cfg.Failures, det, smr.ReplicaFactory(broadcast, cfg.Machine), cfg.Sim)
+	factory := smr.ReplicaFactory(broadcast, cfg.Machine)
+	if cfg.Retransmit {
+		factory = retransmit.Wrap(factory, retransmit.Options{Seed: cfg.Sim.Seed})
+	}
+	k := sim.New(cfg.Failures, det, factory, cfg.Sim)
 	k.SetObserver(rec)
 	return &SimService{cfg: cfg, kernel: k, rec: rec, det: det}
 }
@@ -222,13 +234,23 @@ func (s *SimService) RunUntilConverged(maxTime model.Time) bool {
 
 // Snapshot returns replica p's current machine snapshot.
 func (s *SimService) Snapshot(p model.ProcID) string {
-	return s.kernel.Automaton(p).(*smr.Replica).Snapshot()
+	return s.replica(p).Snapshot()
 }
 
 // Rebuilds returns how many times replica p replayed from scratch (eventual
 // consistency's divergence repair; always 0 under strong consistency).
 func (s *SimService) Rebuilds(p model.ProcID) int {
-	return s.kernel.Automaton(p).(*smr.Replica).Rebuilds()
+	return s.replica(p).Rebuilds()
+}
+
+// replica returns p's state-machine replica, unwrapping the retransmission
+// layer when Config.Retransmit put one around it.
+func (s *SimService) replica(p model.ProcID) *smr.Replica {
+	a := s.kernel.Automaton(p)
+	if w, ok := a.(*retransmit.Automaton); ok {
+		a = w.Inner()
+	}
+	return a.(*smr.Replica)
 }
 
 // Report property-checks the run against the (E)TOB specification.

@@ -1,0 +1,57 @@
+package fd
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestOmegaUp: leadership follows the smallest up process across down
+// intervals, stabilizes at Stab, and segments exactly at the schedule's
+// boundaries (so fd.Cached serves it correctly).
+func TestOmegaUp(t *testing.T) {
+	// p1 down [100, 300), p2 down [200, 400); stabilization at 500.
+	up := func(p model.ProcID, tt model.Time) bool {
+		switch p {
+		case 1:
+			return tt < 100 || tt >= 300
+		case 2:
+			return tt < 200 || tt >= 400
+		default:
+			return true
+		}
+	}
+	boundaries := []model.Time{100, 200, 300, 400}
+	o := NewOmegaUp(3, 1, 500, up, boundaries)
+
+	for _, tc := range []struct {
+		t    model.Time
+		want model.ProcID
+	}{
+		{0, 1},   // everyone up: smallest
+		{150, 2}, // p1 down
+		{250, 3}, // p1 and p2 down
+		{350, 1}, // p1 back
+		{600, 1}, // stabilized
+	} {
+		if got := o.Value(2, tc.t).(model.ProcID); got != tc.want {
+			t.Errorf("Value(t=%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	for _, tc := range []struct{ t, want model.Time }{
+		{50, 0}, {100, 100}, {199, 100}, {250, 200}, {450, 400}, {500, 500}, {9000, 500},
+	} {
+		if got := o.SegmentStart(1, tc.t); got != tc.want {
+			t.Errorf("SegmentStart(t=%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+
+	// Cached must agree with the raw history everywhere, including queries
+	// that hop backwards across segments.
+	c := NewCached(o)
+	for _, tt := range []model.Time{0, 150, 250, 350, 600, 250, 0, 9000} {
+		if got, want := c.Value(1, tt), o.Value(1, tt); got != want {
+			t.Errorf("Cached.Value(t=%d) = %v, want %v", tt, got, want)
+		}
+	}
+}

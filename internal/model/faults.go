@@ -1,0 +1,36 @@
+package model
+
+// This file generalizes the paper's monotone crash model to environments
+// with churn. The paper's F : N → 2^Π is monotone — once a process is in
+// F(t) it stays there — which FailurePattern encodes directly. An adversarial
+// environment engine additionally wants processes that crash and REJOIN
+// (crash+restart pairs with a state reset), so kernels consume liveness
+// through the FaultModel interface below: FailurePattern remains the monotone
+// special case (it implements FaultModel with no restarts, so every existing
+// experiment and the CHT reduction are untouched), and
+// internal/sim/adversary.FaultSchedule is the up/down-interval generalization.
+
+// FaultModel answers the two liveness questions a kernel asks: is process p
+// up at time t, and at which times does p come back up after a down interval.
+//
+// Contract: implementations are immutable once handed to a kernel, and all
+// queries are deterministic pure functions — the same property that makes
+// FailurePattern safe to share across concurrently running kernels.
+type FaultModel interface {
+	// Up reports whether p is up (taking steps, receiving messages) at t.
+	Up(p ProcID, t Time) bool
+	// Restarts returns the times, strictly increasing, at which p transitions
+	// from down back to up — i.e. the start of every up interval except one
+	// beginning at time 0. A restarted process re-runs its init hook with
+	// fresh automaton state; messages that reached it while down are lost.
+	// Monotone patterns return nil.
+	Restarts(p ProcID) []Time
+}
+
+var _ FaultModel = (*FailurePattern)(nil)
+
+// Up implements FaultModel: a monotone pattern is up exactly while alive.
+func (f *FailurePattern) Up(p ProcID, t Time) bool { return f.Alive(p, t) }
+
+// Restarts implements FaultModel: crashes are permanent, so there are none.
+func (f *FailurePattern) Restarts(ProcID) []Time { return nil }

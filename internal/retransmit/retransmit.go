@@ -1,0 +1,251 @@
+// Package retransmit restores the paper's eventual-delivery assumption (§2)
+// over a lossy wire, at the automaton level: Wrap takes any protocol's
+// AutomatonFactory and returns one whose messages travel inside ack'd,
+// deduplicated envelopes with seeded exponential resend. Over a network that
+// drops each transmission with probability < 1 (internal/sim/adversary.Lossy),
+// every payload sent between correct processes is delivered to the inner
+// automaton EXACTLY once: resends continue until acknowledged (at-least-once),
+// and receiver-side dedup suppresses the duplicates (at-most-once). The loss
+// rate thereby becomes a sweepable performance parameter — it costs resends
+// and latency — instead of a broken model assumption; E11 in internal/bench
+// measures exactly that boundary.
+//
+// The wrapper is protocol-agnostic and invisible to the inner automaton: it
+// intercepts Send/Broadcast on the step context and the matching Recv calls,
+// and passes Init/Tick/Input straight through. Retransmission timing counts
+// the automaton's own Tick steps (the paper's local timeout — processes have
+// no clock access): an unacked envelope is resent after RTO ticks, then
+// 2·RTO, 4·RTO, ... capped at MaxRTO, each resend offset by seeded jitter so
+// two senders that lost the same burst do not resend in lockstep forever.
+//
+// Churn interplay: a process restarted by the kernel (sim.Options.Faults)
+// re-runs Init with fresh state, which gives the wrapper a new EPOCH (derived
+// from the restart time). Envelope identity is (sender, epoch, seq), so a
+// restarted sender's fresh sequence numbers are never confused with its
+// previous incarnation's, and in-flight envelopes from the old incarnation
+// deliver at most once to whichever incarnation receives them first.
+//
+// Determinism: all jitter comes from a PRNG seeded by (Options.Seed, process,
+// epoch), and resend decisions depend only on tick counts — a wrapped run is
+// bit-for-bit reproducible like any other kernel run.
+package retransmit
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Data is the envelope carrying an inner-protocol payload. Identity is
+// (sender, Epoch, Seq); receivers ack every copy and deliver the payload to
+// the inner automaton once.
+type Data struct {
+	Epoch   int64
+	Seq     int64
+	Payload any
+}
+
+// Ack acknowledges receipt of the sender's (Epoch, Seq) envelope. Acks are
+// not themselves ack'd: a lost ack just means the data is resent and ack'd
+// again.
+type Ack struct {
+	Epoch int64
+	Seq   int64
+}
+
+// Options tune the resend schedule.
+type Options struct {
+	// RTO is the initial resend timeout in ticks of the wrapped automaton
+	// (default 3). Attempt k resends after min(RTO·2^k, MaxRTO) ticks plus
+	// jitter in [0, RTO).
+	RTO int
+	// MaxRTO caps the exponential backoff (default 48 ticks).
+	MaxRTO int
+	// Seed drives the per-process jitter streams.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.RTO <= 0 {
+		o.RTO = 3
+	}
+	if o.MaxRTO < o.RTO {
+		o.MaxRTO = 48
+		if o.MaxRTO < o.RTO {
+			o.MaxRTO = o.RTO
+		}
+	}
+	return o
+}
+
+// Wrap returns a factory producing inner's automata inside the retransmission
+// layer. All processes of a run must be wrapped together (the wrapper speaks
+// Data/Ack on the wire); payloads that are not envelopes are handed to the
+// inner automaton unchanged, so wrapped and unwrapped processes can coexist
+// without retransmission protection between them.
+func Wrap(inner model.AutomatonFactory, opts Options) model.AutomatonFactory {
+	opts = opts.withDefaults()
+	return func(p model.ProcID, n int) model.Automaton {
+		return &Automaton{self: p, n: n, opts: opts, inner: inner(p, n)}
+	}
+}
+
+// dedupKey identifies one envelope across resends.
+type dedupKey struct {
+	from  model.ProcID
+	epoch int64
+	seq   int64
+}
+
+// pending is one unacked envelope awaiting resend.
+type pending struct {
+	to       model.ProcID
+	payload  any
+	attempts int
+	dueTick  int64 // resend when the local tick counter reaches this
+}
+
+// Automaton is the retransmission wrapper around one inner automaton.
+type Automaton struct {
+	self  model.ProcID
+	n     int
+	opts  Options
+	inner model.Automaton
+
+	epoch   int64
+	seq     int64
+	ticks   int64
+	rng     *rand.Rand
+	pending map[int64]*pending // by seq
+	order   []int64            // pending seqs in send order (acked ones skipped)
+	seen    map[dedupKey]struct{}
+	resends int64
+}
+
+var _ model.Automaton = (*Automaton)(nil)
+
+// Inner returns the wrapped automaton, for post-run inspection.
+func (a *Automaton) Inner() model.Automaton { return a.inner }
+
+// Resends returns how many envelope retransmissions this process performed.
+func (a *Automaton) Resends() int64 { return a.resends }
+
+// PendingEnvelopes returns how many envelopes are still awaiting an ack.
+func (a *Automaton) PendingEnvelopes() int { return len(a.pending) }
+
+// Init implements model.Automaton. The step time identifies the incarnation:
+// first boot runs at time 0, kernel restarts run at the restart instant, so
+// epochs are distinct per incarnation and deterministic.
+func (a *Automaton) Init(ctx model.Context) {
+	a.epoch = int64(ctx.Now())
+	a.seq = 0
+	a.ticks = 0
+	a.rng = rand.New(rand.NewSource(a.opts.Seed*1_000_003 + int64(a.self)*7919 + a.epoch))
+	a.pending = make(map[int64]*pending)
+	a.order = a.order[:0]
+	a.seen = make(map[dedupKey]struct{})
+	a.inner.Init(&wrapCtx{ctx: ctx, a: a})
+}
+
+// Input implements model.Automaton.
+func (a *Automaton) Input(ctx model.Context, in any) {
+	a.inner.Input(&wrapCtx{ctx: ctx, a: a}, in)
+}
+
+// Recv implements model.Automaton.
+func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
+	switch m := payload.(type) {
+	case Data:
+		// Always ack — the previous ack may have been the lost message.
+		ctx.Send(from, Ack{Epoch: m.Epoch, Seq: m.Seq})
+		key := dedupKey{from: from, epoch: m.Epoch, seq: m.Seq}
+		if _, dup := a.seen[key]; dup {
+			return
+		}
+		a.seen[key] = struct{}{}
+		a.inner.Recv(&wrapCtx{ctx: ctx, a: a}, from, m.Payload)
+	case Ack:
+		if m.Epoch == a.epoch {
+			delete(a.pending, m.Seq)
+		}
+	default:
+		// Unwrapped payload (a peer outside the retransmission layer).
+		a.inner.Recv(&wrapCtx{ctx: ctx, a: a}, from, payload)
+	}
+}
+
+// Tick implements model.Automaton: resend overdue envelopes, then tick the
+// inner automaton.
+func (a *Automaton) Tick(ctx model.Context) {
+	a.ticks++
+	if len(a.pending) > 0 {
+		live := a.order[:0]
+		for _, seq := range a.order {
+			pd, ok := a.pending[seq]
+			if !ok {
+				continue // acked; drop from the order while compacting
+			}
+			live = append(live, seq)
+			if a.ticks < pd.dueTick {
+				continue
+			}
+			a.resends++
+			ctx.Send(pd.to, Data{Epoch: a.epoch, Seq: seq, Payload: pd.payload})
+			pd.attempts++
+			pd.dueTick = a.ticks + a.backoff(pd.attempts)
+		}
+		a.order = live
+	} else {
+		a.order = a.order[:0]
+	}
+	a.inner.Tick(&wrapCtx{ctx: ctx, a: a})
+}
+
+// backoff returns the tick delay before resend attempt k (1-based): an
+// exponential min(RTO·2^k, MaxRTO) plus seeded jitter in [0, RTO).
+func (a *Automaton) backoff(attempts int) int64 {
+	d := int64(a.opts.RTO)
+	for i := 0; i < attempts && d < int64(a.opts.MaxRTO); i++ {
+		d *= 2
+	}
+	if d > int64(a.opts.MaxRTO) {
+		d = int64(a.opts.MaxRTO)
+	}
+	return d + a.rng.Int63n(int64(a.opts.RTO))
+}
+
+// sendData wraps one inner-protocol payload and registers it for resend.
+func (a *Automaton) sendData(ctx model.Context, to model.ProcID, payload any) {
+	a.seq++
+	seq := a.seq
+	a.pending[seq] = &pending{to: to, payload: payload, dueTick: a.ticks + a.backoff(0)}
+	a.order = append(a.order, seq)
+	ctx.Send(to, Data{Epoch: a.epoch, Seq: seq, Payload: payload})
+}
+
+// wrapCtx intercepts the inner automaton's sends; everything else passes
+// through to the kernel's context.
+type wrapCtx struct {
+	ctx model.Context
+	a   *Automaton
+}
+
+var _ model.Context = (*wrapCtx)(nil)
+
+func (c *wrapCtx) Self() model.ProcID { return c.ctx.Self() }
+func (c *wrapCtx) N() int             { return c.ctx.N() }
+func (c *wrapCtx) Now() model.Time    { return c.ctx.Now() }
+func (c *wrapCtx) FD() any            { return c.ctx.FD() }
+func (c *wrapCtx) Output(v any)       { c.ctx.Output(v) }
+
+func (c *wrapCtx) Send(to model.ProcID, payload any) {
+	c.a.sendData(c.ctx, to, payload)
+}
+
+func (c *wrapCtx) Broadcast(payload any) {
+	// The paper's broadcast is n sends (including self); each gets its own
+	// envelope so acks and resends are per-recipient.
+	for _, q := range model.Procs(c.a.n) {
+		c.a.sendData(c.ctx, q, payload)
+	}
+}

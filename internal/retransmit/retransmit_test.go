@@ -1,0 +1,133 @@
+package retransmit_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/retransmit"
+	"repro/internal/sim"
+	"repro/internal/sim/adversary"
+)
+
+// recvCount tracks, per (receiver, payload), how many times the INNER
+// automaton saw the payload — the exactly-once ledger.
+type recvCount map[model.ProcID]map[string]int
+
+// counterAuto is the inner protocol: inputs broadcast, receipts are counted.
+type counterAuto struct {
+	self   model.ProcID
+	counts recvCount
+}
+
+func (a *counterAuto) Init(model.Context) {}
+func (a *counterAuto) Tick(model.Context) {}
+
+func (a *counterAuto) Recv(_ model.Context, _ model.ProcID, payload any) {
+	byPayload := a.counts[a.self]
+	if byPayload == nil {
+		byPayload = map[string]int{}
+		a.counts[a.self] = byPayload
+	}
+	byPayload[payload.(string)]++
+}
+
+func (a *counterAuto) Input(ctx model.Context, in any) { ctx.Broadcast(in.(string)) }
+
+func counterFactory(counts recvCount) model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton {
+		return &counterAuto{self: p, counts: counts}
+	}
+}
+
+// TestExactlyOnceOverLossy is the property the wrapper exists for: over a
+// bursty lossy network, every broadcast payload reaches the inner automaton
+// of every correct process EXACTLY once — resends supply at-least-once, dedup
+// supplies at-most-once. Checked across multiple seeds so the property does
+// not hinge on one lucky loss pattern.
+func TestExactlyOnceOverLossy(t *testing.T) {
+	const n, payloads = 4, 6
+	for seed := int64(1); seed <= 10; seed++ {
+		counts := make(recvCount)
+		fp := model.NewFailurePattern(n)
+		k := sim.New(fp, fd.NewOmegaStable(fp, 1),
+			retransmit.Wrap(counterFactory(counts), retransmit.Options{Seed: seed}),
+			sim.Options{
+				Seed: seed,
+				Network: func() sim.NetworkModel {
+					return &adversary.Lossy{Drop: 0.3, Burst: 3}
+				},
+			})
+		var want []string
+		for i := 0; i < payloads; i++ {
+			id := fmt.Sprintf("m%d", i)
+			want = append(want, id)
+			k.ScheduleInput(model.ProcID(i%n+1), model.Time(50+40*i), id)
+		}
+		k.Run(30000)
+
+		if k.MessagesLost() == 0 {
+			t.Fatalf("seed %d: no losses — the network is not exercising retransmission", seed)
+		}
+		resends := int64(0)
+		for _, p := range model.Procs(n) {
+			a := k.Automaton(p).(*retransmit.Automaton)
+			resends += a.Resends()
+			if pend := a.PendingEnvelopes(); pend != 0 {
+				t.Errorf("seed %d: %v still has %d unacked envelopes after the run settled", seed, p, pend)
+			}
+			for _, id := range want {
+				if got := counts[p][id]; got != 1 {
+					t.Errorf("seed %d: %v received %q %d times, want exactly 1", seed, p, id, got)
+				}
+			}
+		}
+		if resends == 0 {
+			t.Errorf("seed %d: losses occurred but nothing was resent", seed)
+		}
+	}
+}
+
+// TestRetransmitTransparentOnCleanNetwork: over a loss-free network the
+// wrapper must not change what the inner protocol sees — same exactly-once
+// ledger, no resends beyond backoff noise racing the first ack.
+func TestRetransmitTransparentOnCleanNetwork(t *testing.T) {
+	const n = 3
+	counts := make(recvCount)
+	fp := model.NewFailurePattern(n)
+	k := sim.New(fp, fd.NewOmegaStable(fp, 1),
+		retransmit.Wrap(counterFactory(counts), retransmit.Options{Seed: 5, RTO: 10}),
+		sim.Options{Seed: 5})
+	k.ScheduleInput(1, 50, "a")
+	k.ScheduleInput(2, 90, "b")
+	k.Run(5000)
+	for _, p := range model.Procs(n) {
+		for _, id := range []string{"a", "b"} {
+			if got := counts[p][id]; got != 1 {
+				t.Errorf("%v received %q %d times, want 1", p, id, got)
+			}
+		}
+	}
+}
+
+// TestRetransmitDeterminism: wrapped runs follow the kernel's bit-for-bit
+// contract — the wrapper's jitter is seeded, so same seed, same run.
+func TestRetransmitDeterminism(t *testing.T) {
+	run := func() (int64, int64, int64) {
+		counts := make(recvCount)
+		fp := model.NewFailurePattern(3)
+		k := sim.New(fp, fd.NewOmegaStable(fp, 1),
+			retransmit.Wrap(counterFactory(counts), retransmit.Options{Seed: 2}),
+			sim.Options{Seed: 2, Network: func() sim.NetworkModel { return adversary.NewLossy(0.25) }})
+		k.ScheduleInput(1, 40, "x")
+		k.ScheduleInput(3, 200, "y")
+		k.Run(10000)
+		return k.Steps(), k.MessagesSent(), k.MessagesLost()
+	}
+	s1, m1, l1 := run()
+	s2, m2, l2 := run()
+	if s1 != s2 || m1 != m2 || l1 != l2 {
+		t.Fatalf("same seed must reproduce: (%d,%d,%d) vs (%d,%d,%d)", s1, m1, l1, s2, m2, l2)
+	}
+}

@@ -1,0 +1,334 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// pingAuto is a small protocol that keeps traffic flowing: inputs broadcast,
+// every received ping is echoed back to the sender once, and every delivery
+// is reported as an output (so traces see protocol state).
+type pingAuto struct {
+	self model.ProcID
+	seen map[string]bool
+}
+
+func (a *pingAuto) Init(model.Context) { a.seen = map[string]bool{} }
+
+func (a *pingAuto) Tick(model.Context) {}
+
+func (a *pingAuto) Recv(ctx model.Context, from model.ProcID, payload any) {
+	s := payload.(string)
+	ctx.Output(fmt.Sprintf("got %s from %v", s, from))
+	if !a.seen[s] {
+		a.seen[s] = true
+		if len(s) < 12 { // bounded echo depth keeps runs finite
+			ctx.Send(from, s+"'")
+		}
+	}
+}
+
+func (a *pingAuto) Input(ctx model.Context, in any) { ctx.Broadcast(in.(string)) }
+
+func pingFactory() model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton { return &pingAuto{self: p} }
+}
+
+// traceObs records the full observable event sequence as strings.
+type traceObs struct{ events []string }
+
+func (o *traceObs) OnSend(t model.Time, m sim.Message) {
+	o.events = append(o.events, fmt.Sprintf("S %d #%d %v->%v %v", t, m.ID, m.From, m.To, m.Payload))
+}
+
+func (o *traceObs) OnDeliver(t model.Time, m sim.Message) {
+	o.events = append(o.events, fmt.Sprintf("D %d #%d %v->%v %v", t, m.ID, m.From, m.To, m.Payload))
+}
+
+func (o *traceObs) OnOutput(p model.ProcID, t model.Time, v any) {
+	o.events = append(o.events, fmt.Sprintf("O %d %v %v", t, p, v))
+}
+
+func (o *traceObs) OnInput(p model.ProcID, t model.Time, v any) {
+	o.events = append(o.events, fmt.Sprintf("I %d %v %v", t, p, v))
+}
+
+// runTrace executes one 4-process run under the given environment and
+// returns its full event sequence.
+func runTrace(seed int64, net sim.NetworkFactory, faults model.FaultModel) []string {
+	fp := model.NewFailurePattern(4)
+	det := fd.NewOmegaStable(fp, 1)
+	obs := &traceObs{}
+	k := sim.New(fp, det, pingFactory(), sim.Options{Seed: seed, Network: net, Faults: faults})
+	k.SetObserver(obs)
+	k.ScheduleInput(1, 40, "a")
+	k.ScheduleInput(2, 120, "b")
+	k.ScheduleInput(3, 700, "c")
+	k.Run(5000)
+	return obs.events
+}
+
+// TestAdversaryTraceDeterminism is the package's determinism contract at
+// trace granularity, across 20 seeds per adversary: same seed, same
+// environment ⇒ byte-identical event sequence.
+func TestAdversaryTraceDeterminism(t *testing.T) {
+	cases := map[string]func(seed int64) ([]string, []string){
+		"lossy": func(seed int64) ([]string, []string) {
+			mk := func() []string {
+				return runTrace(seed, func() sim.NetworkModel { return NewLossy(0.2) }, nil)
+			}
+			return mk(), mk()
+		},
+		"lossy-burst": func(seed int64) ([]string, []string) {
+			mk := func() []string {
+				return runTrace(seed, func() sim.NetworkModel { return &Lossy{Drop: 0.2, Burst: 4} }, nil)
+			}
+			return mk(), mk()
+		},
+		"churn": func(seed int64) ([]string, []string) {
+			mk := func() []string {
+				fs := Churn(4, ChurnConfig{Seed: seed, MeanUp: 400, MeanDown: 150, Until: 3000, Spare: []model.ProcID{1}})
+				return runTrace(seed, nil, fs)
+			}
+			return mk(), mk()
+		},
+		"adversarial": func(seed int64) ([]string, []string) {
+			mk := func() []string {
+				return runTrace(seed, func() sim.NetworkModel { return NewAdversarialScheduler() }, nil)
+			}
+			return mk(), mk()
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 20; seed++ {
+				a, b := mk(seed)
+				if len(a) == 0 {
+					t.Fatalf("seed %d: empty trace", seed)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("seed %d: traces diverge at event %d:\n  run1: %s\n  run2: %s", seed, i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdversarySeedSensitivity: different seeds must produce different
+// schedules under each randomized adversary.
+func TestAdversarySeedSensitivity(t *testing.T) {
+	mks := map[string]func(seed int64) []string{
+		"lossy": func(seed int64) []string {
+			return runTrace(seed, func() sim.NetworkModel { return NewLossy(0.2) }, nil)
+		},
+		"churn": func(seed int64) []string {
+			fs := Churn(4, ChurnConfig{Seed: seed, MeanUp: 400, MeanDown: 150, Until: 3000})
+			return runTrace(1, nil, fs)
+		},
+		"adversarial": func(seed int64) []string {
+			return runTrace(seed, func() sim.NetworkModel { return NewAdversarialScheduler() }, nil)
+		},
+	}
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			base := mk(1)
+			for seed := int64(2); seed <= 6; seed++ {
+				got := mk(seed)
+				if len(got) != len(base) {
+					return
+				}
+				for i := range got {
+					if got[i] != base[i] {
+						return
+					}
+				}
+			}
+			t.Error("five different seeds produced identical traces — PRNG unused?")
+		})
+	}
+}
+
+func TestFaultSchedule(t *testing.T) {
+	s := NewFaultSchedule(3)
+	s.Down(2, 100, 200)
+	s.Down(2, 150, 250) // overlaps: merges to [100, 250)
+	s.Down(2, 400, 500)
+	s.Crash(3, 600)
+
+	for _, tc := range []struct {
+		p    model.ProcID
+		t    model.Time
+		want bool
+	}{
+		{1, 0, true}, {1, 1000, true},
+		{2, 99, true}, {2, 100, false}, {2, 249, false}, {2, 250, true},
+		{2, 400, false}, {2, 500, true},
+		{3, 599, true}, {3, 600, false}, {3, 10_000, false},
+	} {
+		if got := s.Up(tc.p, tc.t); got != tc.want {
+			t.Errorf("Up(%v, %d) = %v, want %v", tc.p, tc.t, got, tc.want)
+		}
+	}
+	if got := s.Restarts(2); len(got) != 2 || got[0] != 250 || got[1] != 500 {
+		t.Errorf("Restarts(p2) = %v, want [250 500]", got)
+	}
+	if got := s.Restarts(3); got != nil {
+		t.Errorf("Restarts(p3) = %v, want nil (permanent crash)", got)
+	}
+	if !s.EventuallyUp(2) || s.EventuallyUp(3) || !s.EventuallyUp(1) {
+		t.Error("EventuallyUp: want p1, p2 yes; p3 no")
+	}
+	if got := s.QuietAfter(); got != 600 {
+		t.Errorf("QuietAfter = %d, want 600 (p3's final crash)", got)
+	}
+	if got := s.Boundaries(); len(got) != 5 { // 100, 250, 400, 500, 600
+		t.Errorf("Boundaries = %v, want 5 instants", got)
+	}
+	fp := s.Pattern()
+	if !fp.IsCorrect(2) || fp.IsCorrect(3) || fp.CrashTime(3) != 600 {
+		t.Errorf("Pattern projection wrong: %v", fp)
+	}
+}
+
+func TestChurnGenerator(t *testing.T) {
+	cfg := ChurnConfig{Seed: 9, MeanUp: 400, MeanDown: 100, Until: 2000, Spare: []model.ProcID{1}}
+	a, b := Churn(5, cfg), Churn(5, cfg)
+	if a.String() != b.String() {
+		t.Fatalf("same config must generate the same schedule:\n%v\n%v", a, b)
+	}
+	if len(a.down[1]) != 0 {
+		t.Errorf("spared p1 has down intervals: %v", a)
+	}
+	churned := 0
+	for _, p := range model.Procs(5) {
+		if !a.EventuallyUp(p) {
+			t.Errorf("churn must leave %v eventually up", p)
+		}
+		if len(a.down[p]) > 0 {
+			churned++
+			for _, iv := range a.down[p] {
+				if iv.start >= cfg.Until {
+					t.Errorf("%v down interval starts at %d, after Until=%d", p, iv.start, cfg.Until)
+				}
+			}
+		}
+	}
+	if churned == 0 {
+		t.Error("no process churned")
+	}
+}
+
+func TestLossyDropsAndSelfLinks(t *testing.T) {
+	l := &Lossy{Drop: 0.3}
+	l.Reset(5)
+	losses := 0
+	for i := 0; i < 2000; i++ {
+		if _, ok := l.Delay(1, 2, model.Time(i)); !ok {
+			losses++
+		}
+		if _, ok := l.Delay(3, 3, model.Time(i)); !ok {
+			t.Fatal("self-link message dropped")
+		}
+	}
+	if losses == 0 {
+		t.Error("no losses at Drop=0.3")
+	}
+	// Per-link mean is Drop, the (1,2) link's own rate is in [0, 2*Drop]:
+	// just require the rate to be strictly between nothing and everything.
+	if losses > 1800 {
+		t.Errorf("%d/2000 losses: link rate should stay below 2*Drop", losses)
+	}
+	if err := (&Lossy{Drop: 1.0}).Validate(4); err == nil {
+		t.Error("Drop=1.0 must fail validation")
+	}
+}
+
+func TestAdversarialSchedulerBoundsAndDelivery(t *testing.T) {
+	a := NewAdversarialScheduler()
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset(3)
+	min, max, _, _ := a.params()
+	for i := 0; i < 3000; i++ {
+		from := model.ProcID(i%4 + 1)
+		to := model.ProcID((i/4)%4 + 1)
+		d, ok := a.Delay(from, to, model.Time(i))
+		if !ok {
+			t.Fatal("adversarial scheduler must deliver every message (admissible environment)")
+		}
+		if d < min || d > max {
+			t.Fatalf("delay %d outside menu [%d, %d]", d, min, max)
+		}
+	}
+}
+
+// TestAdversarialSchedulerMaximizesSkew: what the adversary optimizes is
+// divergence — the same broadcast reaching different replicas at maximally
+// different times. Its arrival skew must beat i.i.d. delays drawn over the
+// identical support, and traffic touching the rotating victim must sit at
+// the admissibility bound.
+func TestAdversarialSchedulerMaximizesSkew(t *testing.T) {
+	skewOf := func(net sim.NetworkModel) model.Time {
+		net.Reset(7)
+		// 30 broadcast waves from varying senders: each wave is one Delay call
+		// per recipient at the same send time, like the kernel's broadcast.
+		var total model.Time
+		for w := 0; w < 30; w++ {
+			from := model.ProcID(w%4 + 1)
+			sendTime := model.Time(40 * w)
+			min, max := model.Time(1<<62), model.Time(0)
+			for q := 1; q <= 4; q++ {
+				if model.ProcID(q) == from {
+					continue
+				}
+				d, ok := net.Delay(from, model.ProcID(q), sendTime)
+				if !ok {
+					t.Fatal("scheduler must deliver")
+				}
+				if d < min {
+					min = d
+				}
+				if d > max {
+					max = d
+				}
+			}
+			total += max - min
+		}
+		return total
+	}
+	adv := NewAdversarialScheduler()
+	if err := adv.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	advSkew := skewOf(adv)
+	iidSkew := skewOf(sim.NewUniform(1, 60))
+	if advSkew <= iidSkew {
+		t.Errorf("adversarial skew %d <= i.i.d. skew %d: the greedy schedule should spread arrivals further apart", advSkew, iidSkew)
+	}
+
+	// Victim starvation: inside the first window p1 is the victim, and every
+	// message to or from it runs at the menu maximum.
+	v := NewAdversarialScheduler()
+	v.Explore = -1 // exploration off: starvation must be unconditional
+	if err := v.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	v.Reset(1)
+	_, max, _, _ := v.params()
+	if d, _ := v.Delay(2, 1, 10); d != max {
+		t.Errorf("message to the victim delayed %d, want the bound %d", d, max)
+	}
+	if d, _ := v.Delay(1, 3, 10); d != max {
+		t.Errorf("message from the victim delayed %d, want the bound %d", d, max)
+	}
+}

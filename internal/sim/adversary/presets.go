@@ -1,0 +1,34 @@
+package adversary
+
+import (
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// The adversary models self-register as environment presets so ecsim -net,
+// the examples, and the partition demo can name them — the same pattern the
+// kernel's built-in presets use, layered through sim.RegisterPreset because
+// this package sits above the kernel.
+//
+// The churn presets carry a fault schedule instead of link behavior: they
+// pair the default uniform network with a canned Churn schedule (fixed
+// internal seed — presets are named environments, reproducible by name
+// alone). Callers resolve the schedule with sim.PresetFaults(name)(n).
+func init() {
+	// lossy: ~15% mean per-link loss, independent drops. Violates eventual
+	// delivery — pair with retransmit.Wrap unless the point is to watch
+	// convergence fail.
+	sim.RegisterPreset("lossy", func() sim.NetworkModel { return NewLossy(0.15) })
+	// lossy-burst: ~15% mean loss arriving in bursts of up to 4.
+	sim.RegisterPreset("lossy-burst", func() sim.NetworkModel { return &Lossy{Drop: 0.15, Burst: 4} })
+	// adversarial: divergence-maximizing scheduler, default menu [1, 60].
+	sim.RegisterPreset("adversarial", func() sim.NetworkModel { return NewAdversarialScheduler() })
+	// churn-fast: short lives — mean 600 up / 200 down until t=4000.
+	sim.RegisterPresetFaults("churn-fast", func(n int) model.FaultModel {
+		return Churn(n, ChurnConfig{Seed: 1, MeanUp: 600, MeanDown: 200, Until: 4000})
+	})
+	// churn-slow: long lives — mean 2400 up / 400 down until t=8000.
+	sim.RegisterPresetFaults("churn-slow", func(n int) model.FaultModel {
+		return Churn(n, ChurnConfig{Seed: 1, MeanUp: 2400, MeanDown: 400, Until: 8000})
+	})
+}

@@ -1,0 +1,165 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// AdversarialScheduler is a sim.NetworkModel that picks message delays to
+// maximize replica divergence and delay convergence, instead of drawing them
+// i.i.d. — the scheduler-as-adversary view of the asynchronous model (the
+// environment gets to choose any admissible schedule, and lower bounds are
+// proved against the worst one).
+//
+// The adversary works greedily over a bounded delay menu (Menu evenly spaced
+// values in [Min, Max]). For each message it scores every candidate delay
+// with a one-step lookahead of the divergence it would cause and picks the
+// argmax:
+//
+//   - Arrival spread: information reaching different processes at maximally
+//     different times keeps their states apart longest, so a candidate
+//     arrival is rewarded by its total distance from the latest scheduled
+//     arrivals at all OTHER processes (pushing deliveries pairwise apart).
+//
+//   - Victim starvation: a rotating victim (one process per Window of the
+//     clock) has ALL traffic touching it — incoming and outgoing — pinned to
+//     the maximal delay while the rest of the system runs fast: the victim's
+//     replica falls a full menu span behind and its own updates reach the
+//     others as late as admissible, and the victim role moves on before the
+//     gap fully heals. When the victim is the leader, the whole convergence
+//     pipeline (updates in, promotions out) is starved at once.
+//
+// Ties break toward the larger delay, and a seeded 1-in-Explore choice takes
+// a random menu entry instead of the greedy one (negative Explore disables),
+// so distinct seeds explore distinct near-worst-case schedules. Every delay
+// is finite (≤ Max) and every message is delivered: the scheduler stays an
+// admissible §2 environment in which eventual consistency must still
+// converge — E12 measures how much later the greedy schedule pushes
+// convergence versus i.i.d. delays over the identical menu span.
+type AdversarialScheduler struct {
+	// Min and Max bound the delay menu (defaults 1 and 60 if both 0).
+	Min, Max model.Time
+	// Menu is the number of candidate delays (default 6, minimum 2).
+	Menu int
+	// Window is the victim rotation period in ticks (default 400).
+	Window model.Time
+	// Explore makes ~1 in Explore choices a seeded random menu pick
+	// (default 16; negative disables exploration).
+	Explore int
+
+	n       int // learned in Validate; grown lazily if Validate was skipped
+	rng     *rand.Rand
+	arrival []model.Time // index p: latest scheduled arrival at p (1-based)
+}
+
+var _ sim.NetworkModel = (*AdversarialScheduler)(nil)
+var _ sim.NetworkValidator = (*AdversarialScheduler)(nil)
+
+// NewAdversarialScheduler returns the scheduler with default menu and
+// rotation parameters.
+func NewAdversarialScheduler() *AdversarialScheduler { return &AdversarialScheduler{} }
+
+// Validate implements sim.NetworkValidator. It also records the system size,
+// which the victim rotation needs; the kernel always validates before the
+// first Delay call.
+func (a *AdversarialScheduler) Validate(n int) error {
+	if a.Menu == 1 {
+		return fmt.Errorf("sim: AdversarialScheduler.Menu=1 leaves no delay choice to the adversary")
+	}
+	a.n = n
+	return nil
+}
+
+// Reset implements sim.NetworkModel.
+func (a *AdversarialScheduler) Reset(seed int64) {
+	a.rng = rand.New(rand.NewSource(seed))
+	a.arrival = make([]model.Time, a.n+1)
+}
+
+func (a *AdversarialScheduler) params() (min, max model.Time, menu int, window model.Time) {
+	min, max = a.Min, a.Max
+	if min == 0 && max == 0 {
+		min, max = 1, 60
+	}
+	if max < min {
+		max = min
+	}
+	menu = a.Menu
+	if menu < 2 {
+		menu = 6
+	}
+	window = a.Window
+	if window <= 0 {
+		window = 400
+	}
+	return min, max, menu, window
+}
+
+// grow makes the arrival table cover process p (only needed when the model is
+// used without Validate, e.g. driven directly in a test).
+func (a *AdversarialScheduler) grow(p model.ProcID) {
+	for int(p) >= len(a.arrival) {
+		a.arrival = append(a.arrival, 0)
+		a.n = len(a.arrival) - 1
+	}
+}
+
+// Delay implements sim.NetworkModel.
+func (a *AdversarialScheduler) Delay(from, to model.ProcID, sendTime model.Time) (model.Time, bool) {
+	min, max, menu, window := a.params()
+	a.grow(to)
+	if from == to {
+		// Self-delivery models local memory; starving it would slow the
+		// victim's own steps rather than its view of others.
+		return min, true
+	}
+	victim := model.ProcID(int(sendTime/window)%a.n + 1)
+	candidate := func(i int) model.Time {
+		return min + model.Time(i)*(max-min)/model.Time(menu-1)
+	}
+	pick := -1
+	explore := a.Explore
+	if explore == 0 {
+		explore = 16
+	}
+	if explore > 0 && a.rng.Intn(explore) == 0 {
+		pick = a.rng.Intn(menu)
+	}
+	switch {
+	case pick >= 0:
+		// Seeded exploration chose for us.
+	case from == victim || to == victim:
+		// Starvation is unconditional: every link touching the victim runs at
+		// the admissibility bound.
+		pick = menu - 1
+	default:
+		// Greedy lookahead among the rest: score each menu delay by the
+		// arrival spread it creates and keep the argmax.
+		best := int64(-1)
+		for i := 0; i < menu; i++ {
+			arrive := sendTime + candidate(i)
+			var score int64
+			for q := 1; q < len(a.arrival); q++ {
+				if model.ProcID(q) == to {
+					continue
+				}
+				gap := int64(arrive - a.arrival[q])
+				if gap < 0 {
+					gap = -gap
+				}
+				score += gap
+			}
+			if score >= best { // ties toward the larger delay (later i)
+				best, pick = score, i
+			}
+		}
+	}
+	d := candidate(pick)
+	if arrive := sendTime + d; arrive > a.arrival[to] {
+		a.arrival[to] = arrive
+	}
+	return d, true
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+)
+
+// testFaults is a minimal model.FaultModel for kernel tests: explicit down
+// intervals [start, end) per process, end < 0 meaning forever. (The real
+// schedule type lives in internal/sim/adversary, which sits above this
+// package.)
+type testFaults struct {
+	n    int
+	down map[model.ProcID][][2]model.Time
+}
+
+func (f testFaults) Up(p model.ProcID, t model.Time) bool {
+	for _, iv := range f.down[p] {
+		if t >= iv[0] && (iv[1] < 0 || t < iv[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f testFaults) Restarts(p model.ProcID) []model.Time {
+	var out []model.Time
+	for _, iv := range f.down[p] {
+		if iv[1] >= 0 {
+			out = append(out, iv[1])
+		}
+	}
+	return out
+}
+
+// churnAuto records what one automaton incarnation experienced; the factory
+// keeps every incarnation so tests can inspect state across restarts.
+type churnAuto struct {
+	self  model.ProcID
+	ticks []model.Time
+	got   []string
+}
+
+func (a *churnAuto) Init(model.Context) {}
+
+func (a *churnAuto) Tick(ctx model.Context) { a.ticks = append(a.ticks, ctx.Now()) }
+
+func (a *churnAuto) Recv(_ model.Context, _ model.ProcID, payload any) {
+	a.got = append(a.got, payload.(string))
+}
+
+func (a *churnAuto) Input(ctx model.Context, in any) { ctx.Broadcast(in.(string)) }
+
+func churnFactory(instances map[model.ProcID][]*churnAuto) model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton {
+		a := &churnAuto{self: p}
+		instances[p] = append(instances[p], a)
+		return a
+	}
+}
+
+// TestKernelChurnSuspendRestart exercises the suspend/restart semantics:
+// messages delivered during a down interval are dropped, a restart rebuilds
+// the automaton from scratch (fresh state, Init re-run), and the tick chain
+// pauses while down.
+func TestKernelChurnSuspendRestart(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	faults := testFaults{n: 3, down: map[model.ProcID][][2]model.Time{
+		2: {{100, 300}},
+	}}
+	instances := map[model.ProcID][]*churnAuto{}
+	k := New(fp, fd.NewOmegaStable(fp, 1), churnFactory(instances), Options{Seed: 3, Faults: faults})
+	k.ScheduleInput(1, 50, "m1")  // delivered everywhere (delays 10..20)
+	k.ScheduleInput(1, 150, "m2") // p2 is down on arrival: dropped
+	k.ScheduleInput(2, 200, "m3") // input to a down process: ignored
+	k.ScheduleInput(1, 400, "m4") // delivered everywhere, incl. restarted p2
+	k.Run(1000)
+
+	if got := len(instances[1]); got != 1 {
+		t.Fatalf("p1 has %d incarnations, want 1", got)
+	}
+	if got := len(instances[2]); got != 2 {
+		t.Fatalf("p2 has %d incarnations, want 2 (restart rebuilds the automaton)", got)
+	}
+	first, second := instances[2][0], instances[2][1]
+	if want := []string{"m1"}; !equalStrings(first.got, want) {
+		t.Errorf("p2 first incarnation got %v, want %v (m2 dropped while down)", first.got, want)
+	}
+	if want := []string{"m4"}; !equalStrings(second.got, want) {
+		t.Errorf("p2 second incarnation got %v, want %v (fresh state after restart)", second.got, want)
+	}
+	for _, p := range []model.ProcID{1, 3} {
+		if want := []string{"m1", "m2", "m4"}; !equalStrings(instances[p][0].got, want) {
+			t.Errorf("%v got %v, want %v (m3 input ignored while its target is down)", p, instances[p][0].got, want)
+		}
+	}
+	if k.MessagesDropped() == 0 {
+		t.Error("no messages dropped, expected m2's delivery to p2 to be dropped")
+	}
+	for _, tt := range first.ticks {
+		if tt >= 100 {
+			t.Errorf("p2 first incarnation ticked at %d, inside its down interval", tt)
+		}
+	}
+	if len(second.ticks) == 0 {
+		t.Fatal("p2 second incarnation never ticked: the restart must start a fresh tick chain")
+	}
+	if second.ticks[0] < 300 {
+		t.Errorf("p2 restarted chain first tick at %d, before the restart at 300", second.ticks[0])
+	}
+}
+
+// TestKernelChurnNoDuplicateTickChains: a down interval too short to contain
+// a tick event leaves the old chain pending; the restart's generation bump
+// must retire it, or the process would tick at double rate forever.
+func TestKernelChurnNoDuplicateTickChains(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	faults := testFaults{n: 2, down: map[model.ProcID][][2]model.Time{
+		1: {{7, 8}}, // p1 ticks at 1, 6, 11, ... with TickInterval 5: no tick in [7, 8)
+	}}
+	instances := map[model.ProcID][]*churnAuto{}
+	k := New(fp, fd.NewOmegaStable(fp, 2), churnFactory(instances), Options{Seed: 1, Faults: faults})
+	k.Run(200)
+
+	if got := len(instances[1]); got != 2 {
+		t.Fatalf("p1 has %d incarnations, want 2", got)
+	}
+	var all []model.Time
+	for _, inst := range instances[1] {
+		all = append(all, inst.ticks...)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] <= all[i-1] {
+			t.Fatalf("tick times not strictly increasing across restart: %v", all)
+		}
+		if all[i]-all[i-1] < 5 {
+			t.Fatalf("ticks %d and %d closer than TickInterval: duplicate chains survived the restart (%v)", all[i-1], all[i], all)
+		}
+	}
+	// The restarted chain begins at restart + TickInterval = 13, retiring the
+	// old chain's pending tick at 11.
+	second := instances[1][1]
+	if len(second.ticks) == 0 || second.ticks[0] != 13 {
+		t.Errorf("restarted chain ticks = %v, want first tick at 13", second.ticks)
+	}
+}
+
+// TestKernelFaultsMonotoneEquivalence: passing the run's own FailurePattern
+// as Options.Faults must reproduce the nil-Faults run bit-for-bit — the
+// monotone special case goes through the same interface with no restarts.
+func TestKernelFaultsMonotoneEquivalence(t *testing.T) {
+	run := func(useFaults bool) []string {
+		fp := model.NewFailurePattern(4)
+		fp.Crash(4, 900)
+		det := fd.NewOmegaEventual(fp, 2, 300)
+		obs := &traceObs{}
+		opts := Options{Seed: 7}
+		if useFaults {
+			opts.Faults = fp
+		}
+		k := New(fp, det, echoFactory(), opts)
+		k.SetObserver(obs)
+		k.ScheduleInput(1, 60, "go")
+		k.Run(3000)
+		return obs.events
+	}
+	a, b := run(false), run(true)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at event %d:\n  nil Faults: %s\n  fp Faults:  %s", i, a[i], b[i])
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -23,9 +23,15 @@ import (
 //
 // Models that honor the paper's eventual-delivery assumption (§2: every
 // message sent over a link between correct processes is eventually received)
-// must always return deliver=true and express disruptions as finite extra
-// delay — Partitioned, for example, buffers cross-partition traffic and
-// releases it at heal time rather than dropping it.
+// must either always return deliver=true and express disruptions as finite
+// extra delay — Partitioned, for example, buffers cross-partition traffic and
+// releases it at heal time rather than dropping it — OR be paired with an
+// automaton-level retransmission layer (internal/retransmit.Wrap) that
+// restores eventual delivery end-to-end over the lossy wire, as
+// internal/sim/adversary.Lossy is. A lossy model without retransmission runs
+// outside the paper's model: the kernel permits it (counting the losses in
+// MessagesLost) precisely so experiments can show eventual consistency
+// failing to converge when eventual delivery is withdrawn.
 // NetworkFactory builds a fresh NetworkModel instance. Options.Network takes
 // a factory — not an instance — so that every kernel owns a private model and
 // a shared Options value can never alias one stateful model across
@@ -200,6 +206,67 @@ func (m *Partitioned) Delay(from, to model.ProcID, sendTime model.Time) (model.T
 	return d, true
 }
 
+// MultiPartitioned generalizes Partitioned to k-side partitions: while a
+// window is active the process set splits into Sides groups (process p is on
+// side (p-1) mod Sides, so sides stay balanced and every side contains
+// processes for any n >= Sides), and a message crossing sides is buffered
+// until the window heals — the same store-and-forward semantics, decided at
+// send time, as the two-sided model. Windows follow the same
+// FirstAt/Duration/Interval schedule.
+type MultiPartitioned struct {
+	// Min and Max bound the base link delay (defaults 10 and 20 if both 0).
+	Min, Max model.Time
+	// Sides is the number of partition sides (>= 2).
+	Sides int
+	// FirstAt is when the first partition forms.
+	FirstAt model.Time
+	// Duration is how long each partition lasts before healing.
+	Duration model.Time
+	// Interval is the period between successive partition onsets
+	// (0 = exactly one partition).
+	Interval model.Time
+
+	rng *rand.Rand
+}
+
+var _ NetworkModel = (*MultiPartitioned)(nil)
+
+// NewMultiPartitioned returns a model with one k-side partition window
+// [firstAt, firstAt+duration) over a default 10–20 tick base delay.
+func NewMultiPartitioned(sides int, firstAt, duration model.Time) *MultiPartitioned {
+	return &MultiPartitioned{Sides: sides, FirstAt: firstAt, Duration: duration}
+}
+
+// Reset implements NetworkModel.
+func (m *MultiPartitioned) Reset(seed int64) { m.rng = rand.New(rand.NewSource(seed)) }
+
+// Validate implements NetworkValidator: the split must produce at least two
+// non-empty sides and the windows must heal (see Partitioned.Validate).
+func (m *MultiPartitioned) Validate(n int) error {
+	if m.Sides < 2 || m.Sides > n {
+		return fmt.Errorf("sim: MultiPartitioned.Sides=%d does not split a %d-process system", m.Sides, n)
+	}
+	if m.Interval > 0 && m.Duration >= m.Interval {
+		return fmt.Errorf("sim: MultiPartitioned windows overlap (Duration=%d >= Interval=%d): the network would never heal", m.Duration, m.Interval)
+	}
+	return nil
+}
+
+// Delay implements NetworkModel.
+func (m *MultiPartitioned) Delay(from, to model.ProcID, sendTime model.Time) (model.Time, bool) {
+	// Reuse Partitioned's base-delay defaults and window arithmetic through a
+	// shim sharing the schedule fields; only the side assignment differs.
+	shim := Partitioned{Min: m.Min, Max: m.Max, FirstAt: m.FirstAt, Duration: m.Duration, Interval: m.Interval}
+	min, max := shim.base()
+	d := drawUniform(m.rng, min, max)
+	if (int(from)-1)%m.Sides != (int(to)-1)%m.Sides {
+		if heal := shim.healTime(sendTime); heal >= 0 {
+			return heal - sendTime + d, true
+		}
+	}
+	return d, true
+}
+
 // Jittery models partial synchrony with asymmetric per-link latency classes
 // and occasional spikes. Each directed link (from, to) is assigned a fixed
 // latency class by hashing the pair — so p1→p2 and p2→p1 may differ — and
@@ -286,6 +353,47 @@ var presets = map[string]func() NetworkModel{
 	"jitter": func() NetworkModel { return NewJittery(0) },
 	// jitter-spiky: asymmetric link classes, ~1 in 20 messages spikes 8×.
 	"jitter-spiky": func() NetworkModel { return NewJittery(20) },
+	// partition-3way: one 2000-tick three-sided partition at t = 500.
+	"partition-3way": func() NetworkModel { return NewMultiPartitioned(3, 500, 2000) },
+}
+
+// presetFaults holds the fault-schedule half of environment presets that have
+// one (the churn-* presets registered by internal/sim/adversary). The factory
+// takes the system size because schedules are per-process.
+var presetFaults = map[string]func(n int) model.FaultModel{}
+
+// RegisterPreset adds a named network preset to the registry shared by
+// ecsim -net, the examples, and the experiment tables. Packages layered above
+// the kernel (internal/sim/adversary) register their models from init, the
+// same way image formats self-register. Duplicate names panic: presets are
+// a global namespace and silent replacement would make two builds of the same
+// flag value mean different environments.
+func RegisterPreset(name string, mk func() NetworkModel) {
+	if _, dup := presets[name]; dup {
+		panic(fmt.Sprintf("sim: network preset %q already registered", name))
+	}
+	presets[name] = mk
+}
+
+// RegisterPresetFaults attaches a fault-schedule factory to a preset name, so
+// environment presets can carry churn in addition to link behavior. If no
+// network preset exists under the name, a Uniform default is registered so
+// the name resolves everywhere a network preset does.
+func RegisterPresetFaults(name string, mk func(n int) model.FaultModel) {
+	if _, dup := presetFaults[name]; dup {
+		panic(fmt.Sprintf("sim: fault preset %q already registered", name))
+	}
+	presetFaults[name] = mk
+	if _, ok := presets[name]; !ok {
+		presets[name] = func() NetworkModel { return NewUniform(10, 20) }
+	}
+}
+
+// PresetFaults returns the fault-schedule factory attached to a preset, or
+// nil for network-only presets. Callers pass the result (instantiated at
+// their n) as Options.Faults.
+func PresetFaults(name string) func(n int) model.FaultModel {
+	return presetFaults[name]
 }
 
 // Preset returns a fresh instance of a named network environment.

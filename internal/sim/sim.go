@@ -13,9 +13,19 @@
 // with the kernel: Uniform (the default: i.i.d. delays in [MinDelay,
 // MaxDelay]), Partitioned (crash-free partitions that form and heal on a
 // schedule, buffering cross-partition traffic until heal time so eventual
-// delivery still holds), and Jittery (asymmetric per-link latency classes
-// with occasional spikes, modeling partial synchrony). Preset names common
-// environments ("uniform", "partition", "jitter-spiky", ...).
+// delivery still holds), MultiPartitioned (its k-side generalization), and
+// Jittery (asymmetric per-link latency classes with occasional spikes,
+// modeling partial synchrony). Preset names common environments ("uniform",
+// "partition", "jitter-spiky", ...); adversarial models — lossy links,
+// divergence-maximizing schedulers — live in internal/sim/adversary and
+// register their own presets.
+//
+// The failure half of the environment is pluggable too: Options.Faults takes
+// a model.FaultModel, generalizing the monotone crash pattern to up/down
+// intervals (churn). A process whose down interval ends restarts with fresh
+// automaton state (Init re-runs); everything sent to it while down is
+// dropped. With Faults nil the kernel consumes the failure pattern itself —
+// the monotone special case — through the same interface.
 //
 // Determinism: given the same seed, failure pattern, detector, network
 // model, and automaton factory, a run is bit-for-bit reproducible. All
@@ -58,6 +68,19 @@ type Options struct {
 	//
 	// or use PresetFactory("partition") for a named environment.
 	Network NetworkFactory
+	// Faults optionally generalizes the run's failure pattern to up/down
+	// intervals (churn): when non-nil, it — not the FailurePattern passed to
+	// New — decides which processes take steps and receive messages at each
+	// instant. A process whose down interval ends RESTARTS: its automaton is
+	// rebuilt from the factory (state reset) and re-runs Init; deliveries and
+	// inputs that arrived while it was down are dropped. Nil keeps the
+	// monotone crash semantics of the failure pattern (which itself implements
+	// model.FaultModel), bit-for-bit.
+	//
+	// Unlike Network this is an instance, not a factory: FaultModel
+	// implementations are immutable pure queries (see model.FaultModel), so
+	// one value is safe to share across sequential and concurrent kernels.
+	Faults model.FaultModel
 	// TickInterval is the period of λ-steps (the paper's "local timeout").
 	// Default: 5. Ticks of distinct processes are staggered by one tick each
 	// so no two processes ever step at the same instant.
@@ -133,26 +156,41 @@ const (
 	evDeliver eventKind = iota + 1
 	evTick
 	evInput
+	evRestart
 )
 
 type event struct {
 	t    model.Time
 	seq  int64 // FIFO tie-break for equal times
 	kind eventKind
-	p    model.ProcID // target process (tick, input)
+	p    model.ProcID // target process (tick, input, restart)
+	gen  int32        // tick-chain generation (tick); see Kernel.tickGen
 	msg  Message      // deliver
 	in   any          // input
 }
 
 // Kernel is a deterministic simulation of one run R = (F, H, H_I, H_O, S, T).
 type Kernel struct {
-	fp    *model.FailurePattern
-	det   fd.Detector // the history as given to New
-	fdc   *fd.Cached  // memoized query path used by step (one per kernel)
-	autos map[model.ProcID]model.Automaton
-	opts  Options
-	net   NetworkModel
-	procs []model.ProcID // Π, computed once (hot-path allocation saver)
+	fp *model.FailurePattern
+	// faults is the liveness source: Options.Faults, or fp itself. monotone
+	// devirtualizes the common case — it aliases fp whenever no custom fault
+	// model is installed, so the per-event liveness check in dispatch stays a
+	// direct concrete call instead of an interface call (see Kernel.up).
+	faults   model.FaultModel
+	monotone *model.FailurePattern // nil iff Options.Faults overrides fp
+	factory  model.AutomatonFactory
+	det      fd.Detector // the history as given to New
+	fdc      *fd.Cached  // memoized query path used by step (one per kernel)
+	autos    map[model.ProcID]model.Automaton
+	opts     Options
+	net      NetworkModel
+	procs    []model.ProcID // Π, computed once (hot-path allocation saver)
+	// tickGen guards against duplicate tick chains under churn: every tick
+	// event carries the generation current when it was scheduled, a restart
+	// bumps the process's generation, and stale-generation ticks die silently.
+	// Without it, a down interval short enough to contain no tick would leave
+	// the old chain alive next to the restart's new one.
+	tickGen []int32 // index p-1
 
 	queue    eventHeap
 	sctx     stepCtx // reused per step
@@ -192,16 +230,26 @@ func New(fp *model.FailurePattern, det fd.Detector, factory model.AutomatonFacto
 		panic(err.Error())
 	}
 	net.Reset(opts.Seed)
+	var faults model.FaultModel = fp
+	monotone := fp
+	if opts.Faults != nil {
+		faults = opts.Faults
+		monotone = nil
+	}
 	k := &Kernel{
-		fp:    fp,
-		det:   det,
-		fdc:   fd.NewCached(det),
-		autos: make(map[model.ProcID]model.Automaton, fp.N()),
-		opts:  opts,
-		net:   net,
-		procs: model.Procs(fp.N()),
-		queue: eventHeap{keys: make([]heapKey, 0, 256), slots: make([]event, 0, 256)},
-		obs:   NopObserver{},
+		fp:       fp,
+		faults:   faults,
+		monotone: monotone,
+		factory:  factory,
+		det:      det,
+		fdc:      fd.NewCached(det),
+		autos:    make(map[model.ProcID]model.Automaton, fp.N()),
+		opts:     opts,
+		net:      net,
+		procs:    model.Procs(fp.N()),
+		tickGen:  make([]int32, fp.N()),
+		queue:    eventHeap{keys: make([]heapKey, 0, 256), slots: make([]event, 0, 256)},
+		obs:      NopObserver{},
 	}
 	for _, p := range k.procs {
 		k.autos[p] = factory(p, fp.N())
@@ -245,8 +293,24 @@ func (k *Kernel) MessagesSent() int64 { return k.nSent }
 func (k *Kernel) MessagesDropped() int64 { return k.nDropped }
 
 // MessagesLost returns messages the network model chose not to deliver.
-// Always 0 under the shipped models, which honor eventual delivery.
+// Always 0 under the kernel's built-in models, which honor eventual delivery
+// as finite delay; lossy models (internal/sim/adversary.Lossy) make it
+// non-zero, and pairing them with retransmission (internal/retransmit)
+// restores eventual delivery end-to-end.
 func (k *Kernel) MessagesLost() int64 { return k.nLost }
+
+// Faults returns the liveness source of the run: Options.Faults when set,
+// otherwise the failure pattern itself.
+func (k *Kernel) Faults() model.FaultModel { return k.faults }
+
+// up is the per-event liveness check (hot path: every tick, input, and
+// delivery). The monotone fast path keeps the historical direct call.
+func (k *Kernel) up(p model.ProcID, t model.Time) bool {
+	if k.monotone != nil {
+		return k.monotone.Alive(p, t)
+	}
+	return k.faults.Up(p, t)
+}
 
 // Network returns the network model driving link behavior in this run.
 func (k *Kernel) Network() NetworkModel { return k.net }
@@ -277,13 +341,25 @@ func (k *Kernel) start() {
 	// process-ID order (deterministic), then periodic ticks are scheduled,
 	// staggered by one tick per process so steps never coincide.
 	for _, p := range k.procs {
-		if k.fp.Alive(p, 0) {
+		if k.up(p, 0) {
 			k.step(p, func(ctx *stepCtx) { k.autos[p].Init(ctx) }, 0, 0)
 		}
 	}
 	for i, p := range k.procs {
 		e := k.enqueue(1 + model.Time(i))
-		e.kind, e.p = evTick, p
+		e.kind, e.p, e.gen = evTick, p, k.tickGen[p-1]
+	}
+	// Under churn, schedule one restart event per up-interval start. The
+	// monotone FailurePattern path returns no restarts, so existing runs see
+	// an identical event sequence.
+	for _, p := range k.procs {
+		for _, r := range k.faults.Restarts(p) {
+			if r > k.opts.MaxTime {
+				break // Restarts are strictly increasing per contract.
+			}
+			e := k.enqueue(r)
+			e.kind, e.p = evRestart, p
+		}
 	}
 }
 
@@ -317,19 +393,21 @@ func (k *Kernel) RunUntil(maxTime model.Time, stop func(k *Kernel) bool) {
 func (k *Kernel) dispatch(e *event) {
 	switch e.kind {
 	case evTick:
-		alive := k.fp.Alive(e.p, e.t)
-		if alive {
+		if e.gen != k.tickGen[e.p-1] {
+			return // chain superseded by a restart's fresh one
+		}
+		if k.up(e.p, e.t) {
 			k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Tick(ctx) }, 0, 0)
 			next := k.enqueue(e.t + k.opts.TickInterval)
-			next.kind, next.p = evTick, e.p
+			next.kind, next.p, next.gen = evTick, e.p, e.gen
 		}
 	case evInput:
-		if k.fp.Alive(e.p, e.t) {
+		if k.up(e.p, e.t) {
 			k.obs.OnInput(e.p, e.t, e.in)
 			k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Input(ctx, e.in) }, 0, 0)
 		}
 	case evDeliver:
-		if k.fp.Alive(e.msg.To, e.t) {
+		if k.up(e.msg.To, e.t) {
 			k.obs.OnDeliver(e.t, e.msg)
 			k.step(e.msg.To, func(ctx *stepCtx) {
 				k.autos[e.msg.To].Recv(ctx, e.msg.From, e.msg.Payload)
@@ -337,6 +415,20 @@ func (k *Kernel) dispatch(e *event) {
 		} else {
 			k.nDropped++
 		}
+	case evRestart:
+		// A restart resets the process to its initial state: the automaton is
+		// rebuilt (nothing survives the down interval), Init re-runs as the
+		// restart step, and a fresh tick chain starts one interval later. The
+		// generation bump retires any tick chain that outlived the down
+		// interval (one too short to contain a tick event).
+		if !k.up(e.p, e.t) {
+			return // defensive: schedule says down at its own restart time
+		}
+		k.tickGen[e.p-1]++
+		k.autos[e.p] = k.factory(e.p, k.fp.N())
+		k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Init(ctx) }, 0, 0)
+		next := k.enqueue(e.t + k.opts.TickInterval)
+		next.kind, next.p, next.gen = evTick, e.p, k.tickGen[e.p-1]
 	default:
 		panic(fmt.Sprintf("sim: unknown event kind %d", e.kind))
 	}
