@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bench                       # run all experiments (E1..E9), print tables
+//	bench                       # run all experiments (E1..E13), print tables
 //	bench -exp e5               # run one experiment
 //	bench -quick                # smaller workloads
 //	bench -seed 7               # change the base seed
@@ -20,17 +20,19 @@
 //	                            # exactly once)
 //	bench -repeat 5             # time every cell as the median of 5 runs
 //	                            # (rows are deterministic and printed once;
-//	                            # only the recorded timings steady)
-//	bench -json BENCH_4.json    # also write the machine-readable report
-//	bench -json BENCH_4.json -scaling 1,2,4,8
+//	                            # only the recorded timings steady; the
+//	                            # max−min spread per cell lands in the
+//	                            # report's spread_ms column)
+//	bench -json BENCH_5.json    # also write the machine-readable report
+//	bench -json BENCH_5.json -scaling 1,2,4,8
 //	                            # additionally rerun the suite per worker
 //	                            # count and record the wall-time scaling
 //
-// The -json report (schema "repro-bench/2", see internal/bench.Report)
-// records per-experiment wall time (median-of-(-repeat) per cell), kernel
-// steps/sec, the kernel and CHT microbenchmarks (ns/op, allocs/op), and the
-// optional scaling sweep. Progress notes for the extra passes go to stderr;
-// stdout carries only the tables.
+// The -json report (schema "repro-bench/3", see internal/bench.Report)
+// records per-experiment wall time (median-of-(-repeat) per cell) with its
+// run-to-run spread, kernel steps/sec, the kernel and CHT microbenchmarks
+// (ns/op, allocs/op), and the optional scaling sweep. Progress notes for the
+// extra passes go to stderr; stdout carries only the tables.
 package main
 
 import (

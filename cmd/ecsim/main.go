@@ -17,11 +17,20 @@
 //	                                       # reset); retransmission carries
 //	                                       # traffic across down intervals
 //	ecsim -net adversarial                 # divergence-maximizing scheduler
+//	                                       # (blind rotating victim)
+//	ecsim -net leader-starve               # protocol-aware scheduler: links
+//	                                       # touching the current Omega leader
+//	                                       # pinned at the delay bound
+//	ecsim -net churn-lossy -retransmit     # composite preset: churn + ~15% loss
+//	ecsim -net hostile -retransmit         # the full stack: leader starvation
+//	                                       # over lossy links over churn
 //
-// The adversarial environment presets come from internal/sim/adversary. A
-// lossy or churning environment violates the paper's eventual-delivery
-// assumption on its own — run it raw to watch the property check fail, or
-// with -retransmit to see convergence restored.
+// The adversarial environment presets come from internal/sim/adversary;
+// composite presets (adversary.Composite) name BOTH halves of an environment
+// — a layered link stack built with sim.ComposeNetworks and a fault schedule
+// — under one -net value. A lossy or churning environment violates the
+// paper's eventual-delivery assumption on its own — run it raw to watch the
+// property check fail, or with -retransmit to see convergence restored.
 package main
 
 import (
@@ -37,7 +46,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/retransmit"
 	"repro/internal/sim"
-	"repro/internal/sim/adversary" // imported for FaultSchedule; init registers the lossy/churn/adversarial presets
+	_ "repro/internal/sim/adversary" // init registers the lossy/churn/adversarial/composite presets
 	"repro/internal/tob"
 	"repro/internal/trace"
 )
@@ -127,25 +136,17 @@ func run() int {
 	if *retrans {
 		factory = retransmit.Wrap(factory, retransmit.Options{Seed: *seed})
 	}
-	// Environment presets can carry a fault schedule (churn-*); the kernel
-	// then suspends and restarts processes on it. When one is installed it is
-	// the kernel's ONLY liveness source, so -crash entries must be merged
-	// into it — otherwise they would be silently ignored while the header
+	// Environment presets can carry a fault schedule (churn-*, churn-lossy,
+	// hostile); the kernel then suspends and restarts processes on it. When
+	// one is installed it is the kernel's ONLY liveness source, so -crash
+	// entries are merged in through model.MergeFaults (down = down in either
+	// half) — otherwise they would be silently ignored while the header
 	// still printed them.
 	var faults model.FaultModel
 	if ff := sim.PresetFaults(*network); ff != nil {
 		faults = ff(*n)
 		if *crashes != "" {
-			fs, ok := faults.(*adversary.FaultSchedule)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "ecsim: -crash cannot be combined with fault preset %q\n", *network)
-				return 2
-			}
-			for _, p := range model.Procs(*n) {
-				if ct := fp.CrashTime(p); ct >= 0 {
-					fs.Crash(p, ct)
-				}
-			}
+			faults = model.MergeFaults(faults, fp)
 		}
 	}
 	rec := trace.NewRecorder(*n)
@@ -159,12 +160,21 @@ func run() int {
 			p = fp.MinCorrect()
 		}
 		if faults != nil && !faults.Up(p, at) {
-			// Under churn, submit to a process that is actually up.
+			// Under churn, submit to a process that is actually up. If the
+			// schedule has EVERYONE down at this instant the input cannot be
+			// submitted at all — say so instead of letting the kernel drop it
+			// silently (the convergence predicate would then wait forever for
+			// a broadcast that never happened).
+			redirected := false
 			for _, q := range model.Procs(*n) {
 				if faults.Up(q, at) && fp.Alive(q, at) {
-					p = q
+					p, redirected = q, true
 					break
 				}
+			}
+			if !redirected {
+				fmt.Fprintf(os.Stderr, "ecsim: no process is up at t=%d; skipping broadcast m%02d\n", at, i)
+				continue
 			}
 		}
 		id := fmt.Sprintf("m%02d", i)

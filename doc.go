@@ -11,21 +11,31 @@
 // NetworkModel): uniform delays, crash-free partitions — two-sided and
 // k-sided — that form and heal on a schedule, and jittery asymmetric links
 // ship built in; the adversarial engine (internal/sim/adversary) adds lossy
-// links with seeded per-link drop rates and burst losses, and a
+// links with seeded per-link drop rates and burst losses, a
 // divergence-maximizing scheduler that greedily starves a rotating victim
-// inside admissible delay bounds. Failures (model.FaultModel, via
-// sim.Options.Faults): the monotone crash pattern generalizes to up/down
-// intervals (adversary.FaultSchedule), with the kernel suspending a down
-// process, dropping everything sent to it, and restarting it with fresh
-// state — churn as crash+restart pairs. internal/retransmit restores the
-// paper's eventual-delivery assumption end-to-end over those hostile
-// environments (ack'd, deduplicated envelopes with seeded exponential
-// resend), turning loss rate and churn rate into sweepable parameters.
-// Named presets ("lossy", "churn-fast", "adversarial", ...) are shared by
-// the CLI (cmd/ecsim -net), the examples, and the experiment tables.
-// Options.Network takes a NetworkFactory, so every kernel owns a private
-// seeded model and options values are safe to share across concurrent
-// kernels.
+// inside admissible delay bounds, and a PROTOCOL-AWARE leader starver that
+// reads the run's current Ω output through the kernel's leadership-
+// observation hook (sim.LeaderAware, answered from the kernel's fd.Cached
+// segments) and pins every link touching the current leader at the bound —
+// E13 measures it costing ~10x over both the blind rotation and i.i.d.
+// noise on the workload where the blind rotation was not worst-case.
+// Failures (model.FaultModel, via sim.Options.Faults): the monotone crash
+// pattern generalizes to up/down intervals (adversary.FaultSchedule), with
+// the kernel suspending a down process, dropping everything sent to it, and
+// restarting it with fresh state — churn as crash+restart pairs; fault
+// models merge through model.MergeFaults. Network models stack through
+// sim.ComposeNetworks (delays add, delivery needs unanimity), and
+// adversary.Composite registers a layered link stack plus a fault schedule
+// as ONE preset — "churn-lossy", "hostile". internal/retransmit restores
+// the paper's eventual-delivery assumption end-to-end over those hostile
+// environments (ack'd envelopes with per-link contiguous sequence numbers,
+// watermark-pruned dedup state bounded by the reordering window, and seeded
+// exponential resend), turning loss rate and churn rate into sweepable
+// parameters. Named presets ("lossy", "churn-fast", "leader-starve",
+// "hostile", ...) are shared by the CLI (cmd/ecsim -net), the examples, and
+// the experiment tables. Options.Network takes a NetworkFactory, so every
+// kernel owns a private seeded model and options values are safe to share
+// across concurrent kernels.
 //
 // The kernel's hot path is engineered for sweep scale: an inlined 4-ary
 // event heap over a reusable slab (no container/heap boxing, no per-event
@@ -49,9 +59,9 @@
 // median-of-N cell timing (-repeat N) to tame single-core noise, with
 // rows reassembled deterministically so parallel output is byte-identical
 // to serial; cmd/bench -json writes a machine-readable BENCH_<n>.json
-// (schema repro-bench/2: per-experiment wall time, kernel steps/sec,
-// microbenchmark ns/op and allocs/op, optional worker-scaling sweep)
-// tracking the perf trajectory.
+// (schema repro-bench/3: per-experiment wall time with its run-to-run
+// spread, kernel steps/sec, microbenchmark ns/op and allocs/op, optional
+// worker-scaling sweep) tracking the perf trajectory.
 //
 // Start with README.md (overview and quickstart), DESIGN.md (system
 // inventory, per-experiment index, design decisions), and EXPERIMENTS.md

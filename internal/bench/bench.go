@@ -23,6 +23,12 @@
 //	E12 §2        the scheduler as adversary: divergence-maximizing delays
 //	              (adversary.AdversarialScheduler) vs i.i.d. over the same
 //	              bounds — convergence still happens, but later
+//	E13 §2        the worst admissible schedule is PROTOCOL-AWARE: the
+//	              leader-starving scheduler (adversary.LeaderStarver, fed by
+//	              the kernel's Ω observation hook) vs the blind rotation vs
+//	              i.i.d., quantifying the inversion E12's honesty note
+//	              flagged — the blind rotation can cost less than noise,
+//	              leader-awareness costs ~10x over both
 //
 // All experiments run on the deterministic kernel; absolute times are
 // simulator ticks, and "steps" are message delays (DESIGN.md decision 5).

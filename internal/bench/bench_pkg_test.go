@@ -25,7 +25,7 @@ func TestTableFormat(t *testing.T) {
 
 func TestByID(t *testing.T) {
 	opts := Options{Quick: true}
-	for _, id := range []string{"e1", "E2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "E11", "e12"} {
+	for _, id := range []string{"e1", "E2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "E11", "e12", "e13"} {
 		if _, ok := ByID(id, opts); !ok {
 			t.Errorf("ByID(%q) not found", id)
 		}
@@ -262,7 +262,7 @@ func TestE12AdversaryAdmissible(t *testing.T) {
 
 func TestAllRuns(t *testing.T) {
 	tables := All(Options{Quick: true})
-	if len(tables) != 12 {
+	if len(tables) != 13 {
 		t.Fatalf("All returned %d tables", len(tables))
 	}
 	for _, tbl := range tables {

@@ -6,15 +6,15 @@ import (
 	"testing"
 )
 
-// TestGoldenTables pins the E3, E4, and E8 table output byte-for-byte against
-// snapshots captured before the CHT hot-path overhaul (testdata/golden_E*.txt,
-// generated with `bench -exp eN -parallel 1` at the default seed). The
-// interned configuration engine, the StructuredAlgorithm fast path, the
-// incremental tree growth, and the transform-layer caches are all pure
-// performance changes: every emitted row must stay identical.
+// TestGoldenTables pins table output byte-for-byte against committed
+// snapshots (testdata/golden_E*.txt, generated with `bench -exp eN
+// -parallel 1` at the default seed): E3/E4/E8 against their pre-CHT-overhaul
+// snapshots (those changes were pure performance work), and E13 against the
+// snapshot committed with the leader-aware adversary, so the measured
+// protocol-aware-vs-blind gap cannot drift silently.
 func TestGoldenTables(t *testing.T) {
 	opts := Options{Seed: 42}
-	for _, id := range []string{"E3", "E4", "E8"} {
+	for _, id := range []string{"E3", "E4", "E8", "E13"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			want, err := os.ReadFile(filepath.Join("testdata", "golden_"+id+".txt"))
@@ -29,5 +29,26 @@ func TestGoldenTables(t *testing.T) {
 				t.Errorf("%s output drifted from golden snapshot.\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
 			}
 		})
+	}
+}
+
+// TestGoldenQuickSuite pins the ENTIRE pre-existing suite — every E1–E12
+// quick table, exactly as `bench -quick -parallel 1` prints it — against a
+// snapshot captured before the protocol-aware adversary landed. The new
+// leadership hook, the scheduler refactor, the retransmission watermark, and
+// the composition layer are all additive: not one cell of the existing
+// experiments may move.
+func TestGoldenQuickSuite(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_quick_suite.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	results, err := (Runner{Opts: Options{Quick: true}, Parallel: 1}).Run(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := formatAll(results); got != string(want) {
+		t.Errorf("E1–E12 quick suite drifted from the pre-adversary snapshot.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }

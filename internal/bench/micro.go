@@ -159,11 +159,15 @@ func microCHT() []struct {
 
 // Microbenchmarks measures the kernel and CHT microbenchmarks and returns
 // their results. One warm-up run precedes each measurement; quick shrinks the
-// iteration count for CI smoke jobs.
+// iteration count for CI smoke jobs. Iteration counts are fixed, never
+// time-calibrated, so two runs of identical code measure identical work —
+// and the quick count stays high enough (10, matching the CI bench steps'
+// -benchtime=10x) that a single descheduling blip cannot double ns/op the
+// way it could at 3 iterations.
 func Microbenchmarks(quick bool) []MicroResult {
 	iters := 30
 	if quick {
-		iters = 3
+		iters = 10
 	}
 	benches := microKernels()
 	benches = append(benches, microCHT()...)

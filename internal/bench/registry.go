@@ -61,6 +61,7 @@ var registry = []struct {
 	{"E10", e10Spec},
 	{"E11", e11Spec},
 	{"E12", e12Spec},
+	{"E13", e13Spec},
 }
 
 // IDs returns the experiment IDs in suite order.

@@ -10,12 +10,15 @@ import (
 // Report is the machine-readable record of a bench run, written by cmd/bench
 // as BENCH_<n>.json to track the perf trajectory across PRs.
 //
-// Schema ("repro-bench/2" — rev 2 adds "repeat": per-cell times are the
-// median of that many repetitions, taming single-core scheduling noise;
-// "repeat": 1 reads exactly like schema 1):
+// Schema ("repro-bench/3" — rev 3 adds "spread_ms": the summed per-cell
+// time spread (max − min across the -repeat samples), so a reader can judge
+// how noisy the medians in "cell_ms" are; it is 0 when "repeat" is 1 and the
+// rest of the report reads exactly like schema 2. Rev 2 added "repeat":
+// per-cell times are the median of that many repetitions, taming single-core
+// scheduling noise):
 //
 //	{
-//	  "schema":     "repro-bench/2",
+//	  "schema":     "repro-bench/3",
 //	  "seed":       42,            // base experiment seed
 //	  "quick":      false,         // reduced workloads?
 //	  "parallel":   8,             // worker-pool size of the recorded run
@@ -25,6 +28,7 @@ import (
 //	  "experiments": [             // per experiment, in suite order
 //	    {"id": "E1", "cells": 3, "steps": 123456,
 //	     "cell_ms": 456.7,         // summed median cell time (CPU-ms, overlaps under parallelism)
+//	     "spread_ms": 12.3,        // summed per-cell max−min across the repeats
 //	     "steps_per_sec": 270000}, // kernel steps / cell time
 //	    ...],
 //	  "scaling": [                 // optional -scaling sweep, one point per worker
@@ -55,6 +59,7 @@ type ExpReport struct {
 	Cells       int     `json:"cells"`
 	Steps       int64   `json:"steps"`
 	CellMS      float64 `json:"cell_ms"`
+	SpreadMS    float64 `json:"spread_ms"`
 	StepsPerSec float64 `json:"steps_per_sec"`
 }
 
@@ -73,7 +78,7 @@ func NewReport(opts Options, parallel, repeat int, results []Result, wall time.D
 		repeat = 1
 	}
 	r := &Report{
-		Schema:     "repro-bench/2",
+		Schema:     "repro-bench/3",
 		Seed:       opts.seed(),
 		Quick:      opts.Quick,
 		Parallel:   parallel,
@@ -83,10 +88,11 @@ func NewReport(opts Options, parallel, repeat int, results []Result, wall time.D
 	}
 	for _, res := range results {
 		er := ExpReport{
-			ID:     res.Table.ID,
-			Cells:  res.Cells,
-			Steps:  res.Steps,
-			CellMS: ms(res.CellTime),
+			ID:       res.Table.ID,
+			Cells:    res.Cells,
+			Steps:    res.Steps,
+			CellMS:   ms(res.CellTime),
+			SpreadMS: ms(res.CellSpread),
 		}
 		if res.CellTime > 0 {
 			er.StepsPerSec = float64(res.Steps) / res.CellTime.Seconds()

@@ -71,6 +71,12 @@ type Result struct {
 	// measured by the caller around Run). With Repeat > 1 each cell
 	// contributes its median-of-N time.
 	CellTime time.Duration
+	// CellSpread is the summed per-cell time SPREAD (max − min across the
+	// Repeat samples; zero when Repeat <= 1 or a cell was sampled once): the
+	// run-to-run variance the medians in CellTime are taming, surfaced so a
+	// BENCH_*.json reader can judge how trustworthy each cell time is on a
+	// noisy single-core runner.
+	CellSpread time.Duration
 	// ByCell holds each cell's rows in cell order: nil for cells this shard
 	// skipped, so shards reassemble into the serial table by picking every
 	// cell's rows from the shard that owns it.
@@ -98,6 +104,7 @@ func (r Runner) Run(ids []string) ([]Result, error) {
 	type slot struct {
 		out      cellOut
 		dur      time.Duration
+		spread   time.Duration
 		ran      bool
 		timedOut bool
 	}
@@ -144,7 +151,7 @@ func (r Runner) Run(ids []string) ([]Result, error) {
 			}
 			durs = append(durs, time.Since(start))
 		}
-		cells[j.e][j.c] = slot{out: out, dur: median(durs), ran: true, timedOut: timedOut}
+		cells[j.e][j.c] = slot{out: out, dur: median(durs), spread: spread(durs), ran: true, timedOut: timedOut}
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
@@ -180,6 +187,7 @@ func (r Runner) Run(ids []string) ([]Result, error) {
 			res.Table.Rows = append(res.Table.Rows, sl.out.rows...)
 			res.Steps += sl.out.steps
 			res.CellTime += sl.dur
+			res.CellSpread += sl.spread
 			if sl.timedOut {
 				res.TimedOut++
 			}
@@ -198,6 +206,16 @@ func median(durs []time.Duration) time.Duration {
 		return durs[n/2]
 	}
 	return (durs[n/2-1] + durs[n/2]) / 2
+}
+
+// spread returns max − min of the samples (zero for fewer than two): the
+// per-cell time-spread column of the repro-bench/3 report. Call after median
+// (which leaves durs sorted); a single sample has no spread to report.
+func spread(durs []time.Duration) time.Duration {
+	if len(durs) < 2 {
+		return 0
+	}
+	return durs[len(durs)-1] - durs[0]
 }
 
 // runCell executes one cell, bounded by timeout when positive. A timed-out

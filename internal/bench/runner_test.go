@@ -18,7 +18,7 @@ func formatAll(results []Result) string {
 }
 
 // TestRunnerParallelMatchesSerial is the sweep engine's golden property: the
-// full twelve-table suite under an 8-worker pool must be byte-identical to
+// full thirteen-table suite under an 8-worker pool must be byte-identical to
 // the serial path (and to the legacy All entry point). Run under -race in CI,
 // this also shakes out any shared mutable state between cells.
 func TestRunnerParallelMatchesSerial(t *testing.T) {
@@ -104,11 +104,23 @@ func TestRunnerRepeatIdenticalRows(t *testing.T) {
 		t.Fatalf("repeat changed the tables:\n--- once ---\n%s\n--- median-of-3 ---\n%s", a, b)
 	}
 	rep := NewReport(opts, 2, 3, thrice, 0)
-	if rep.Schema != "repro-bench/2" || rep.Repeat != 3 {
-		t.Errorf("report schema/repeat = %q/%d, want repro-bench/2 and 3", rep.Schema, rep.Repeat)
+	if rep.Schema != "repro-bench/3" || rep.Repeat != 3 {
+		t.Errorf("report schema/repeat = %q/%d, want repro-bench/3 and 3", rep.Schema, rep.Repeat)
 	}
 	if rep := NewReport(opts, 2, 0, once, 0); rep.Repeat != 1 {
 		t.Errorf("repeat <= 1 must normalize to 1, got %d", rep.Repeat)
+	}
+	// The spread column: repeated runs must carry a non-negative spread per
+	// experiment, single-shot runs exactly zero (nothing to spread over).
+	for _, er := range rep.Experiments {
+		if er.SpreadMS < 0 {
+			t.Errorf("experiment %s: negative spread %v", er.ID, er.SpreadMS)
+		}
+	}
+	for _, er := range NewReport(opts, 2, 1, once, 0).Experiments {
+		if er.SpreadMS != 0 {
+			t.Errorf("experiment %s: single-shot run has spread %v, want 0", er.ID, er.SpreadMS)
+		}
 	}
 }
 
@@ -130,7 +142,7 @@ func TestRunnerUnknownID(t *testing.T) {
 // from the single registry.
 func TestRegistryCoherence(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
+	if len(ids) != 13 {
 		t.Fatalf("IDs() = %v", ids)
 	}
 	tables := All(Options{Quick: true})

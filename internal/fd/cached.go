@@ -130,5 +130,17 @@ func (c *Cached) ValuesAt(ps []model.ProcID, ts []model.Time, out []any) []any {
 	return out
 }
 
+// Leader is the leadership-observation query: the Ω component of H(p, t) —
+// the leader currently output at process p's failure-detector module — served
+// through the same per-segment cache as Value, with ok=false when the wrapped
+// history has no Ω component (a plain Σ or ◇P history). The kernel's
+// leadership hook (sim.LeaderAware) is built on this method, which is how
+// protocol-aware network models such as adversary.LeaderStarver read the
+// run's current leader out of any detector's history segments without
+// re-deriving them.
+func (c *Cached) Leader(p model.ProcID, t model.Time) (model.ProcID, bool) {
+	return LeaderOf(c.Value(p, t))
+}
+
 // Stats reports cache hits and misses since construction.
 func (c *Cached) Stats() (hits, misses int64) { return c.hits, c.miss }

@@ -177,3 +177,27 @@ func TestSegmentStartContract(t *testing.T) {
 		})
 	}
 }
+
+// TestCachedLeader: the leadership-observation query must surface the Ω
+// component of any history that has one — Omega directly, OmegaSigma through
+// the pair — and report ok=false for Ω-free histories, all through the
+// segment cache.
+func TestCachedLeader(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	omega := NewOmegaEventual(fp, 2, 400)
+	c := NewCached(omega)
+	if l, ok := c.Leader(3, 100); !ok || l != 3 {
+		t.Errorf("pre-stab Leader(p3) = (%v, %v), want (p3, true): self-trust phase", l, ok)
+	}
+	if l, ok := c.Leader(3, 400); !ok || l != 2 {
+		t.Errorf("post-stab Leader(p3) = (%v, %v), want (p2, true)", l, ok)
+	}
+	both := NewCached(NewOmegaSigma(NewOmegaStable(fp, 1), NewSigma(fp, 50)))
+	if l, ok := both.Leader(1, 10); !ok || l != 1 {
+		t.Errorf("OmegaSigma Leader = (%v, %v), want (p1, true)", l, ok)
+	}
+	sigmaOnly := NewCached(NewSigma(fp, 50))
+	if _, ok := sigmaOnly.Leader(1, 10); ok {
+		t.Error("a Σ-only history has no leader to observe")
+	}
+}

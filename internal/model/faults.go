@@ -34,3 +34,85 @@ func (f *FailurePattern) Up(p ProcID, t Time) bool { return f.Alive(p, t) }
 
 // Restarts implements FaultModel: crashes are permanent, so there are none.
 func (f *FailurePattern) Restarts(ProcID) []Time { return nil }
+
+// MergeFaults merges fault schedules: the returned model reports a process up
+// only when EVERY input model does, so down intervals union — churn stacked
+// on permanent crashes, two independent churn schedules, and so on. Restart
+// instants are recomputed against the merged liveness (a component's restart
+// while another component still holds the process down is not a restart of
+// the merge). Nil inputs are skipped; a single effective model is returned
+// as-is, and merging nothing returns nil (no fault override).
+//
+// The merge is a pure function of immutable pure-query inputs, so it honors
+// the FaultModel contract and is safe to share across concurrent kernels like
+// any other fault model. The composite environment presets in
+// internal/sim/adversary pair it with sim.ComposeNetworks to register both
+// halves of a hostile environment under one name.
+func MergeFaults(models ...FaultModel) FaultModel {
+	live := make([]FaultModel, 0, len(models))
+	for _, m := range models {
+		if m != nil {
+			live = append(live, m)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return mergedFaults(live)
+}
+
+type mergedFaults []FaultModel
+
+var _ FaultModel = (mergedFaults)(nil)
+
+// Up implements FaultModel: up iff up in every component.
+func (m mergedFaults) Up(p ProcID, t Time) bool {
+	for _, f := range m {
+		if !f.Up(p, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Restarts implements FaultModel. Candidate instants are the union of the
+// components' restarts — the merged down set is a union of intervals, so it
+// can only transition down→up where some component does — filtered to the
+// instants where the MERGE is up having been down the instant before.
+func (m mergedFaults) Restarts(p ProcID) []Time {
+	var candidates []Time
+	for _, f := range m {
+		candidates = append(candidates, f.Restarts(p)...)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sortTimes(candidates)
+	out := make([]Time, 0, len(candidates))
+	for i, t := range candidates {
+		if i > 0 && candidates[i-1] == t {
+			continue // deduplicate coinciding component restarts
+		}
+		if t > 0 && m.Up(p, t) && !m.Up(p, t-1) {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// sortTimes is an insertion sort: restart lists are short (a handful of churn
+// intervals per process), and this keeps the cold path free of sort's
+// interface machinery.
+func sortTimes(ts []Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

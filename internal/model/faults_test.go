@@ -1,0 +1,95 @@
+package model
+
+import "testing"
+
+// intervalFaults is a minimal FaultModel for merge tests: down during the
+// listed [start, end) intervals (end < 0 = forever), sorted by construction.
+type intervalFaults struct {
+	down [][2]Time
+}
+
+func (f intervalFaults) Up(_ ProcID, t Time) bool {
+	for _, iv := range f.down {
+		if t >= iv[0] && (iv[1] < 0 || t < iv[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f intervalFaults) Restarts(ProcID) []Time {
+	var out []Time
+	for _, iv := range f.down {
+		if iv[1] >= 0 {
+			out = append(out, iv[1])
+		}
+	}
+	return out
+}
+
+func TestMergeFaultsUpIntersection(t *testing.T) {
+	a := intervalFaults{down: [][2]Time{{100, 200}}}
+	b := intervalFaults{down: [][2]Time{{150, 300}}}
+	m := MergeFaults(a, b)
+	for _, tc := range []struct {
+		t    Time
+		want bool
+	}{
+		{50, true}, {100, false}, {150, false}, {199, false},
+		{200, false}, {299, false}, {300, true},
+	} {
+		if got := m.Up(1, tc.t); got != tc.want {
+			t.Errorf("Up(p1, %d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestMergeFaultsRestartsRecomputed(t *testing.T) {
+	// a restarts at 200, but b holds the process down until 300: the merge
+	// restarts once, at 300.
+	a := intervalFaults{down: [][2]Time{{100, 200}}}
+	b := intervalFaults{down: [][2]Time{{150, 300}}}
+	got := MergeFaults(a, b).Restarts(1)
+	if len(got) != 1 || got[0] != 300 {
+		t.Errorf("Restarts = %v, want [300]", got)
+	}
+
+	// Disjoint down intervals: both restarts survive, sorted.
+	c := intervalFaults{down: [][2]Time{{400, 500}}}
+	got = MergeFaults(a, c).Restarts(1)
+	if len(got) != 2 || got[0] != 200 || got[1] != 500 {
+		t.Errorf("Restarts = %v, want [200 500]", got)
+	}
+
+	// Coinciding restarts deduplicate.
+	d := intervalFaults{down: [][2]Time{{120, 200}}}
+	got = MergeFaults(a, d).Restarts(1)
+	if len(got) != 1 || got[0] != 200 {
+		t.Errorf("Restarts = %v, want [200]", got)
+	}
+
+	// A permanent crash suppresses every later restart (monotone component).
+	fp := NewFailurePattern(2)
+	fp.Crash(1, 250)
+	if got := MergeFaults(c, fp).Restarts(1); got != nil {
+		t.Errorf("Restarts = %v, want nil: the process never comes back after its crash", got)
+	}
+	if MergeFaults(c, fp).Up(1, 450) {
+		t.Error("crashed process reported up inside the churn window")
+	}
+}
+
+func TestMergeFaultsDegenerateArities(t *testing.T) {
+	if MergeFaults() != nil {
+		t.Error("merging nothing must be nil (no fault override)")
+	}
+	if MergeFaults(nil, nil) != nil {
+		t.Error("nil inputs are skipped")
+	}
+	a := intervalFaults{down: [][2]Time{{1, 2}}}
+	if got := MergeFaults(nil, a, nil); got == nil {
+		t.Error("single effective model lost")
+	} else if _, wrapped := got.(mergedFaults); wrapped {
+		t.Error("single effective model must be returned as-is, not wrapped")
+	}
+}

@@ -1,0 +1,62 @@
+package retransmit
+
+import "testing"
+
+// TestOptionsWithDefaults pins the resend-schedule defaulting, in particular
+// the explicit-cap rule: MaxRTO set below RTO clamps RTO down to the cap
+// instead of silently discarding the cap.
+func TestOptionsWithDefaults(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		in               Options
+		wantRTO, wantMax int
+	}{
+		{"zero value", Options{}, 3, 48},
+		{"rto only, below default cap", Options{RTO: 10}, 10, 48},
+		{"rto only, above default cap", Options{RTO: 100}, 100, 100},
+		{"explicit cap above rto", Options{RTO: 3, MaxRTO: 200}, 3, 200},
+		{"explicit cap equals rto", Options{RTO: 7, MaxRTO: 7}, 7, 7},
+		{"explicit cap below rto clamps rto", Options{RTO: 100, MaxRTO: 50}, 50, 50},
+		{"explicit cap below default rto", Options{MaxRTO: 2}, 2, 2},
+	} {
+		got := tc.in.withDefaults()
+		if got.RTO != tc.wantRTO || got.MaxRTO != tc.wantMax {
+			t.Errorf("%s: withDefaults(%+v) = RTO %d / MaxRTO %d, want %d / %d",
+				tc.name, tc.in, got.RTO, got.MaxRTO, tc.wantRTO, tc.wantMax)
+		}
+	}
+}
+
+// TestDedupWatermark exercises the per-stream compression directly: out of
+// order arrivals park above the watermark, a gap-closing arrival drains them
+// into the prefix, and duplicates are recognized on both sides of the line.
+func TestDedupWatermark(t *testing.T) {
+	var d dedup
+	deliver := func(seq int64, wantDup bool) {
+		t.Helper()
+		if got := d.seen(seq); got != wantDup {
+			t.Errorf("seen(%d) = %v, want %v (watermark %d, sparse %d)", seq, got, wantDup, d.watermark, d.sparse())
+		}
+	}
+	deliver(1, false)
+	deliver(1, true) // duplicate inside the prefix
+	deliver(3, false)
+	deliver(5, false)
+	deliver(3, true) // duplicate above the watermark
+	if d.watermark != 1 || d.sparse() != 2 {
+		t.Fatalf("watermark %d sparse %d, want 1 and 2 before the gap closes", d.watermark, d.sparse())
+	}
+	deliver(2, false) // closes the gap: 3 joins, then the 4-gap stops the drain
+	if d.watermark != 3 || d.sparse() != 1 {
+		t.Fatalf("watermark %d sparse %d, want 3 and 1 after draining", d.watermark, d.sparse())
+	}
+	deliver(4, false) // closes the rest: 5 drains too
+	if d.watermark != 5 || d.sparse() != 0 {
+		t.Fatalf("watermark %d sparse %d, want 5 and 0 when contiguous", d.watermark, d.sparse())
+	}
+	deliver(5, true)
+	deliver(6, false)
+	if d.watermark != 6 || d.sparse() != 0 {
+		t.Fatalf("watermark %d sparse %d, want 6 and 0", d.watermark, d.sparse())
+	}
+}

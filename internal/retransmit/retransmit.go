@@ -10,6 +10,18 @@
 // and latency — instead of a broken model assumption; E11 in internal/bench
 // measures exactly that boundary.
 //
+// Dedup state is BOUNDED: because each sender incarnation numbers its
+// envelopes contiguously from 1 per directed link, the receiver compresses
+// every (sender, epoch) stream into a contiguous-seq WATERMARK ("all seqs
+// ≤ w settled") plus a sparse set of seqs received above a not-yet-closed
+// gap. The sparse set drains into the watermark as gaps close — reordering
+// gaps close when the straggler arrives, and gaps whose seqs will never
+// arrive (acked to a previous incarnation of a since-restarted receiver)
+// close through the Base field every envelope carries (see Data) — so
+// per-envelope memory is transient, bounded by the in-flight window rather
+// than run length, while the dedup decision stays exactly "was this
+// (sender, epoch, link, seq) delivered to this incarnation before".
+//
 // The wrapper is protocol-agnostic and invisible to the inner automaton: it
 // intercepts Send/Broadcast on the step context and the matching Recv calls,
 // and passes Init/Tick/Input straight through. Retransmission timing counts
@@ -20,10 +32,16 @@
 //
 // Churn interplay: a process restarted by the kernel (sim.Options.Faults)
 // re-runs Init with fresh state, which gives the wrapper a new EPOCH (derived
-// from the restart time). Envelope identity is (sender, epoch, seq), so a
-// restarted sender's fresh sequence numbers are never confused with its
-// previous incarnation's, and in-flight envelopes from the old incarnation
-// deliver at most once to whichever incarnation receives them first.
+// from the restart time). Envelope identity is (sender, epoch, link, seq) —
+// sequence numbers count contiguously per directed link — so a restarted
+// sender's fresh sequence numbers are never confused with its previous
+// incarnation's, and in-flight envelopes from the old incarnation deliver at
+// most once to whichever incarnation receives them first. A restarted
+// RECEIVER starts a fresh dedup ledger: envelopes the sender has seen acked
+// (by any incarnation) never reappear — the Base carried in every envelope
+// lets the new ledger compact past them immediately — while envelopes still
+// unacked at the restart keep being resent until the new incarnation
+// delivers and acks them.
 //
 // Determinism: all jitter comes from a PRNG seeded by (Options.Seed, process,
 // epoch), and resend decisions depend only on tick counts — a wrapped run is
@@ -37,11 +55,23 @@ import (
 )
 
 // Data is the envelope carrying an inner-protocol payload. Identity is
-// (sender, Epoch, Seq); receivers ack every copy and deliver the payload to
-// the inner automaton once.
+// (sender, Epoch, Seq) on the receiving link — Seq counts the sender
+// incarnation's envelopes to THIS recipient contiguously from 1, which is
+// what the receiver's watermark compresses. Receivers ack every copy and
+// deliver the payload to the inner automaton once.
+//
+// Base is the sender's lowest not-yet-acked Seq on this link at transmission
+// time: every seq below it has been acknowledged and will NEVER be resent,
+// so the receiver can compact its watermark up to Base-1 unconditionally.
+// This is what keeps dedup state bounded across RECEIVER restarts — a fresh
+// incarnation's first envelope from a surviving sender arrives with a seq
+// far above 1, and without Base that bottom gap could never close (the
+// missing seqs were acked to the previous incarnation), pinning one sparse
+// entry per subsequent envelope forever.
 type Data struct {
 	Epoch   int64
 	Seq     int64
+	Base    int64
 	Payload any
 }
 
@@ -69,11 +99,18 @@ func (o Options) withDefaults() Options {
 	if o.RTO <= 0 {
 		o.RTO = 3
 	}
-	if o.MaxRTO < o.RTO {
+	if o.MaxRTO <= 0 {
+		// Unset: default cap, raised to RTO for large initial timeouts.
 		o.MaxRTO = 48
 		if o.MaxRTO < o.RTO {
 			o.MaxRTO = o.RTO
 		}
+	} else if o.MaxRTO < o.RTO {
+		// An EXPLICIT cap below the initial timeout is a configuration the
+		// caller chose — honor the cap by clamping the initial timeout down
+		// to it. (An earlier revision silently replaced such a cap with
+		// max(48, RTO), turning e.g. RTO=100/MaxRTO=50 into a 100-tick cap.)
+		o.RTO = o.MaxRTO
 	}
 	return o
 }
@@ -90,19 +127,101 @@ func Wrap(inner model.AutomatonFactory, opts Options) model.AutomatonFactory {
 	}
 }
 
-// dedupKey identifies one envelope across resends.
-type dedupKey struct {
+// srcKey identifies one sender incarnation's envelope stream.
+type srcKey struct {
 	from  model.ProcID
 	epoch int64
-	seq   int64
 }
 
-// pending is one unacked envelope awaiting resend.
+// dedup is the receiver-side duplicate-suppression state for one (sender,
+// epoch) stream. Senders allocate seqs contiguously from 1, so most of the
+// seen set is a prefix: watermark w means every seq ≤ w has been delivered,
+// and only the seqs received ABOVE a gap sit in the sparse `above` set. A
+// delivery that closes the gap advances the watermark through `above`,
+// deleting entries as they join the prefix — so the state is bounded by the
+// stream's in-flight reordering window, not by run length. (An earlier
+// revision kept one map entry per envelope forever, growing without bound
+// over long lossy runs; the long-run test pins the new bound.)
+type dedup struct {
+	watermark int64
+	above     map[int64]struct{}
+}
+
+// compactTo advances the watermark to at least w (seqs ≤ w are settled and
+// will never arrive again — the sender's Base guarantee), dropping any
+// sparse entries the new prefix swallows and draining the set as usual.
+func (d *dedup) compactTo(w int64) {
+	if w <= d.watermark {
+		return
+	}
+	d.watermark = w
+	for s := range d.above {
+		if s <= w {
+			delete(d.above, s)
+		}
+	}
+	d.drain()
+}
+
+// drain advances the watermark through contiguous sparse entries, deleting
+// them as they join the prefix — the single gap-closing step shared by the
+// delivery and compaction paths.
+func (d *dedup) drain() {
+	for {
+		if _, ok := d.above[d.watermark+1]; !ok {
+			return
+		}
+		d.watermark++
+		delete(d.above, d.watermark)
+	}
+}
+
+// seen reports whether seq was already delivered, recording it if not.
+func (d *dedup) seen(seq int64) bool {
+	if seq <= d.watermark {
+		return true
+	}
+	if _, dup := d.above[seq]; dup {
+		return true
+	}
+	if seq == d.watermark+1 {
+		d.watermark = seq
+		d.drain()
+		return false
+	}
+	if d.above == nil {
+		d.above = make(map[int64]struct{})
+	}
+	d.above[seq] = struct{}{}
+	return false
+}
+
+// sparse returns how many seqs are held above the watermark — the part of
+// the dedup state that is not compressed into the prefix.
+func (d *dedup) sparse() int { return len(d.above) }
+
+// pendKey addresses one unacked envelope: sequence numbers are allocated
+// contiguously PER DIRECTED LINK (each recipient sees its own 1, 2, 3, ...
+// stream from a sender incarnation), which is what lets the receiver-side
+// watermark compress the seen set — a global per-sender counter would leave
+// every receiver with permanent gaps (it only receives every n-th seq of a
+// broadcast) and nothing to prune.
+type pendKey struct {
+	to  model.ProcID
+	seq int64
+}
+
+// pending is one unacked envelope awaiting resend. The resend loop walks
+// these by pointer (see Automaton.order) — the map exists only so an
+// arriving ack can find its envelope; keeping the per-tick scan map-free is
+// what keeps the wrapper's overhead flat on churn-scale runs.
 type pending struct {
 	to       model.ProcID
+	seq      int64
 	payload  any
 	attempts int
 	dueTick  int64 // resend when the local tick counter reaches this
+	acked    bool  // set by the ack; compacted out of order on the next tick
 }
 
 // Automaton is the retransmission wrapper around one inner automaton.
@@ -113,12 +232,13 @@ type Automaton struct {
 	inner model.Automaton
 
 	epoch   int64
-	seq     int64
+	seqTo   []int64 // last seq sent per destination link (index to-1)
+	baseTo  []int64 // lowest possibly-unacked seq per link (advanced lazily)
 	ticks   int64
 	rng     *rand.Rand
-	pending map[int64]*pending // by seq
-	order   []int64            // pending seqs in send order (acked ones skipped)
-	seen    map[dedupKey]struct{}
+	pending map[pendKey]*pending // ack lookup by (destination, link seq)
+	order   []*pending           // send order; acked entries compacted on tick
+	seen    map[srcKey]*dedup    // per (sender, epoch) watermark + sparse set
 	resends int64
 }
 
@@ -133,17 +253,38 @@ func (a *Automaton) Resends() int64 { return a.resends }
 // PendingEnvelopes returns how many envelopes are still awaiting an ack.
 func (a *Automaton) PendingEnvelopes() int { return len(a.pending) }
 
+// DedupSparse returns how many received seqs are held OUTSIDE the contiguous
+// per-(sender, epoch) watermark prefixes — the only part of the dedup state
+// that occupies per-envelope memory. It is transient reordering state: once
+// every gap closes it returns to 0 no matter how many envelopes the run
+// carried, which the long-lossy-run test asserts.
+func (a *Automaton) DedupSparse() int {
+	total := 0
+	for _, d := range a.seen {
+		total += d.sparse()
+	}
+	return total
+}
+
+// DedupStreams returns how many (sender, epoch) streams the receiver tracks —
+// bounded by n plus the restarts observed, never by traffic volume.
+func (a *Automaton) DedupStreams() int { return len(a.seen) }
+
 // Init implements model.Automaton. The step time identifies the incarnation:
 // first boot runs at time 0, kernel restarts run at the restart instant, so
 // epochs are distinct per incarnation and deterministic.
 func (a *Automaton) Init(ctx model.Context) {
 	a.epoch = int64(ctx.Now())
-	a.seq = 0
+	a.seqTo = make([]int64, a.n)
+	a.baseTo = make([]int64, a.n)
+	for i := range a.baseTo {
+		a.baseTo[i] = 1
+	}
 	a.ticks = 0
 	a.rng = rand.New(rand.NewSource(a.opts.Seed*1_000_003 + int64(a.self)*7919 + a.epoch))
-	a.pending = make(map[int64]*pending)
+	a.pending = make(map[pendKey]*pending)
 	a.order = a.order[:0]
-	a.seen = make(map[dedupKey]struct{})
+	a.seen = make(map[srcKey]*dedup)
 	a.inner.Init(&wrapCtx{ctx: ctx, a: a})
 }
 
@@ -158,15 +299,24 @@ func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
 	case Data:
 		// Always ack — the previous ack may have been the lost message.
 		ctx.Send(from, Ack{Epoch: m.Epoch, Seq: m.Seq})
-		key := dedupKey{from: from, epoch: m.Epoch, seq: m.Seq}
-		if _, dup := a.seen[key]; dup {
+		key := srcKey{from: from, epoch: m.Epoch}
+		d := a.seen[key]
+		if d == nil {
+			d = &dedup{}
+			a.seen[key] = d
+		}
+		d.compactTo(m.Base - 1)
+		if d.seen(m.Seq) {
 			return
 		}
-		a.seen[key] = struct{}{}
 		a.inner.Recv(&wrapCtx{ctx: ctx, a: a}, from, m.Payload)
 	case Ack:
 		if m.Epoch == a.epoch {
-			delete(a.pending, m.Seq)
+			key := pendKey{to: from, seq: m.Seq}
+			if pd := a.pending[key]; pd != nil {
+				pd.acked = true
+				delete(a.pending, key)
+			}
 		}
 	default:
 		// Unwrapped payload (a peer outside the retransmission layer).
@@ -180,22 +330,27 @@ func (a *Automaton) Tick(ctx model.Context) {
 	a.ticks++
 	if len(a.pending) > 0 {
 		live := a.order[:0]
-		for _, seq := range a.order {
-			pd, ok := a.pending[seq]
-			if !ok {
-				continue // acked; drop from the order while compacting
+		for _, pd := range a.order {
+			if pd.acked {
+				continue // drop from the order while compacting
 			}
-			live = append(live, seq)
+			live = append(live, pd)
 			if a.ticks < pd.dueTick {
 				continue
 			}
 			a.resends++
-			ctx.Send(pd.to, Data{Epoch: a.epoch, Seq: seq, Payload: pd.payload})
+			ctx.Send(pd.to, Data{Epoch: a.epoch, Seq: pd.seq, Base: a.linkBase(pd.to), Payload: pd.payload})
 			pd.attempts++
 			pd.dueTick = a.ticks + a.backoff(pd.attempts)
 		}
+		for i := len(live); i < len(a.order); i++ {
+			a.order[i] = nil // release compacted-out envelopes (and their payloads) to the GC
+		}
 		a.order = live
-	} else {
+	} else if len(a.order) > 0 {
+		for i := range a.order {
+			a.order[i] = nil
+		}
 		a.order = a.order[:0]
 	}
 	a.inner.Tick(&wrapCtx{ctx: ctx, a: a})
@@ -214,13 +369,31 @@ func (a *Automaton) backoff(attempts int) int64 {
 	return d + a.rng.Int63n(int64(a.opts.RTO))
 }
 
-// sendData wraps one inner-protocol payload and registers it for resend.
+// linkBase returns the lowest seq on the link to `to` that may still be
+// unacked, advancing the cached floor past acked seqs lazily — each seq is
+// crossed at most once over its lifetime, so the scan is amortized O(1) per
+// envelope.
+func (a *Automaton) linkBase(to model.ProcID) int64 {
+	b := a.baseTo[to-1]
+	for b <= a.seqTo[to-1] {
+		if _, unacked := a.pending[pendKey{to: to, seq: b}]; unacked {
+			break
+		}
+		b++
+	}
+	a.baseTo[to-1] = b
+	return b
+}
+
+// sendData wraps one inner-protocol payload and registers it for resend. The
+// sequence number is drawn from the destination link's own contiguous
+// counter (see pendKey).
 func (a *Automaton) sendData(ctx model.Context, to model.ProcID, payload any) {
-	a.seq++
-	seq := a.seq
-	a.pending[seq] = &pending{to: to, payload: payload, dueTick: a.ticks + a.backoff(0)}
-	a.order = append(a.order, seq)
-	ctx.Send(to, Data{Epoch: a.epoch, Seq: seq, Payload: payload})
+	a.seqTo[to-1]++
+	pd := &pending{to: to, seq: a.seqTo[to-1], payload: payload, dueTick: a.ticks + a.backoff(0)}
+	a.pending[pendKey{to: to, seq: pd.seq}] = pd
+	a.order = append(a.order, pd)
+	ctx.Send(to, Data{Epoch: a.epoch, Seq: pd.seq, Base: a.linkBase(to), Payload: payload})
 }
 
 // wrapCtx intercepts the inner automaton's sends; everything else passes

@@ -111,6 +111,159 @@ func TestRetransmitTransparentOnCleanNetwork(t *testing.T) {
 	}
 }
 
+// TestDedupStateBounded is the watermark-pruning regression test: over a
+// LONG lossy run (many payloads, sustained bursty loss) the receiver-side
+// dedup state must stay bounded by the in-flight reordering window — not grow
+// one entry per envelope forever, as the pre-watermark implementation did —
+// while delivery remains exactly-once. The sparse size is sampled after every
+// kernel event, so a transient blow-up cannot hide behind a clean final
+// state.
+func TestDedupStateBounded(t *testing.T) {
+	const n, payloads = 3, 120
+	counts := make(recvCount)
+	fp := model.NewFailurePattern(n)
+	k := sim.New(fp, fd.NewOmegaStable(fp, 1),
+		retransmit.Wrap(counterFactory(counts), retransmit.Options{Seed: 11}),
+		sim.Options{
+			Seed:    11,
+			MaxTime: 400000,
+			Network: func() sim.NetworkModel {
+				return &adversary.Lossy{Drop: 0.25, Burst: 3}
+			},
+		})
+	var want []string
+	for i := 0; i < payloads; i++ {
+		id := fmt.Sprintf("m%d", i)
+		want = append(want, id)
+		k.ScheduleInput(model.ProcID(i%n+1), model.Time(50+60*i), id)
+	}
+	maxSparse := 0
+	k.RunUntil(400000, func(k *sim.Kernel) bool {
+		for _, p := range model.Procs(n) {
+			if s := k.Automaton(p).(*retransmit.Automaton).DedupSparse(); s > maxSparse {
+				maxSparse = s
+			}
+		}
+		return false
+	})
+
+	if k.MessagesLost() < 100 {
+		t.Fatalf("only %d losses — the run is not long/lossy enough to exercise pruning", k.MessagesLost())
+	}
+	// Every payload broadcast to n processes: n*payloads envelopes per
+	// receiver across the run. The sparse set must stay far below that —
+	// the bound here is ~an order of magnitude under the naive growth while
+	// leaving room for genuine reordering bursts.
+	if total := n * payloads; maxSparse >= total/8 {
+		t.Errorf("dedup sparse state peaked at %d entries (of %d envelopes per receiver): watermark is not pruning", maxSparse, total)
+	}
+	for _, p := range model.Procs(n) {
+		a := k.Automaton(p).(*retransmit.Automaton)
+		if s := a.DedupSparse(); s != 0 {
+			t.Errorf("%v still holds %d sparse dedup entries after every gap closed", p, s)
+		}
+		if streams := a.DedupStreams(); streams > n {
+			t.Errorf("%v tracks %d dedup streams, want <= %d (no restarts in this run)", p, streams, n)
+		}
+		for _, id := range want {
+			if got := counts[p][id]; got != 1 {
+				t.Errorf("%v received %q %d times, want exactly 1", p, id, got)
+			}
+		}
+	}
+}
+
+// TestDedupBoundedAcrossReceiverRestart covers the churn half of the
+// watermark fix: a RESTARTED receiver's fresh dedup ledger first hears from
+// a surviving sender at a seq far above 1, and without the Base field in
+// every envelope that bottom gap could never close (the missing seqs were
+// acked to the previous incarnation), pinning one sparse entry per
+// subsequent envelope for the rest of the run. With Base the ledger
+// compacts immediately: sparse state must return to 0 once the run settles,
+// and payloads broadcast after the restart must reach the new incarnation
+// exactly once.
+func TestDedupBoundedAcrossReceiverRestart(t *testing.T) {
+	const n = 3
+	counts := make(recvCount)
+	fp := model.NewFailurePattern(n)
+	faults := adversary.NewFaultSchedule(n)
+	faults.Down(2, 300, 400) // p2 restarts at t=400 with fresh wrapper state
+	k := sim.New(fp, fd.NewOmegaStable(fp, 1),
+		retransmit.Wrap(counterFactory(counts), retransmit.Options{Seed: 6}),
+		sim.Options{Seed: 6, MaxTime: 100000, Faults: faults})
+	var postRestart []string
+	for i := 0; i < 120; i++ {
+		id := fmt.Sprintf("m%d", i)
+		at := model.Time(50 + 25*i)
+		if at >= 450 {
+			postRestart = append(postRestart, id)
+		}
+		k.ScheduleInput(1, at, id)
+	}
+	maxSparse := 0
+	k.RunUntil(100000, func(k *sim.Kernel) bool {
+		if a, ok := k.Automaton(2).(*retransmit.Automaton); ok {
+			if s := a.DedupSparse(); s > maxSparse {
+				maxSparse = s
+			}
+		}
+		return false
+	})
+	p2 := k.Automaton(2).(*retransmit.Automaton)
+	if s := p2.DedupSparse(); s != 0 {
+		t.Errorf("p2 holds %d sparse dedup entries after settling, want 0: the restart gap never compacted", s)
+	}
+	if maxSparse > 20 {
+		t.Errorf("p2's sparse dedup state peaked at %d entries: growing with traffic, not with the reordering window", maxSparse)
+	}
+	for _, id := range postRestart {
+		if got := counts[2][id]; got != 1 {
+			t.Errorf("p2's new incarnation received %q %d times, want exactly 1", id, got)
+		}
+	}
+}
+
+// TestMaxRTOClampRespectsExplicitCap pins the Options fix: an explicitly
+// configured MaxRTO below RTO is the caller's cap and must bound every
+// resend interval (the old defaulting replaced it with max(48, RTO), so
+// RTO=100/MaxRTO=50 silently became a 100-tick cap). The resend schedule is
+// observed from outside: with RTO=100/MaxRTO=9 honored, a lossy first copy
+// is resent within a handful of ticks; with the cap discarded it would sit
+// ~100 ticks.
+func TestMaxRTOClampRespectsExplicitCap(t *testing.T) {
+	counts := make(recvCount)
+	fp := model.NewFailurePattern(2)
+	// Drop everything on 1→2 for the first transmissions: linkRate is seeded,
+	// so instead force loss via a high drop rate and verify by delivery time.
+	k := sim.New(fp, fd.NewOmegaStable(fp, 1),
+		retransmit.Wrap(counterFactory(counts), retransmit.Options{Seed: 3, RTO: 100, MaxRTO: 9}),
+		sim.Options{
+			Seed:    3,
+			Network: func() sim.NetworkModel { return &adversary.Lossy{Drop: 0.45, Min: 1, Max: 2} },
+		})
+	k.ScheduleInput(1, 50, "x")
+	k.Run(20000)
+	resends := int64(0)
+	for _, p := range model.Procs(2) {
+		a := k.Automaton(p).(*retransmit.Automaton)
+		resends += a.Resends()
+		if got := counts[p]["x"]; got != 1 {
+			t.Errorf("%v received %q %d times, want 1", p, "x", got)
+		}
+	}
+	if resends == 0 {
+		t.Skip("seed produced no losses; cap behavior not exercised")
+	}
+	// The schedule property itself: every inter-resend gap must respect the
+	// explicit cap (MaxRTO + jitter < RTO). With the old defaulting the gap
+	// would be RTO·2^k up to 100+; with the clamp it is ≤ 9 + jitter(9) = 18.
+	// Convergence this fast with losses present is only possible under the
+	// clamped schedule.
+	if now := k.Now(); now > 2000 {
+		t.Errorf("run settled at t=%d; with MaxRTO honored resends are tick-scale and settle is fast", now)
+	}
+}
+
 // TestRetransmitDeterminism: wrapped runs follow the kernel's bit-for-bit
 // contract — the wrapper's jitter is seeded, so same seed, same run.
 func TestRetransmitDeterminism(t *testing.T) {

@@ -2,8 +2,8 @@
 // paper's results are quantified over environments — which processes are up
 // and how links behave — and the base kernel ships only the friendly half of
 // that space: monotone crash patterns and networks that always deliver. This
-// package supplies the hostile half as three first-class, fully seeded
-// adversary objects:
+// package supplies the hostile half as first-class, fully seeded adversary
+// objects:
 //
 //   - FaultSchedule generalizes model.FailurePattern to up/down INTERVALS:
 //     processes crash and rejoin (churn). It implements model.FaultModel, so
@@ -30,17 +30,41 @@
 //     environment: convergence must still happen, just as late as a greedy
 //     adversary can push it.
 //
-// Determinism contract: all three adversaries are deterministic functions of
-// their configuration and seed. FaultSchedule is immutable after construction
-// and safe to share across concurrent kernels; the two network models follow
-// the sim.NetworkModel contract (all randomness from Reset's seed, one Delay
-// call per message in send order), so a run under any of them is bit-for-bit
-// reproducible — the property the determinism regression tests in this
-// package pin across seeds.
+//   - LeaderStarver is the PROTOCOL-AWARE scheduler the blind rotation's E12
+//     honesty note asked for: it reads the run's current Ω output through
+//     the kernel's leadership-observation hook (sim.LeaderAware — the kernel
+//     hands any aware model a pure query answering from the same per-segment
+//     fd.Cached the automata's own detector queries hit) and pins EVERY link
+//     touching the current leader at the admissibility bound, the leader's
+//     own self-delivery loop included. Pre-stabilization views may disagree,
+//     so the victim is anchored at the lowest-id process's view; links the
+//     victim rule spares get the same greedy spread as the blind scheduler.
+//     E13 in internal/bench measures the gap: on the workload where the
+//     blind rotation converges EARLIER than i.i.d. noise, leader-awareness
+//     costs roughly an order of magnitude over both.
+//
+//   - Composite bundles a (possibly sim.ComposeNetworks-layered) link model
+//     and a fault schedule into ONE registered preset name, so a hostile
+//     environment — "churn-lossy" (churn under ~15% loss), "hostile"
+//     (leader starvation over ~10% loss over churn) — is a single object
+//     usable from ecsim -net, the examples, and the experiment tables.
+//     Fault halves compose through model.MergeFaults (down = down in any
+//     component, restarts recomputed against the merged liveness).
+//
+// Determinism contract: all adversaries are deterministic functions of their
+// configuration and seed. FaultSchedule is immutable after construction and
+// safe to share across concurrent kernels; the network models follow the
+// sim.NetworkModel contract (all randomness from Reset's seed, one Delay
+// call per message in send order), and leadership observations are pure
+// queries of the deterministic detector history — so a run under any of
+// them, composites included, is bit-for-bit reproducible. The determinism
+// and parallel/serial identity regression tests in this package pin that
+// across seeds for every registered preset.
 //
 // The package registers environment presets ("lossy", "lossy-burst",
-// "adversarial", "churn-fast", "churn-slow") into the sim preset registry
-// from init, so ecsim -net and the examples can name them.
+// "adversarial", "leader-starve", "churn-fast", "churn-slow", "churn-lossy",
+// "hostile") into the sim preset registry from init, so ecsim -net and the
+// examples can name them.
 package adversary
 
 import (

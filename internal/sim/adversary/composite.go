@@ -1,0 +1,43 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Composite bundles BOTH halves of a hostile environment — a (possibly
+// layered, see sim.ComposeNetworks) link model and a fault schedule — into a
+// single value that registers under one preset name. Before it, a hostile
+// environment was assembled by hand at every call site: pick a network
+// preset, separately resolve its fault half, remember which pairs make
+// sense. A Composite is the pair as one object, so "hostile" means the same
+// stacked environment in ecsim -net, the examples, and the experiment
+// tables.
+type Composite struct {
+	// Name is the preset name the composite registers under.
+	Name string
+	// Network builds the link half — typically a sim.ComposeNetworks stack.
+	// Required.
+	Network func() sim.NetworkModel
+	// Faults builds the fault half at system size n — typically Churn or a
+	// model.MergeFaults of several schedules. Nil means links only.
+	Faults func(n int) model.FaultModel
+}
+
+// Register adds the composite to the shared preset registry: the network
+// half under Name for every -net consumer, and the fault half (when present)
+// where sim.PresetFaults resolves it. Like all preset registration it
+// panics on a duplicate name.
+func (c Composite) Register() {
+	if c.Network == nil {
+		panic(fmt.Sprintf("adversary: composite preset %q has no network half", c.Name))
+	}
+	// Network first: RegisterPresetFaults would otherwise install a Uniform
+	// fallback under the name and the real network would collide with it.
+	sim.RegisterPreset(c.Name, c.Network)
+	if c.Faults != nil {
+		sim.RegisterPresetFaults(c.Name, c.Faults)
+	}
+}

@@ -1,0 +1,314 @@
+package adversary
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// stableObservation is a canned leadership observation: every module outputs
+// the same leader at every time, as a stabilized Ω would.
+func stableObservation(leader model.ProcID) sim.LeaderObservation {
+	return func(model.ProcID, model.Time) (model.ProcID, bool) { return leader, true }
+}
+
+// TestLeaderStarverPinsLeaderLinks: with an observation installed and
+// exploration disabled, every link touching the observed leader — incoming,
+// outgoing, and the leader's own self-delivery — runs at the menu maximum,
+// while a leader-free link does not saturate once its greedy score prefers
+// otherwise. Without an observation the starver must degrade to spread-only
+// (no victim, self-delivery at min).
+func TestLeaderStarverPinsLeaderLinks(t *testing.T) {
+	s := &LeaderStarver{Explore: -1}
+	if err := s.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset(1)
+	s.ObserveLeadership(stableObservation(2))
+	min, max, _ := s.params()
+	if d, _ := s.Delay(1, 2, 10); d != max {
+		t.Errorf("message to the leader delayed %d, want the bound %d", d, max)
+	}
+	if d, _ := s.Delay(2, 3, 10); d != max {
+		t.Errorf("message from the leader delayed %d, want the bound %d", d, max)
+	}
+	if d, _ := s.Delay(2, 2, 10); d != max {
+		t.Errorf("the leader's self-delivery delayed %d, want the bound %d (its own step loop is starved too)", d, max)
+	}
+	if d, _ := s.Delay(3, 3, 10); d != min {
+		t.Errorf("a follower's self-delivery delayed %d, want %d", d, min)
+	}
+
+	bare := &LeaderStarver{Explore: -1}
+	if err := bare.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	bare.Reset(1)
+	if d, _ := bare.Delay(2, 2, 10); d != min {
+		t.Errorf("no observation: self-delivery delayed %d, want %d", d, min)
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := bare.Delay(1, 3, model.Time(i)); !ok {
+			t.Fatal("starver must deliver every message")
+		}
+	}
+}
+
+// TestLeaderStarverVictimFollowsOmega: the victim is the CURRENT Ω output of
+// the canonical observer, so when leadership fails over the starvation moves
+// with it, within the same run.
+func TestLeaderStarverVictimFollowsOmega(t *testing.T) {
+	s := &LeaderStarver{Explore: -1}
+	if err := s.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset(7)
+	s.ObserveLeadership(func(_ model.ProcID, t model.Time) (model.ProcID, bool) {
+		if t < 500 {
+			return 3, true
+		}
+		return 1, true
+	})
+	_, max, _ := s.params()
+	if d, _ := s.Delay(2, 3, 100); d != max {
+		t.Errorf("pre-failover message to p3 delayed %d, want %d", d, max)
+	}
+	if d, _ := s.Delay(2, 1, 600); d != max {
+		t.Errorf("post-failover message to p1 delayed %d, want %d", d, max)
+	}
+	if d, _ := s.Delay(3, 3, 600); d == max {
+		t.Errorf("p3's self-delivery still starved after failover: %d", d)
+	}
+}
+
+// TestExplorationOverridesStarvation pins the precedence both schedulers
+// share at their DEFAULT Explore: a 1-in-16 seeded random pick outranks even
+// "unconditional" victim starvation, so across enough victim-link messages
+// some delay must land below the bound. The earlier test suite only
+// exercised Explore=-1; this pins the default across 10+ seeds for both the
+// blind scheduler and the leader starver.
+func TestExplorationOverridesStarvation(t *testing.T) {
+	const calls = 300
+	for seed := int64(1); seed <= 12; seed++ {
+		adv := NewAdversarialScheduler() // default Explore=16
+		if err := adv.Validate(4); err != nil {
+			t.Fatal(err)
+		}
+		adv.Reset(seed)
+		_, max, _, window := adv.params()
+		sub := 0
+		for i := 0; i < calls; i++ {
+			// Stay inside the first rotation window: victim is p1 throughout.
+			if d, _ := adv.Delay(2, 1, model.Time(i)%window); d != max {
+				sub++
+			}
+		}
+		if sub == 0 {
+			t.Errorf("seed %d: blind scheduler never explored below the bound on a victim link in %d calls", seed, calls)
+		}
+
+		ls := NewLeaderStarver() // default Explore=16
+		if err := ls.Validate(4); err != nil {
+			t.Fatal(err)
+		}
+		ls.Reset(seed)
+		ls.ObserveLeadership(stableObservation(1))
+		lmax := model.Time(60)
+		sub = 0
+		for i := 0; i < calls; i++ {
+			if d, _ := ls.Delay(2, 1, model.Time(i)); d != lmax {
+				sub++
+			}
+		}
+		if sub == 0 {
+			t.Errorf("seed %d: leader starver never explored below the bound on a leader link in %d calls", seed, calls)
+		}
+	}
+}
+
+// TestSchedulerRangeFrozen pins the grow bugfix: the victim-rotation modulus
+// is frozen by Validate, and a process id outside the validated system is a
+// panic, not a silent resize of the rotation (which used to change every
+// subsequent victim mid-run).
+func TestSchedulerRangeFrozen(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s: expected panic", name)
+			} else if !strings.Contains(fmt.Sprint(r), "adversary:") {
+				t.Errorf("%s: panic %v does not identify the adversary package", name, r)
+			}
+		}()
+		f()
+	}
+	a := NewAdversarialScheduler()
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset(1)
+	mustPanic("to out of range", func() { a.Delay(2, 5, 10) })
+	mustPanic("from out of range", func() { a.Delay(5, 2, 10) })
+	mustPanic("zero id", func() { a.Delay(0, 2, 10) })
+
+	unvalidated := NewAdversarialScheduler()
+	unvalidated.Reset(1)
+	mustPanic("Delay before Validate", func() { unvalidated.Delay(1, 2, 10) })
+
+	ls := NewLeaderStarver()
+	if err := ls.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	ls.Reset(1)
+	mustPanic("starver out of range", func() { ls.Delay(1, 4, 10) })
+}
+
+// hostilePresets are the protocol-aware and composite environments this PR
+// registers; the determinism and parallel/serial tests below run all of them.
+func hostilePresets() []string {
+	return []string{"leader-starve", "churn-lossy", "hostile"}
+}
+
+// presetTrace runs one 4-process kernel under a named preset (network + any
+// fault half) and returns its full event trace.
+func presetTrace(t *testing.T, name string, seed int64) []string {
+	t.Helper()
+	nf, err := sim.PresetFactory(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults model.FaultModel
+	if ff := sim.PresetFaults(name); ff != nil {
+		faults = ff(4)
+	}
+	return runTrace(seed, nf, faults)
+}
+
+// TestHostilePresetTraceDeterminism extends the package's 20-seed
+// determinism contract to the leader-aware scheduler and both composite
+// presets: same seed, same named environment ⇒ byte-identical event
+// sequence, leadership observation and layered models included.
+func TestHostilePresetTraceDeterminism(t *testing.T) {
+	for _, name := range hostilePresets() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 20; seed++ {
+				a, b := presetTrace(t, name, seed), presetTrace(t, name, seed)
+				if len(a) == 0 {
+					t.Fatalf("seed %d: empty trace", seed)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("seed %d: traces diverge at event %d:\n  run1: %s\n  run2: %s", seed, i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHostilePresetParallelSerialIdentity is the aliasing regression test
+// for the new models: running the same seeds concurrently (one kernel per
+// goroutine, all built from the same preset factories) must reproduce the
+// serial traces byte for byte — no state may leak between kernels through
+// the preset registry, the composition layer, or the leadership hook.
+func TestHostilePresetParallelSerialIdentity(t *testing.T) {
+	const seeds = 8
+	for _, name := range hostilePresets() {
+		t.Run(name, func(t *testing.T) {
+			serial := make([][]string, seeds)
+			for s := 0; s < seeds; s++ {
+				serial[s] = presetTrace(t, name, int64(s+1))
+			}
+			parallel := make([][]string, seeds)
+			var wg sync.WaitGroup
+			for s := 0; s < seeds; s++ {
+				s := s
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					parallel[s] = presetTrace(t, name, int64(s+1))
+				}()
+			}
+			wg.Wait()
+			for s := 0; s < seeds; s++ {
+				if len(serial[s]) != len(parallel[s]) {
+					t.Fatalf("seed %d: serial %d events, parallel %d", s+1, len(serial[s]), len(parallel[s]))
+				}
+				for i := range serial[s] {
+					if serial[s][i] != parallel[s][i] {
+						t.Fatalf("seed %d: parallel trace diverges at event %d:\n  serial:   %s\n  parallel: %s", s+1, i, serial[s][i], parallel[s][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLeaderStarverInKernelStarvesStableLeader is the end-to-end hook test:
+// a kernel built over a stable-leader Ω must hand the starver an observation
+// that pins the leader's links — observable as every delivery from a
+// follower to the leader arriving exactly Max after its send.
+func TestLeaderStarverInKernelStarvesStableLeader(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 2)
+	sent := map[int64]model.Time{}
+	var worst, count int64
+	obs := &funcObserver{
+		onSend: func(tt model.Time, m sim.Message) {
+			if m.From != m.To && m.To == 2 {
+				sent[m.ID] = tt
+			}
+		},
+		onDeliver: func(tt model.Time, m sim.Message) {
+			if at, ok := sent[m.ID]; ok {
+				count++
+				if d := int64(tt - at); d != 60 {
+					worst = d
+				}
+			}
+		},
+	}
+	k := sim.New(fp, det, pingFactory(), sim.Options{
+		Seed: 3,
+		Network: func() sim.NetworkModel {
+			return &LeaderStarver{Min: 1, Max: 60, Explore: -1}
+		},
+	})
+	k.SetObserver(obs)
+	k.ScheduleInput(1, 40, "a")
+	k.ScheduleInput(3, 160, "b")
+	k.Run(4000)
+	if count == 0 {
+		t.Fatal("no follower-to-leader deliveries observed")
+	}
+	if worst != 0 {
+		t.Errorf("a follower-to-leader message took %d ticks, want exactly the 60-tick bound on every one", worst)
+	}
+}
+
+// funcObserver adapts closures to sim.Observer.
+type funcObserver struct {
+	sim.NopObserver
+	onSend    func(model.Time, sim.Message)
+	onDeliver func(model.Time, sim.Message)
+}
+
+func (o *funcObserver) OnSend(t model.Time, m sim.Message) {
+	if o.onSend != nil {
+		o.onSend(t, m)
+	}
+}
+
+func (o *funcObserver) OnDeliver(t model.Time, m sim.Message) {
+	if o.onDeliver != nil {
+		o.onDeliver(t, m)
+	}
+}

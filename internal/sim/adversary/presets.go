@@ -31,4 +31,41 @@ func init() {
 	sim.RegisterPresetFaults("churn-slow", func(n int) model.FaultModel {
 		return Churn(n, ChurnConfig{Seed: 1, MeanUp: 2400, MeanDown: 400, Until: 8000})
 	})
+	// leader-starve: the protocol-aware scheduler — links touching the
+	// current Ω leader pinned at the bound, menu [1, 60]. Admissible.
+	sim.RegisterPreset("leader-starve", func() sim.NetworkModel { return NewLeaderStarver() })
+	// churn-lossy: the first composite preset — churn-fast's restart cadence
+	// UNDER lossy links (~15% mean drop), so down intervals and message loss
+	// compound. p1 is spared, as in E10: restart means state reset, so a
+	// schedule that eventually restarts EVERY replica wipes the system's
+	// memory and "convergence" degenerates to agreeing on nothing — some
+	// process must carry the history across the churn, and the conventional
+	// eventual leader is the natural survivor. Pair with -retransmit for
+	// convergence.
+	Composite{
+		Name:    "churn-lossy",
+		Network: func() sim.NetworkModel { return NewLossy(0.15) },
+		Faults: func(n int) model.FaultModel {
+			return Churn(n, ChurnConfig{Seed: 1, MeanUp: 600, MeanDown: 200, Until: 4000,
+				Spare: []model.ProcID{1}})
+		},
+	}.Register()
+	// hostile: the full stack — leader-aware adversarial delays layered under
+	// ~10% mean loss (the Lossy layer contributes a constant 1-tick delay;
+	// the starver owns the schedule), over a churn window that spares p1 (see
+	// churn-lossy). The worst named environment in the registry; pair with
+	// -retransmit for convergence.
+	Composite{
+		Name: "hostile",
+		Network: func() sim.NetworkModel {
+			return sim.ComposeNetworks(
+				&LeaderStarver{Min: 1, Max: 60},
+				&Lossy{Min: 1, Max: 1, Drop: 0.10},
+			)
+		},
+		Faults: func(n int) model.FaultModel {
+			return Churn(n, ChurnConfig{Seed: 1, MeanUp: 900, MeanDown: 250, Until: 4000,
+				Spare: []model.ProcID{1}})
+		},
+	}.Register()
 }

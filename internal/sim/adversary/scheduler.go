@@ -50,7 +50,7 @@ type AdversarialScheduler struct {
 	// (default 16; negative disables exploration).
 	Explore int
 
-	n       int // learned in Validate; grown lazily if Validate was skipped
+	n       int // frozen in Validate; the victim-rotation modulus
 	rng     *rand.Rand
 	arrival []model.Time // index p: latest scheduled arrival at p (1-based)
 }
@@ -62,9 +62,10 @@ var _ sim.NetworkValidator = (*AdversarialScheduler)(nil)
 // rotation parameters.
 func NewAdversarialScheduler() *AdversarialScheduler { return &AdversarialScheduler{} }
 
-// Validate implements sim.NetworkValidator. It also records the system size,
-// which the victim rotation needs; the kernel always validates before the
-// first Delay call.
+// Validate implements sim.NetworkValidator. It also FREEZES the system size,
+// which is the victim-rotation modulus: every subsequent Delay call must name
+// processes in [1, n]. The kernel always validates before the first Delay
+// call; a model driven directly in a test must do the same.
 func (a *AdversarialScheduler) Validate(n int) error {
 	if a.Menu == 1 {
 		return fmt.Errorf("sim: AdversarialScheduler.Menu=1 leaves no delay choice to the adversary")
@@ -98,68 +99,97 @@ func (a *AdversarialScheduler) params() (min, max model.Time, menu int, window m
 	return min, max, menu, window
 }
 
-// grow makes the arrival table cover process p (only needed when the model is
-// used without Validate, e.g. driven directly in a test).
-func (a *AdversarialScheduler) grow(p model.ProcID) {
-	for int(p) >= len(a.arrival) {
-		a.arrival = append(a.arrival, 0)
-		a.n = len(a.arrival) - 1
+// checkRange rejects process ids outside the validated system. The rotation
+// modulus n is frozen by Validate: growing it lazily mid-run (as an earlier
+// revision did) silently changed `sendTime/window mod n` and with it every
+// subsequent victim, so an out-of-range id is a caller bug, not a resize.
+func checkRange(kind string, n int, from, to model.ProcID) {
+	if n <= 0 {
+		panic(fmt.Sprintf("adversary: %s.Delay before Validate (the victim rotation needs the system size)", kind))
+	}
+	if from < 1 || int(from) > n || to < 1 || int(to) > n {
+		panic(fmt.Sprintf("adversary: %s.Delay(%v, %v) outside the validated %d-process system", kind, from, to, n))
 	}
 }
 
 // Delay implements sim.NetworkModel.
 func (a *AdversarialScheduler) Delay(from, to model.ProcID, sendTime model.Time) (model.Time, bool) {
 	min, max, menu, window := a.params()
-	a.grow(to)
+	checkRange("AdversarialScheduler", a.n, from, to)
+	if len(a.arrival) < a.n+1 {
+		// Reset ran before Validate froze n (legal when driven directly);
+		// size the table without ever touching the rotation modulus.
+		a.arrival = append(a.arrival, make([]model.Time, a.n+1-len(a.arrival))...)
+	}
 	if from == to {
 		// Self-delivery models local memory; starving it would slow the
 		// victim's own steps rather than its view of others.
 		return min, true
 	}
 	victim := model.ProcID(int(sendTime/window)%a.n + 1)
-	candidate := func(i int) model.Time {
-		return min + model.Time(i)*(max-min)/model.Time(menu-1)
-	}
-	pick := -1
-	explore := a.Explore
-	if explore == 0 {
-		explore = 16
-	}
-	if explore > 0 && a.rng.Intn(explore) == 0 {
-		pick = a.rng.Intn(menu)
-	}
+	pick := explorePick(a.rng, a.Explore, menu)
 	switch {
 	case pick >= 0:
-		// Seeded exploration chose for us.
+		// Seeded exploration chose for us — it outranks even "unconditional"
+		// starvation (pinned by TestExplorationOverridesStarvation).
 	case from == victim || to == victim:
 		// Starvation is unconditional: every link touching the victim runs at
 		// the admissibility bound.
 		pick = menu - 1
 	default:
-		// Greedy lookahead among the rest: score each menu delay by the
-		// arrival spread it creates and keep the argmax.
-		best := int64(-1)
-		for i := 0; i < menu; i++ {
-			arrive := sendTime + candidate(i)
-			var score int64
-			for q := 1; q < len(a.arrival); q++ {
-				if model.ProcID(q) == to {
-					continue
-				}
-				gap := int64(arrive - a.arrival[q])
-				if gap < 0 {
-					gap = -gap
-				}
-				score += gap
-			}
-			if score >= best { // ties toward the larger delay (later i)
-				best, pick = score, i
-			}
-		}
+		pick = greedySpread(a.arrival, to, sendTime, min, max, menu)
 	}
-	d := candidate(pick)
+	d := menuDelay(min, max, menu, pick)
 	if arrive := sendTime + d; arrive > a.arrival[to] {
 		a.arrival[to] = arrive
 	}
 	return d, true
+}
+
+// menuDelay returns the i-th of menu evenly spaced candidate delays spanning
+// [min, max].
+func menuDelay(min, max model.Time, menu, i int) model.Time {
+	return min + model.Time(i)*(max-min)/model.Time(menu-1)
+}
+
+// explorePick draws the seeded exploration choice shared by the adversarial
+// schedulers: with probability ~1/explore it returns a random menu index,
+// otherwise -1 ("no exploration this message"). explore == 0 means the
+// default of 16; negative disables. The draw happens for every non-self
+// message, exploration or not, so the PRNG stream — and with it the whole
+// schedule — does not shift when starvation conditions change.
+func explorePick(rng *rand.Rand, explore, menu int) int {
+	if explore == 0 {
+		explore = 16
+	}
+	if explore > 0 && rng.Intn(explore) == 0 {
+		return rng.Intn(menu)
+	}
+	return -1
+}
+
+// greedySpread is the divergence lookahead shared by the adversarial
+// schedulers: it scores each menu delay by the total distance of the
+// candidate arrival from the latest scheduled arrivals at all OTHER
+// processes, and returns the argmax index with ties toward the larger delay.
+func greedySpread(arrival []model.Time, to model.ProcID, sendTime, min, max model.Time, menu int) int {
+	best, pick := int64(-1), menu-1
+	for i := 0; i < menu; i++ {
+		arrive := sendTime + menuDelay(min, max, menu, i)
+		var score int64
+		for q := 1; q < len(arrival); q++ {
+			if model.ProcID(q) == to {
+				continue
+			}
+			gap := int64(arrive - arrival[q])
+			if gap < 0 {
+				gap = -gap
+			}
+			score += gap
+		}
+		if score >= best { // ties toward the larger delay (later i)
+			best, pick = score, i
+		}
+	}
+	return pick
 }

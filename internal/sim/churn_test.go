@@ -41,6 +41,7 @@ type churnAuto struct {
 	self  model.ProcID
 	ticks []model.Time
 	got   []string
+	ins   []string
 }
 
 func (a *churnAuto) Init(model.Context) {}
@@ -51,13 +52,45 @@ func (a *churnAuto) Recv(_ model.Context, _ model.ProcID, payload any) {
 	a.got = append(a.got, payload.(string))
 }
 
-func (a *churnAuto) Input(ctx model.Context, in any) { ctx.Broadcast(in.(string)) }
+func (a *churnAuto) Input(ctx model.Context, in any) {
+	a.ins = append(a.ins, in.(string))
+	ctx.Broadcast(in.(string))
+}
 
 func churnFactory(instances map[model.ProcID][]*churnAuto) model.AutomatonFactory {
 	return func(p model.ProcID, n int) model.Automaton {
 		a := &churnAuto{self: p}
 		instances[p] = append(instances[p], a)
 		return a
+	}
+}
+
+// TestKernelInputAtRestartInstantReachesNewIncarnation pins the tie-break
+// between a pre-run input and a restart scheduled at the SAME instant: the
+// input's FIFO seq is smaller (ScheduleInput runs before start()), but
+// executing it against the dying incarnation would wipe its effects —
+// including a retransmission wrapper's unacked envelopes — in the same
+// instant, silently losing the input. The kernel defers such an input past
+// the restart, so the new incarnation receives it.
+func TestKernelInputAtRestartInstantReachesNewIncarnation(t *testing.T) {
+	fp := model.NewFailurePattern(2)
+	faults := testFaults{n: 2, down: map[model.ProcID][][2]model.Time{
+		1: {{100, 300}},
+	}}
+	instances := make(map[model.ProcID][]*churnAuto)
+	k := New(fp, fd.NewOmegaStable(fp, 2), churnFactory(instances), Options{Seed: 1, Faults: faults})
+	k.ScheduleInput(1, 300, "at-restart") // exactly the restart instant
+	k.ScheduleInput(1, 320, "after")
+	k.Run(2000)
+	if n := len(instances[1]); n != 2 {
+		t.Fatalf("p1 has %d incarnations, want 2 (initial + one restart)", n)
+	}
+	if old := instances[1][0]; len(old.ins) != 0 {
+		t.Errorf("dying incarnation received inputs %v; they are wiped with its state in the same instant", old.ins)
+	}
+	fresh := instances[1][1]
+	if len(fresh.ins) != 2 || fresh.ins[0] != "at-restart" || fresh.ins[1] != "after" {
+		t.Errorf("new incarnation received %v, want [at-restart after]", fresh.ins)
 	}
 }
 

@@ -48,6 +48,34 @@ type NetworkModel interface {
 	Delay(from, to model.ProcID, sendTime model.Time) (delay model.Time, deliver bool)
 }
 
+// LeaderObservation reports the Ω output of the run's failure detector: the
+// leader currently output at process p's module at time t, with ok=false when
+// the detector history has no Ω component. It is the read-only window through
+// which a protocol-aware network model sees the protocol it is scheduling
+// against.
+//
+// The kernel installs one automatically (see LeaderAware): it answers from
+// the same per-segment fd.Cached the step loop queries, so observations are
+// deterministic, cheap within a constancy segment, and always consistent with
+// what the automata themselves see through model.Context.FD().
+type LeaderObservation func(p model.ProcID, t model.Time) (leader model.ProcID, ok bool)
+
+// LeaderAware is an optional NetworkModel interface for protocol-aware
+// adversaries. A model implementing it receives a LeaderObservation from the
+// kernel at construction time (after Reset), and may consult it during Delay
+// to aim disruption at the protocol's current leader —
+// adversary.LeaderStarver pins every link touching the observed leader at the
+// admissibility bound. The observation stays valid for the whole run; models
+// must treat it as a pure query and must not retain it past the run.
+//
+// Composite models (ComposeNetworks) forward the observation to every layer
+// that wants one. A model driven outside a kernel simply never receives an
+// observation and must degrade gracefully (LeaderStarver falls back to its
+// greedy spread with no starvation).
+type LeaderAware interface {
+	ObserveLeadership(obs LeaderObservation)
+}
+
 // NetworkValidator is an optional interface for models with configuration
 // constraints that depend on the system size. The kernel calls Validate(n)
 // at construction and panics on error; CLIs can call ValidateNetwork first

@@ -18,7 +18,12 @@
 // modeling partial synchrony). Preset names common environments ("uniform",
 // "partition", "jitter-spiky", ...); adversarial models — lossy links,
 // divergence-maximizing schedulers — live in internal/sim/adversary and
-// register their own presets.
+// register their own presets. Models STACK through ComposeNetworks (delays
+// add, delivery needs unanimity, per-layer seed streams), and a model that
+// implements LeaderAware is handed a leadership observation by the kernel —
+// a pure query for the Ω component of the run's detector history, served
+// from the kernel's own fd.Cached — so protocol-aware adversaries
+// (adversary.LeaderStarver) can aim at the current leader.
 //
 // The failure half of the environment is pluggable too: Options.Faults takes
 // a model.FaultModel, generalizing the monotone crash pattern to up/down
@@ -191,6 +196,16 @@ type Kernel struct {
 	// Without it, a down interval short enough to contain no tick would leave
 	// the old chain alive next to the restart's new one.
 	tickGen []int32 // index p-1
+	// restartDue marks (p, t) pairs whose evRestart has not yet dispatched.
+	// Pre-run inputs carry smaller FIFO seqs than the restart events enqueued
+	// in start(), so at an equal instant the input would otherwise execute
+	// against the DYING incarnation — whose state (including any
+	// retransmission wrapper's unacked envelopes) is wiped by the restart in
+	// the same instant, silently losing the input. An input that ties with a
+	// pending restart is re-enqueued instead, landing after the restart: a
+	// restart is the first instant of the new incarnation, so the new state
+	// receives it.
+	restartDue map[restartKey]struct{}
 
 	queue    eventHeap
 	sctx     stepCtx // reused per step
@@ -253,6 +268,13 @@ func New(fp *model.FailurePattern, det fd.Detector, factory model.AutomatonFacto
 	}
 	for _, p := range k.procs {
 		k.autos[p] = factory(p, fp.N())
+	}
+	// Protocol-aware adversaries get their leadership observation here: the
+	// hook reads the Ω component of the run's detector history through the
+	// kernel's own fd.Cached, so the network model sees exactly the per-segment
+	// leader values the automata see, at memoized cost.
+	if la, ok := net.(LeaderAware); ok {
+		la.ObserveLeadership(k.fdc.Leader)
 	}
 	return k
 }
@@ -359,8 +381,18 @@ func (k *Kernel) start() {
 			}
 			e := k.enqueue(r)
 			e.kind, e.p = evRestart, p
+			if k.restartDue == nil {
+				k.restartDue = make(map[restartKey]struct{})
+			}
+			k.restartDue[restartKey{p: p, t: r}] = struct{}{}
 		}
 	}
+}
+
+// restartKey identifies one pending restart instant (see Kernel.restartDue).
+type restartKey struct {
+	p model.ProcID
+	t model.Time
 }
 
 // Run executes the simulation until the global clock passes until (or
@@ -403,6 +435,15 @@ func (k *Kernel) dispatch(e *event) {
 		}
 	case evInput:
 		if k.up(e.p, e.t) {
+			if _, due := k.restartDue[restartKey{p: e.p, t: e.t}]; due {
+				// The process restarts at this very instant and the restart
+				// event is still queued behind us: defer the input past it so
+				// the NEW incarnation — not the state about to be wiped —
+				// receives it (see Kernel.restartDue).
+				re := k.enqueue(e.t)
+				re.kind, re.p, re.in = evInput, e.p, e.in
+				return
+			}
 			k.obs.OnInput(e.p, e.t, e.in)
 			k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Input(ctx, e.in) }, 0, 0)
 		}
@@ -421,6 +462,7 @@ func (k *Kernel) dispatch(e *event) {
 		// restart step, and a fresh tick chain starts one interval later. The
 		// generation bump retires any tick chain that outlived the down
 		// interval (one too short to contain a tick event).
+		delete(k.restartDue, restartKey{p: e.p, t: e.t})
 		if !k.up(e.p, e.t) {
 			return // defensive: schedule says down at its own restart time
 		}
