@@ -63,6 +63,23 @@
 // spread, kernel steps/sec, microbenchmark ns/op and allocs/op, optional
 // worker-scaling sweep) tracking the perf trajectory.
 //
+// The service plane makes the paper's replicated service deployable: the
+// live runtime's plumbing is abstracted behind runtime.Transport (in-process
+// ChanTransport, and TCPTransport speaking length-prefixed gob frames over
+// per-peer reconnecting connections), internal/node wraps the replica stack —
+// retransmit-wrapped ETOB over heartbeat-Ω — as a node with an HTTP API and a
+// graceful drain-deregister-flush shutdown, and internal/lb is a front door
+// that spreads client sessions across registered replicas by rendezvous
+// hashing with health-driven eviction; cmd/ecnode runs either role as an OS
+// process (scripts/node_smoke.sh boots a real 3-process cluster in CI). The
+// deterministic kernel stays authoritative: runtime.Options.StepLog records
+// every live step's schedule and runtime.Replay re-executes it through fresh
+// automata, pinning that both transports run the SAME automaton semantics.
+// Resend scheduling in internal/retransmit uses a due-time-ordered 4-ary
+// slab heap (Tick touches only overdue envelopes) and a give-up ceiling
+// bounds sender state toward permanently crashed receivers while preserving
+// at-least-once delivery to any process that ever returns.
+//
 // Start with README.md (overview and quickstart), DESIGN.md (system
 // inventory, per-experiment index, design decisions), and EXPERIMENTS.md
 // (paper-vs-measured for every claim). The root package holds the benchmark

@@ -1,0 +1,45 @@
+package causal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire encoding: ETOB's update messages carry whole causality graphs, so a
+// Graph must cross process boundaries when replicas run over a real
+// transport (internal/runtime.TCPTransport). The positional storage is
+// unexported by design; GobEncode/GobDecode serialize exactly the canonical
+// content — nodes in insertion order with their predecessor lists — and the
+// string→position index is rebuilt lazily on the receiving side, the same
+// way Clone defers it.
+
+// graphWire is the encoded form of a Graph.
+type graphWire struct {
+	Nodes []string
+	Preds [][]string
+}
+
+// GobEncode implements gob.GobEncoder.
+func (g *Graph) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(graphWire{Nodes: g.nodes, Preds: g.preds})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder. The decoded graph owns its storage
+// (nothing aliases the wire buffer) and carries no index until first use.
+func (g *Graph) GobDecode(b []byte) error {
+	var w graphWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	if len(w.Preds) != len(w.Nodes) {
+		return fmt.Errorf("causal: malformed graph encoding: %d nodes, %d predecessor lists",
+			len(w.Nodes), len(w.Preds))
+	}
+	g.nodes = w.Nodes
+	g.preds = w.Preds
+	g.index = nil // rebuilt lazily by ensureIndex, like a fresh Clone
+	return nil
+}

@@ -119,6 +119,50 @@ func (s OmegaSpec) Build(fp *model.FailurePattern) *fd.Omega {
 	}
 }
 
+// ReplicaStack builds the full automaton stack of ONE service replica for a
+// consistency level: the broadcast protocol (ETOB for Eventual, a Paxos log
+// for the strong variants) driving the replicated machine (nil = KV store),
+// optionally wrapped in the retransmission layer (nil rt = bare). This is the
+// single definition of "a replica" shared by every way of running one — the
+// deterministic kernel (NewSimService), the in-process live cluster
+// (NewLiveService), and the deployable node (internal/node) all feed the SAME
+// factory to their runtime, which is what makes cross-runtime conformance
+// (runtime.Replay) meaningful.
+//
+// Note the stack does not choose the failure detector: StrongSigma replicas
+// additionally require a Σ oracle next to Ω, which only the simulator can
+// provide (see NewLiveService).
+func ReplicaStack(c Consistency, machine smr.MachineFactory, rt *retransmit.Options) model.AutomatonFactory {
+	if machine == nil {
+		machine = smr.KVFactory
+	}
+	var broadcast model.AutomatonFactory
+	switch c {
+	case Eventual, 0:
+		broadcast = etob.Factory()
+	case Strong:
+		broadcast = consensus.LogFactory(consensus.MajorityQuorums)
+	case StrongSigma:
+		broadcast = consensus.LogFactory(consensus.SigmaQuorums)
+	default:
+		panic(fmt.Sprintf("core: unknown consistency %v", c))
+	}
+	factory := smr.ReplicaFactory(broadcast, machine)
+	if rt != nil {
+		factory = retransmit.Wrap(factory, *rt)
+	}
+	return factory
+}
+
+// UnwrapReplica returns the state-machine replica inside a stack automaton,
+// peeling the retransmission wrapper when present.
+func UnwrapReplica(a model.Automaton) *smr.Replica {
+	if w, ok := a.(*retransmit.Automaton); ok {
+		a = w.Inner()
+	}
+	return a.(*smr.Replica)
+}
+
 // Config configures a simulated service.
 type Config struct {
 	// N is the number of replicas (>= 2).
@@ -166,23 +210,15 @@ func NewSimService(cfg Config) *SimService {
 	}
 	omega := cfg.Omega.Build(cfg.Failures)
 	var det fd.Detector = omega
-	var broadcast model.AutomatonFactory
-	switch cfg.Consistency {
-	case Eventual:
-		broadcast = etob.Factory()
-	case Strong:
-		broadcast = consensus.LogFactory(consensus.MajorityQuorums)
-	case StrongSigma:
+	if cfg.Consistency == StrongSigma {
 		det = fd.NewOmegaSigma(omega, fd.NewSigma(cfg.Failures, cfg.Omega.Stabilization))
-		broadcast = consensus.LogFactory(consensus.SigmaQuorums)
-	default:
-		panic(fmt.Sprintf("core: unknown consistency %v", cfg.Consistency))
+	}
+	var rt *retransmit.Options
+	if cfg.Retransmit {
+		rt = &retransmit.Options{Seed: cfg.Sim.Seed}
 	}
 	rec := trace.NewRecorder(cfg.N)
-	factory := smr.ReplicaFactory(broadcast, cfg.Machine)
-	if cfg.Retransmit {
-		factory = retransmit.Wrap(factory, retransmit.Options{Seed: cfg.Sim.Seed})
-	}
+	factory := ReplicaStack(cfg.Consistency, cfg.Machine, rt)
 	k := sim.New(cfg.Failures, det, factory, cfg.Sim)
 	k.SetObserver(rec)
 	return &SimService{cfg: cfg, kernel: k, rec: rec, det: det}
@@ -246,11 +282,7 @@ func (s *SimService) Rebuilds(p model.ProcID) int {
 // replica returns p's state-machine replica, unwrapping the retransmission
 // layer when Config.Retransmit put one around it.
 func (s *SimService) replica(p model.ProcID) *smr.Replica {
-	a := s.kernel.Automaton(p)
-	if w, ok := a.(*retransmit.Automaton); ok {
-		a = w.Inner()
-	}
-	return a.(*smr.Replica)
+	return UnwrapReplica(s.kernel.Automaton(p))
 }
 
 // Report property-checks the run against the (E)TOB specification.
@@ -276,21 +308,12 @@ type LiveService struct {
 // implementation, so StrongSigma is rejected here — which is, precisely,
 // the paper's point.
 func NewLiveService(n int, c Consistency, machine smr.MachineFactory, opts runtime.Options) *LiveService {
-	if machine == nil {
-		machine = smr.KVFactory
-	}
-	var broadcast model.AutomatonFactory
-	switch c {
-	case Eventual, 0:
-		broadcast = etob.Factory()
-	case Strong:
-		broadcast = consensus.LogFactory(consensus.MajorityQuorums)
-	default:
-		panic(fmt.Sprintf("core: consistency %v not available live", c))
+	if c == StrongSigma {
+		panic(fmt.Sprintf("core: consistency %v not available live (Σ is an oracle)", c))
 	}
 	rec := trace.NewRecorder(n)
 	opts.Observer = rec
-	cluster := runtime.NewCluster(n, smr.ReplicaFactory(broadcast, machine), opts)
+	cluster := runtime.NewCluster(n, ReplicaStack(c, machine, nil), opts)
 	return &LiveService{cluster: cluster, rec: rec}
 }
 

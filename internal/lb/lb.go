@@ -1,0 +1,363 @@
+// Package lb is the service plane's front door: a small HTTP load balancer
+// that spreads client operations over the registered replica nodes
+// (internal/node) of one eventually consistent service.
+//
+// Replicas announce themselves with POST /register?id=..&url=.. and withdraw
+// with POST /deregister?id=.. — the graceful-shutdown path of a node does the
+// latter BEFORE draining, so the front door stops routing to a leaving
+// replica while it can still finish in-flight work. Between registrations,
+// liveness is health-driven: a background prober hits each replica's
+// /healthz, and FailThreshold consecutive failures evict the replica from
+// routing (it rejoins automatically when probes succeed again). Eviction is
+// soft — the registration survives — so a crashed-and-restarted replica
+// resumes service without re-registering.
+//
+// Routing is session-affine by rendezvous (highest-random-weight) hashing:
+// each request's session key — the X-Session header, else the "session"
+// query parameter, else the client IP — scores every healthy replica by
+// hash(session, replica) and picks the maximum. The same session therefore
+// sticks to the same replica while the replica set is stable (read-your-
+// writes for clients of an eventually consistent store, per session), and
+// when a replica joins or leaves only the sessions scored onto it move —
+// no global reshuffle, no routing table to rebuild, no state to migrate.
+// When the forward itself fails, the front door marks the replica failing
+// and retries the NEXT-best replica of the same session transparently, so a
+// replica dying between probes costs clients nothing but latency.
+package lb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config configures a front door.
+type Config struct {
+	// Addr is the HTTP listen address (default "127.0.0.1:0").
+	Addr string
+	// ProbeInterval is the health-probe period (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default ProbeInterval/2).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures evict a replica
+	// from routing (default 2).
+	FailThreshold int
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// replica is one registered backend.
+type replica struct {
+	id      string
+	baseURL string
+	fails   int
+	healthy bool
+}
+
+// Front is a running front door.
+type Front struct {
+	cfg    Config
+	ln     net.Listener
+	srv    *http.Server
+	client *http.Client
+
+	mu       sync.RWMutex
+	replicas map[string]*replica
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	httpDone chan struct{}
+}
+
+// New starts a front door.
+func New(cfg Config) (*Front, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval / 2
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("lb: listen %s: %w", cfg.Addr, err)
+	}
+	f := &Front{
+		cfg:      cfg,
+		ln:       ln,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		replicas: make(map[string]*replica),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		httpDone: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", f.handleRegister)
+	mux.HandleFunc("/deregister", f.handleDeregister)
+	mux.HandleFunc("/replicas", f.handleReplicas)
+	mux.HandleFunc("/", f.handleRoute)
+	f.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(f.httpDone)
+		if err := f.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			f.logf("lb: serve: %v", err)
+		}
+	}()
+	go f.probeLoop()
+	return f, nil
+}
+
+func (f *Front) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// Addr returns the address the front door actually listens on.
+func (f *Front) Addr() string { return f.ln.Addr().String() }
+
+// URL returns the front door's base URL.
+func (f *Front) URL() string { return "http://" + f.Addr() }
+
+// Close stops the prober and the HTTP server.
+func (f *Front) Close() error {
+	f.stopOnce.Do(func() {
+		close(f.stop)
+		f.srv.Close()
+		<-f.httpDone
+		<-f.done
+	})
+	return nil
+}
+
+// Healthy returns the IDs of replicas currently eligible for routing.
+func (f *Front) Healthy() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var ids []string
+	for id, r := range f.replicas {
+		if r.healthy {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// handleRegister adds (or re-adds) a replica: POST /register?id=..&url=..
+// A replica registers healthy — it would not call in otherwise.
+func (f *Front) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, base := r.URL.Query().Get("id"), r.URL.Query().Get("url")
+	if id == "" || base == "" {
+		http.Error(w, "need id and url", http.StatusBadRequest)
+		return
+	}
+	if _, err := url.ParseRequestURI(base); err != nil {
+		http.Error(w, "bad url", http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	f.replicas[id] = &replica{id: id, baseURL: strings.TrimRight(base, "/"), healthy: true}
+	f.mu.Unlock()
+	f.logf("lb: registered replica %s at %s", id, base)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleDeregister removes a replica entirely: POST /deregister?id=..
+func (f *Front) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	f.mu.Lock()
+	_, had := f.replicas[id]
+	delete(f.replicas, id)
+	f.mu.Unlock()
+	if !had {
+		http.Error(w, "unknown replica", http.StatusNotFound)
+		return
+	}
+	f.logf("lb: deregistered replica %s", id)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReplicas lists the registry: GET /replicas → "id url healthy" lines.
+func (f *Front) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	f.mu.RLock()
+	ids := make([]string, 0, len(f.replicas))
+	for id := range f.replicas {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		rep := f.replicas[id]
+		fmt.Fprintf(&b, "%s %s %v\n", rep.id, rep.baseURL, rep.healthy)
+	}
+	f.mu.RUnlock()
+	io.WriteString(w, b.String())
+}
+
+// sessionKey extracts the affinity key of a request.
+func sessionKey(r *http.Request) string {
+	if s := r.Header.Get("X-Session"); s != "" {
+		return s
+	}
+	if s := r.URL.Query().Get("session"); s != "" {
+		return s
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// rank orders the healthy replicas for a session by rendezvous score,
+// best first.
+func (f *Front) rank(session string) []*replica {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	type scored struct {
+		r *replica
+		s uint64
+	}
+	var cands []scored
+	for _, rep := range f.replicas {
+		if !rep.healthy {
+			continue
+		}
+		h := fnv.New64a()
+		io.WriteString(h, session)
+		io.WriteString(h, "\x00")
+		io.WriteString(h, rep.id)
+		cands = append(cands, scored{r: rep, s: h.Sum64()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			return cands[i].s > cands[j].s
+		}
+		return cands[i].r.id < cands[j].r.id
+	})
+	out := make([]*replica, len(cands))
+	for i, c := range cands {
+		out[i] = c.r
+	}
+	return out
+}
+
+// markFailed records a forwarding failure against a replica, evicting it at
+// the configured threshold (probes bring it back).
+func (f *Front) markFailed(rep *replica) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rep.fails++
+	if rep.fails >= f.cfg.FailThreshold && rep.healthy {
+		rep.healthy = false
+		f.logf("lb: evicted replica %s after %d failures", rep.id, rep.fails)
+	}
+}
+
+// handleRoute forwards any other request to the session's replica, falling
+// through the session's rendezvous ranking when a forward fails at the
+// transport level. Only transport failures fail over — an HTTP error status
+// is the replica's answer and is relayed as-is.
+func (f *Front) handleRoute(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ranked := f.rank(sessionKey(r))
+	if len(ranked) == 0 {
+		http.Error(w, "no healthy replicas", http.StatusServiceUnavailable)
+		return
+	}
+	for _, rep := range ranked {
+		target := rep.baseURL + r.URL.RequestURI()
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, target, strings.NewReader(string(body)))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := f.client.Do(req)
+		if err != nil {
+			f.markFailed(rep)
+			continue
+		}
+		w.Header().Set("X-Replica", rep.id)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	http.Error(w, "all replicas unreachable", http.StatusBadGateway)
+}
+
+// probeLoop drives health-based eviction and recovery.
+func (f *Front) probeLoop() {
+	defer close(f.done)
+	client := &http.Client{Timeout: f.cfg.ProbeTimeout}
+	ticker := time.NewTicker(f.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+		}
+		f.mu.RLock()
+		reps := make([]*replica, 0, len(f.replicas))
+		for _, rep := range f.replicas {
+			reps = append(reps, rep)
+		}
+		f.mu.RUnlock()
+		for _, rep := range reps {
+			ok := probe(client, rep.baseURL+"/healthz")
+			f.mu.Lock()
+			if ok {
+				if !rep.healthy {
+					f.logf("lb: replica %s recovered", rep.id)
+				}
+				rep.fails, rep.healthy = 0, true
+			} else {
+				rep.fails++
+				if rep.fails >= f.cfg.FailThreshold && rep.healthy {
+					rep.healthy = false
+					f.logf("lb: evicted replica %s after %d failed probes", rep.id, rep.fails)
+				}
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+func probe(client *http.Client, target string) bool {
+	resp, err := client.Get(target)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,191 @@
+package lb
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeReplica is an httptest backend that answers /healthz and echoes its
+// name on every other path.
+type fakeReplica struct {
+	name string
+	srv  *httptest.Server
+	hits int
+}
+
+func newFakeReplica(name string) *fakeReplica {
+	f := &fakeReplica{name: name}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		f.hits++
+		fmt.Fprint(w, f.name)
+	}))
+	return f
+}
+
+func startFront(t *testing.T, backends ...*fakeReplica) *Front {
+	t.Helper()
+	f, err := New(Config{ProbeInterval: 20 * time.Millisecond, ProbeTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("front: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	for _, b := range backends {
+		resp, err := http.Post(f.URL()+"/register?id="+b.name+"&url="+b.srv.URL, "", nil)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s: %v %v", b.name, err, resp)
+		}
+		resp.Body.Close()
+	}
+	return f
+}
+
+func routed(t *testing.T, f *Front, session string) (replica string, status int) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, f.URL()+"/whoami", nil)
+	req.Header.Set("X-Session", session)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return strings.TrimSpace(string(body)), resp.StatusCode
+}
+
+// TestSessionAffinityIsDeterministic: rendezvous hashing routes the same
+// session to the same backend every time, and different sessions actually
+// spread (with enough sessions, more than one backend serves traffic).
+func TestSessionAffinityIsDeterministic(t *testing.T) {
+	a, b, c := newFakeReplica("a"), newFakeReplica("b"), newFakeReplica("c")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	defer c.srv.Close()
+	f := startFront(t, a, b, c)
+
+	seen := make(map[string]string)
+	backends := make(map[string]bool)
+	for s := 0; s < 20; s++ {
+		session := fmt.Sprintf("session-%d", s)
+		for i := 0; i < 3; i++ {
+			got, status := routed(t, f, session)
+			if status != http.StatusOK {
+				t.Fatalf("session %s: status %d", session, status)
+			}
+			if prev, ok := seen[session]; ok && prev != got {
+				t.Fatalf("session %s bounced %s -> %s", session, prev, got)
+			}
+			seen[session] = got
+			backends[got] = true
+		}
+	}
+	if len(backends) < 2 {
+		t.Errorf("20 sessions all landed on %v — rendezvous spread suspiciously absent", backends)
+	}
+}
+
+// TestFailoverOnTransportError: when a session's backend dies, the forward
+// fails at the transport level and the front door retries the session's
+// next-ranked backend transparently — the client still gets 200.
+func TestFailoverOnTransportError(t *testing.T) {
+	a, b, c := newFakeReplica("a"), newFakeReplica("b"), newFakeReplica("c")
+	defer b.srv.Close()
+	defer c.srv.Close()
+	f := startFront(t, a, b, c)
+
+	const session = "sticky"
+	first, status := routed(t, f, session)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	// Kill whichever backend owns the session; keep the others.
+	for _, fr := range []*fakeReplica{a, b, c} {
+		if fr.name == first {
+			fr.srv.Close()
+		}
+	}
+	got, status := routed(t, f, session)
+	if status != http.StatusOK {
+		t.Fatalf("failover request got status %d", status)
+	}
+	if got == first {
+		t.Fatalf("request still served by dead backend %s", first)
+	}
+	// The dead backend accumulates forward failures and is evicted, so
+	// subsequent requests skip it without a retry penalty.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy := f.Healthy()
+		if len(healthy) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead backend never evicted: healthy=%v", healthy)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestErrorStatusIsRelayedNotFailedOver: an HTTP error status is the
+// replica's answer — the front door must relay it, not shop for a backend
+// that says something nicer.
+func TestErrorStatusIsRelayedNotFailedOver(t *testing.T) {
+	angry := &fakeReplica{name: "angry"}
+	angry.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "no", http.StatusConflict)
+	}))
+	defer angry.srv.Close()
+	calm := newFakeReplica("calm")
+	defer calm.srv.Close()
+	f := startFront(t, angry, calm)
+
+	// Find a session that rendezvous-routes to the angry backend.
+	for s := 0; s < 100; s++ {
+		session := fmt.Sprintf("probe-%d", s)
+		got, status := routed(t, f, session)
+		if status == http.StatusConflict {
+			return // relayed as-is: exactly right
+		}
+		if status != http.StatusOK || got != "calm" {
+			t.Fatalf("session %s: unexpected %d %q", session, status, got)
+		}
+	}
+	t.Fatal("no session ever routed to the angry backend — rendezvous broken?")
+}
+
+// TestDeregisterStopsRouting: a deregistered replica receives no further
+// traffic even though it is still alive and healthy.
+func TestDeregisterStopsRouting(t *testing.T) {
+	a, b := newFakeReplica("a"), newFakeReplica("b")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	f := startFront(t, a, b)
+
+	resp, err := http.Post(f.URL()+"/deregister?id=a", "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("deregister: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	before := a.hits
+	for s := 0; s < 10; s++ {
+		got, status := routed(t, f, fmt.Sprintf("s%d", s))
+		if status != http.StatusOK || got != "b" {
+			t.Fatalf("session s%d: %d %q routed past deregistration", s, status, got)
+		}
+	}
+	if a.hits != before {
+		t.Fatalf("deregistered replica served %d requests", a.hits-before)
+	}
+}

@@ -1,0 +1,418 @@
+// Package node wraps one service replica as a deployable process: the same
+// automaton stack the simulator and the in-process cluster run
+// (core.ReplicaStack — retransmission, broadcast protocol, replicated
+// machine), driven by a runtime.Proc over a real TCP transport, fronted by a
+// small HTTP API for client operations and introspection.
+//
+// A Node is what cmd/ecnode boots per replica. Its layers, bottom up:
+//
+//   - runtime.TCPTransport: length-prefixed gob frames over reconnecting
+//     per-peer connections. Delivery is at-most-once; reconnection is the
+//     transport's job.
+//   - retransmit.Wrap: restores the paper's eventual-delivery assumption over
+//     that lossy wire — and, because a deployable node must not leak against
+//     a peer that is gone for good, enables the sender-side give-up bound
+//     (Options.GiveUpTicks) sized well above the expected churn scale.
+//   - runtime.Proc: the event loop with the heartbeat Ω — the failure
+//     detector actually implemented from message passing.
+//   - HTTP (this package): POST /update submits commands, GET /read and
+//     /snapshot read the replica's machine, /status reports replication
+//     internals, /healthz answers load-balancer probes.
+//
+// Restart identity: the node pins the process clock to the Unix epoch
+// (runtime.Options.ClockEpoch), so a restarted replica initializes its
+// retransmission layer with a strictly larger incarnation epoch instead of
+// colliding with its previous life — receiver-side dedup then distinguishes
+// the two incarnations' envelope streams by construction.
+//
+// Shutdown is graceful and load-balancer-aware: Shutdown first flips
+// /healthz to failing and deregisters from the front door (internal/lb), so
+// no new operations are routed here; then it drains in-flight HTTP requests;
+// only then does it stop the event loop and close the transport. A client
+// driving operations through the front door across a rolling restart
+// observes zero failed operations (the node package's integration test pins
+// this).
+package node
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/etob"
+	"repro/internal/model"
+	"repro/internal/retransmit"
+	"repro/internal/runtime"
+	"repro/internal/smr"
+)
+
+// RegisterProtocolTypes registers the replica stack's full wire vocabulary
+// with the gob codec: retransmission envelopes and the broadcast protocol
+// messages they carry. Every process of a cluster must call it (node.New
+// does) before frames flow.
+func RegisterProtocolTypes() {
+	runtime.RegisterWireType(retransmit.Data{})
+	runtime.RegisterWireType(retransmit.Ack{})
+	runtime.RegisterWireType(etob.UpdateMsg{})
+	runtime.RegisterWireType(etob.PromoteMsg{})
+}
+
+// DefaultGiveUpTicks is the node's default sender-side persistence bound:
+// with the default 2ms tick this is ~60s of link silence — far above restart
+// and reconnect scales — before a capped-backoff envelope is abandoned.
+const DefaultGiveUpTicks = 30000
+
+// Config configures one replica node.
+type Config struct {
+	// ID is this replica's process ID (1..n).
+	ID model.ProcID
+	// Peers maps every replica — ID included — to its TRANSPORT address
+	// (host:port for the inter-replica TCP mesh, not the HTTP API).
+	Peers map[model.ProcID]string
+	// HTTPAddr is the client-facing HTTP listen address (default
+	// "127.0.0.1:0").
+	HTTPAddr string
+	// Front, if non-empty, is the front door's base URL (internal/lb); the
+	// node registers itself on start and deregisters on Shutdown.
+	Front string
+	// Consistency selects the protocol (default core.Eventual).
+	Consistency core.Consistency
+	// Machine is the replicated state machine (default KV store).
+	Machine smr.MachineFactory
+	// Runtime tunes the event loop. ClockEpoch is forced to the Unix epoch
+	// (see the package comment); everything else passes through.
+	Runtime runtime.Options
+	// Retransmit tunes the retransmission layer. Nil gets a per-ID seed and
+	// DefaultGiveUpTicks.
+	Retransmit *retransmit.Options
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Node is one running replica.
+type Node struct {
+	cfg   Config
+	tr    *runtime.TCPTransport
+	proc  *runtime.Proc
+	srv   *http.Server
+	ln    net.Listener
+	rt    retransmit.Options
+	front string
+
+	draining  atomic.Bool
+	accepted  atomic.Int64
+	closeOnce sync.Once
+	httpDone  chan struct{}
+}
+
+// New builds and starts a replica node: transport bound, event loop running,
+// HTTP API serving, front-door registration done (when configured).
+func New(cfg Config) (*Node, error) {
+	if cfg.ID < 1 {
+		return nil, fmt.Errorf("node: invalid replica ID %v", cfg.ID)
+	}
+	if cfg.HTTPAddr == "" {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	}
+	rt := retransmit.Options{Seed: int64(cfg.ID), GiveUpTicks: DefaultGiveUpTicks}
+	if cfg.Retransmit != nil {
+		rt = *cfg.Retransmit
+	}
+	RegisterProtocolTypes()
+	tr, err := runtime.NewTCPTransport(runtime.TCPConfig{Self: cfg.ID, Peers: cfg.Peers})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.HTTPAddr)
+	if err != nil {
+		tr.Close()
+		return nil, fmt.Errorf("node: http listen %s: %w", cfg.HTTPAddr, err)
+	}
+	opts := cfg.Runtime
+	opts.ClockEpoch = time.Unix(0, 0)
+	n := &Node{
+		cfg:      cfg,
+		tr:       tr,
+		rt:       rt,
+		front:    strings.TrimRight(cfg.Front, "/"),
+		ln:       ln,
+		httpDone: make(chan struct{}),
+	}
+	n.proc = runtime.NewProc(tr, core.ReplicaStack(cfg.Consistency, cfg.Machine, &rt), opts)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/update", n.handleUpdate)
+	mux.HandleFunc("/read", n.handleRead)
+	mux.HandleFunc("/snapshot", n.handleSnapshot)
+	mux.HandleFunc("/status", n.handleStatus)
+	mux.HandleFunc("/healthz", n.handleHealthz)
+	n.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(n.httpDone)
+		err := n.srv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			n.logf("node %v: http serve: %v", cfg.ID, err)
+		}
+	}()
+
+	if n.front != "" {
+		if err := n.register(); err != nil {
+			n.logf("node %v: front-door registration failed: %v", cfg.ID, err)
+		}
+	}
+	return n, nil
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// ID returns the replica's process ID.
+func (n *Node) ID() model.ProcID { return n.cfg.ID }
+
+// HTTPAddr returns the address the HTTP API actually listens on.
+func (n *Node) HTTPAddr() string { return n.ln.Addr().String() }
+
+// URL returns the HTTP API base URL.
+func (n *Node) URL() string { return "http://" + n.HTTPAddr() }
+
+// Proc exposes the underlying event loop (tests and cmd/ecnode diagnostics).
+func (n *Node) Proc() *runtime.Proc { return n.proc }
+
+// Accepted returns how many update operations this node has accepted.
+func (n *Node) Accepted() int64 { return n.accepted.Load() }
+
+// register announces this replica to the front door, retrying briefly so a
+// node booting alongside its front door wins the race.
+func (n *Node) register() error {
+	v := url.Values{"id": {fmt.Sprint(int(n.cfg.ID))}, "url": {n.URL()}}
+	target := n.front + "/register?" + v.Encode()
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		resp, err := http.Post(target, "text/plain", nil)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("front door answered %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return lastErr
+}
+
+// deregister withdraws this replica from the front door (best effort).
+func (n *Node) deregister() {
+	v := url.Values{"id": {fmt.Sprint(int(n.cfg.ID))}}
+	resp, err := http.Post(n.front+"/deregister?"+v.Encode(), "text/plain", nil)
+	if err != nil {
+		n.logf("node %v: deregister: %v", n.cfg.ID, err)
+		return
+	}
+	resp.Body.Close()
+}
+
+// Shutdown stops the node gracefully, in the order that costs clients
+// nothing: leave the front door and fail health probes first (no NEW
+// operations are routed here), drain in-flight HTTP work (operations already
+// here complete — the replica keeps accepting until its event loop actually
+// stops), flush the retransmission layer's unacked envelopes so every
+// accepted command has reached the surviving replicas, and only then stop
+// the event loop and close the transport. Safe to call more than once.
+func (n *Node) Shutdown(ctx context.Context) error {
+	var err error
+	n.closeOnce.Do(func() {
+		n.draining.Store(true)
+		if n.front != "" {
+			n.deregister()
+		}
+		err = n.srv.Shutdown(ctx)
+		<-n.httpDone
+		n.flushPending(ctx)
+		n.proc.Stop() // closes the transport too
+		select {
+		case <-n.proc.Done():
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+	})
+	return err
+}
+
+// flushPending waits (bounded by ctx) until the retransmission layer holds no
+// unacked envelopes — every command this node accepted and broadcast has been
+// acknowledged by every peer — so stopping the transport loses nothing. A
+// peer that is itself down keeps envelopes pending; the context bounds how
+// long departure waits for it.
+func (n *Node) flushPending(ctx context.Context) {
+	for {
+		pending := 0
+		ok := n.proc.Inspect(func(a model.Automaton) {
+			if wrap, isWrapped := a.(*retransmit.Automaton); isWrapped {
+				pending = wrap.PendingEnvelopes()
+			}
+		})
+		if !ok || pending == 0 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			n.logf("node %v: leaving with %d unacked envelopes (flush budget exhausted)", n.cfg.ID, pending)
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Kill stops the node abruptly — no deregistration, no drain — simulating a
+// crash (the front door's health probes must evict it). Tests only.
+func (n *Node) Kill() {
+	n.closeOnce.Do(func() {
+		n.draining.Store(true)
+		n.srv.Close()
+		<-n.httpDone
+		n.proc.Stop()
+		<-n.proc.Done()
+	})
+}
+
+// handleUpdate accepts a command (query parameter "cmd", or the request body
+// when absent) and submits it to the replica. 202 means accepted for
+// replication, not yet applied — this is an eventually consistent service.
+func (n *Node) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	cmd := r.URL.Query().Get("cmd")
+	if cmd == "" {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cmd = strings.TrimSpace(string(body))
+	}
+	if cmd == "" {
+		http.Error(w, "empty command", http.StatusBadRequest)
+		return
+	}
+	// Note: a DRAINING node still accepts — operations routed here before the
+	// front door saw the deregistration must succeed, and the shutdown path
+	// flushes their replication before the event loop stops. Only an actually
+	// stopped event loop refuses.
+	if !n.proc.Submit(smr.Command{Cmd: cmd}) {
+		http.Error(w, "replica stopped", http.StatusServiceUnavailable)
+		return
+	}
+	n.accepted.Add(1)
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "accepted")
+}
+
+// inspect runs f against the replica inside the event loop.
+func (n *Node) inspect(f func(r *smr.Replica)) bool {
+	return n.proc.Inspect(func(a model.Automaton) { f(core.UnwrapReplica(a)) })
+}
+
+// handleRead answers GET /read?key=k from the replica's KV snapshot. Reads
+// are local (eventually consistent): the answer reflects this replica's
+// current applied prefix.
+func (n *Node) handleRead(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	var snap string
+	if !n.inspect(func(rep *smr.Replica) { snap = rep.Snapshot() }) {
+		http.Error(w, "replica stopped", http.StatusServiceUnavailable)
+		return
+	}
+	for _, pair := range strings.Split(snap, ",") {
+		if k, v, ok := strings.Cut(pair, "="); ok && k == key {
+			fmt.Fprintln(w, v)
+			return
+		}
+	}
+	http.Error(w, "not found", http.StatusNotFound)
+}
+
+// handleSnapshot answers GET /snapshot with the machine's full snapshot.
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var snap string
+	if !n.inspect(func(rep *smr.Replica) { snap = rep.Snapshot() }) {
+		http.Error(w, "replica stopped", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, snap)
+}
+
+// Status is the replica's introspection report (GET /status).
+type Status struct {
+	ID        int    `json:"id"`
+	N         int    `json:"n"`
+	Leader    int    `json:"leader"`
+	Applied   int    `json:"applied"`
+	Rebuilds  int    `json:"rebuilds"`
+	Accepted  int64  `json:"accepted"`
+	Dropped   int64  `json:"dropped"`
+	Resends   int64  `json:"resends"`
+	Pending   int    `json:"pending"`
+	Abandoned int64  `json:"abandoned"`
+	Snapshot  string `json:"snapshot"`
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := Status{
+		ID:       int(n.cfg.ID),
+		N:        n.proc.N(),
+		Leader:   int(n.proc.Leader()),
+		Accepted: n.accepted.Load(),
+		Dropped:  n.tr.Dropped(),
+	}
+	ok := n.proc.Inspect(func(a model.Automaton) {
+		if wrap, isWrapped := a.(*retransmit.Automaton); isWrapped {
+			st.Resends = wrap.Resends()
+			st.Pending = wrap.PendingEnvelopes()
+			st.Abandoned = wrap.Abandoned()
+		}
+		rep := core.UnwrapReplica(a)
+		st.Applied = rep.AppliedCount()
+		st.Rebuilds = rep.Rebuilds()
+		st.Snapshot = rep.Snapshot()
+	})
+	if !ok {
+		http.Error(w, "replica stopped", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// handleHealthz answers load-balancer probes: 200 while serving, 503 once
+// draining so the front door routes around a node that is on its way out.
+func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if n.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

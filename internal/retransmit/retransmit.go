@@ -93,6 +93,24 @@ type Options struct {
 	MaxRTO int
 	// Seed drives the per-process jitter streams.
 	Seed int64
+	// GiveUpTicks, when positive, bounds sender-side persistence: an envelope
+	// is ABANDONED (dropped from the resend queue, counted by Abandoned)
+	// instead of resent once (a) its backoff has reached the MaxRTO cap and
+	// (b) the destination link has been silent — no Data and no Ack from that
+	// process, in any epoch — for more than GiveUpTicks ticks. Without a
+	// bound, a sender's pending set grows forever against a permanently
+	// crashed receiver (one entry per subsequent broadcast), which for a
+	// long-lived deployable node is a leak.
+	//
+	// Set GiveUpTicks well above the churn scale of the environment (restart
+	// gaps, partition spans): any process that returns within the window
+	// keeps the at-least-once guarantee, because its first Data or Ack —
+	// stale epochs count — refreshes the link and every still-pending
+	// envelope keeps being resent. Zero (the default) disables abandonment
+	// entirely, preserving the paper's unconditional eventual delivery — the
+	// simulator's experiments and golden tables run in this mode; the
+	// deployable service plane (internal/node) enables it.
+	GiveUpTicks int
 }
 
 func (o Options) withDefaults() Options {
@@ -211,17 +229,17 @@ type pendKey struct {
 	seq int64
 }
 
-// pending is one unacked envelope awaiting resend. The resend loop walks
-// these by pointer (see Automaton.order) — the map exists only so an
-// arriving ack can find its envelope; keeping the per-tick scan map-free is
-// what keeps the wrapper's overhead flat on churn-scale runs.
+// pending is one unacked envelope awaiting resend. Envelopes live in the
+// resend heap's slab (see heap.go) addressed by slot index; the map exists
+// only so an arriving ack can find its envelope. The due tick is carried by
+// the heap key, not stored here.
 type pending struct {
 	to       model.ProcID
 	seq      int64
+	ord      int64 // global send ordinal; fixes intra-tick resend order
 	payload  any
 	attempts int
-	dueTick  int64 // resend when the local tick counter reaches this
-	acked    bool  // set by the ack; compacted out of order on the next tick
+	acked    bool // set by the ack; slot released when its key pops
 }
 
 // Automaton is the retransmission wrapper around one inner automaton.
@@ -236,10 +254,17 @@ type Automaton struct {
 	baseTo  []int64 // lowest possibly-unacked seq per link (advanced lazily)
 	ticks   int64
 	rng     *rand.Rand
-	pending map[pendKey]*pending // ack lookup by (destination, link seq)
-	order   []*pending           // send order; acked entries compacted on tick
-	seen    map[srcKey]*dedup    // per (sender, epoch) watermark + sparse set
+	pending map[pendKey]int32 // ack lookup: (destination, link seq) → slab slot
+	heap    resendHeap        // unacked envelopes keyed by next due tick
+	due     []int32           // per-tick scratch: slots due for resend
+	sent    int64             // send ordinal counter (see pending.ord)
+	seen    map[srcKey]*dedup // per (sender, epoch) watermark + sparse set
 	resends int64
+
+	// Give-up bookkeeping (Options.GiveUpTicks).
+	lastHeard []int64 // index q-1: tick of last Data/Ack from q, any epoch
+	cappedAt  int     // attempt count at which backoff reaches the MaxRTO cap
+	abandoned int64
 }
 
 var _ model.Automaton = (*Automaton)(nil)
@@ -252,6 +277,10 @@ func (a *Automaton) Resends() int64 { return a.resends }
 
 // PendingEnvelopes returns how many envelopes are still awaiting an ack.
 func (a *Automaton) PendingEnvelopes() int { return len(a.pending) }
+
+// Abandoned returns how many envelopes this process gave up resending under
+// Options.GiveUpTicks (cumulative across incarnations, like Resends).
+func (a *Automaton) Abandoned() int64 { return a.abandoned }
 
 // DedupSparse returns how many received seqs are held OUTSIDE the contiguous
 // per-(sender, epoch) watermark prefixes — the only part of the dedup state
@@ -282,9 +311,15 @@ func (a *Automaton) Init(ctx model.Context) {
 	}
 	a.ticks = 0
 	a.rng = rand.New(rand.NewSource(a.opts.Seed*1_000_003 + int64(a.self)*7919 + a.epoch))
-	a.pending = make(map[pendKey]*pending)
-	a.order = a.order[:0]
+	a.pending = make(map[pendKey]int32)
+	a.heap.reset()
+	a.sent = 0
 	a.seen = make(map[srcKey]*dedup)
+	a.lastHeard = make([]int64, a.n)
+	a.cappedAt = 0
+	for d := int64(a.opts.RTO); d < int64(a.opts.MaxRTO); d *= 2 {
+		a.cappedAt++
+	}
 	a.inner.Init(&wrapCtx{ctx: ctx, a: a})
 }
 
@@ -297,6 +332,7 @@ func (a *Automaton) Input(ctx model.Context, in any) {
 func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
 	switch m := payload.(type) {
 	case Data:
+		a.heard(from)
 		// Always ack — the previous ack may have been the lost message.
 		ctx.Send(from, Ack{Epoch: m.Epoch, Seq: m.Seq})
 		key := srcKey{from: from, epoch: m.Epoch}
@@ -311,10 +347,13 @@ func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
 		}
 		a.inner.Recv(&wrapCtx{ctx: ctx, a: a}, from, m.Payload)
 	case Ack:
+		a.heard(from)
 		if m.Epoch == a.epoch {
 			key := pendKey{to: from, seq: m.Seq}
-			if pd := a.pending[key]; pd != nil {
+			if slot, ok := a.pending[key]; ok {
+				pd := &a.heap.slots[slot]
 				pd.acked = true
+				pd.payload = nil // settled: release the protocol data now
 				delete(a.pending, key)
 			}
 		}
@@ -328,32 +367,64 @@ func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
 // inner automaton.
 func (a *Automaton) Tick(ctx model.Context) {
 	a.ticks++
-	if len(a.pending) > 0 {
-		live := a.order[:0]
-		for _, pd := range a.order {
-			if pd.acked {
-				continue // drop from the order while compacting
-			}
-			live = append(live, pd)
-			if a.ticks < pd.dueTick {
-				continue
-			}
-			a.resends++
-			ctx.Send(pd.to, Data{Epoch: a.epoch, Seq: pd.seq, Base: a.linkBase(pd.to), Payload: pd.payload})
-			pd.attempts++
-			pd.dueTick = a.ticks + a.backoff(pd.attempts)
-		}
-		for i := len(live); i < len(a.order); i++ {
-			a.order[i] = nil // release compacted-out envelopes (and their payloads) to the GC
-		}
-		a.order = live
-	} else if len(a.order) > 0 {
-		for i := range a.order {
-			a.order[i] = nil
-		}
-		a.order = a.order[:0]
+	if a.heap.len() > 0 && a.heap.peekDue() <= a.ticks {
+		a.resendDue(ctx)
 	}
 	a.inner.Tick(&wrapCtx{ctx: ctx, a: a})
+}
+
+// resendDue pops every envelope whose due tick has arrived, discards settled
+// ones, and resends the rest in send (ord) order — the order the old linear
+// scan produced, which pins the seeded jitter stream and hence the golden
+// tables. Resent envelopes re-queue at their next backoff; abandoned ones
+// (see Options.GiveUpTicks) leave the pending set entirely, which also lets
+// linkBase advance past them so receivers compact the corresponding seqs.
+func (a *Automaton) resendDue(ctx model.Context) {
+	h := &a.heap
+	a.due = a.due[:0]
+	for h.len() > 0 && h.peekDue() <= a.ticks {
+		k := h.pop()
+		if h.slots[k.slot].acked {
+			h.release(k.slot)
+			continue
+		}
+		a.due = append(a.due, k.slot)
+	}
+	// Insertion sort by ord: popped order is (due, ord), resend order must be
+	// ord alone. The due set is small (one backoff cohort), so this beats a
+	// sort.Slice allocation per tick.
+	for i := 1; i < len(a.due); i++ {
+		s := a.due[i]
+		o := h.slots[s].ord
+		j := i - 1
+		for j >= 0 && h.slots[a.due[j]].ord > o {
+			a.due[j+1] = a.due[j]
+			j--
+		}
+		a.due[j+1] = s
+	}
+	for _, s := range a.due {
+		pd := &h.slots[s]
+		if a.opts.GiveUpTicks > 0 && pd.attempts >= a.cappedAt &&
+			a.ticks-a.lastHeard[pd.to-1] > int64(a.opts.GiveUpTicks) {
+			a.abandoned++
+			delete(a.pending, pendKey{to: pd.to, seq: pd.seq})
+			h.release(s)
+			continue
+		}
+		a.resends++
+		ctx.Send(pd.to, Data{Epoch: a.epoch, Seq: pd.seq, Base: a.linkBase(pd.to), Payload: pd.payload})
+		pd.attempts++
+		h.push(a.ticks+a.backoff(pd.attempts), pd.ord, s)
+	}
+}
+
+// heard records link liveness for the give-up bound: any Data or Ack from q —
+// stale epochs included — proves the process is back.
+func (a *Automaton) heard(from model.ProcID) {
+	if from >= 1 && int(from) <= a.n {
+		a.lastHeard[from-1] = a.ticks
+	}
 }
 
 // backoff returns the tick delay before resend attempt k (1-based): an
@@ -390,9 +461,13 @@ func (a *Automaton) linkBase(to model.ProcID) int64 {
 // counter (see pendKey).
 func (a *Automaton) sendData(ctx model.Context, to model.ProcID, payload any) {
 	a.seqTo[to-1]++
-	pd := &pending{to: to, seq: a.seqTo[to-1], payload: payload, dueTick: a.ticks + a.backoff(0)}
-	a.pending[pendKey{to: to, seq: pd.seq}] = pd
-	a.order = append(a.order, pd)
+	a.sent++
+	slot := a.heap.alloc()
+	pd := &a.heap.slots[slot]
+	*pd = pending{to: to, seq: a.seqTo[to-1], ord: a.sent, payload: payload}
+	due := a.ticks + a.backoff(0)
+	a.pending[pendKey{to: to, seq: pd.seq}] = slot
+	a.heap.push(due, pd.ord, slot)
 	ctx.Send(to, Data{Epoch: a.epoch, Seq: pd.seq, Base: a.linkBase(to), Payload: payload})
 }
 

@@ -264,6 +264,107 @@ func TestMaxRTOClampRespectsExplicitCap(t *testing.T) {
 	}
 }
 
+// crashedReceiverRun drives the sender-bound scenario: p2 crashes permanently
+// early in the run while p1 keeps broadcasting, so every post-crash envelope
+// on the 1→2 link is unackable. It returns p1's wrapper for inspection.
+func crashedReceiverRun(t *testing.T, opts retransmit.Options) (*retransmit.Automaton, recvCount, []string) {
+	t.Helper()
+	const n, payloads = 3, 60
+	counts := make(recvCount)
+	fp := model.NewCrashPattern(n, map[model.ProcID]model.Time{2: 300})
+	k := sim.New(fp, fd.NewOmegaStable(fp, 1),
+		retransmit.Wrap(counterFactory(counts), opts),
+		sim.Options{Seed: 9, MaxTime: 200000})
+	var postCrash []string
+	for i := 0; i < payloads; i++ {
+		id := fmt.Sprintf("m%d", i)
+		at := model.Time(50 + 100*i)
+		if at >= 300 {
+			postCrash = append(postCrash, id)
+		}
+		k.ScheduleInput(1, at, id)
+	}
+	k.Run(200000)
+	return k.Automaton(1).(*retransmit.Automaton), counts, postCrash
+}
+
+// TestSenderUnboundedWithoutGiveUp is the RED half of the sender-bound fix:
+// with GiveUpTicks disabled (the paper-faithful default), a sender facing a
+// permanently crashed receiver accumulates one immortal pending envelope per
+// broadcast, forever — correct under the paper's "correct processes" framing,
+// a leak for a long-lived deployable node.
+func TestSenderUnboundedWithoutGiveUp(t *testing.T) {
+	a, _, postCrash := crashedReceiverRun(t, retransmit.Options{Seed: 9})
+	if got := a.PendingEnvelopes(); got < len(postCrash) {
+		t.Fatalf("pending = %d, want >= %d (one immortal envelope per post-crash broadcast): "+
+			"if this fails the red scenario no longer demonstrates the leak", got, len(postCrash))
+	}
+	if a.Abandoned() != 0 {
+		t.Fatalf("abandoned = %d with GiveUpTicks disabled, want 0", a.Abandoned())
+	}
+}
+
+// TestSenderBoundedByGiveUp is the GREEN half: with a give-up bound well
+// above the backoff cap, the same run drains the sender completely — every
+// unackable envelope is abandoned once backoff has capped and the link has
+// stayed silent — while delivery between the correct processes remains
+// exactly-once.
+func TestSenderBoundedByGiveUp(t *testing.T) {
+	a, counts, _ := crashedReceiverRun(t, retransmit.Options{Seed: 9, GiveUpTicks: 200})
+	if got := a.PendingEnvelopes(); got != 0 {
+		t.Errorf("pending = %d after the run settled, want 0: give-up did not bound the sender", got)
+	}
+	if a.Abandoned() == 0 {
+		t.Error("nothing abandoned against a permanently crashed receiver")
+	}
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("m%d", i)
+		for _, p := range []model.ProcID{1, 3} {
+			if got := counts[p][id]; got != 1 {
+				t.Errorf("%v received %q %d times, want exactly 1 (give-up must not touch live links)", p, id, got)
+			}
+		}
+	}
+}
+
+// TestGiveUpSparesReturningProcess pins the at-least-once caveat: a process
+// that comes BACK within the give-up window keeps the delivery guarantee.
+// p2 is down for a stretch while p1 broadcasts; with GiveUpTicks far above
+// the outage, p1 abandons nothing and p2's new incarnation receives every
+// payload sent during the outage exactly once.
+func TestGiveUpSparesReturningProcess(t *testing.T) {
+	const n = 3
+	counts := make(recvCount)
+	fp := model.NewFailurePattern(n)
+	faults := adversary.NewFaultSchedule(n)
+	faults.Down(2, 300, 2000)
+	k := sim.New(fp, fd.NewOmegaStable(fp, 1),
+		retransmit.Wrap(counterFactory(counts), retransmit.Options{Seed: 4, GiveUpTicks: 100000}),
+		sim.Options{Seed: 4, MaxTime: 100000, Faults: faults})
+	var during []string
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("m%d", i)
+		at := model.Time(50 + 40*i)
+		if at >= 300 && at < 2000 {
+			during = append(during, id)
+		}
+		k.ScheduleInput(1, at, id)
+	}
+	k.Run(100000)
+	a1 := k.Automaton(1).(*retransmit.Automaton)
+	if a1.Abandoned() != 0 {
+		t.Errorf("p1 abandoned %d envelopes though p2 returned within the window", a1.Abandoned())
+	}
+	if len(during) == 0 {
+		t.Fatal("no payloads fell inside the outage; scenario broken")
+	}
+	for _, id := range during {
+		if got := counts[2][id]; got != 1 {
+			t.Errorf("p2's new incarnation received %q %d times, want exactly 1", id, got)
+		}
+	}
+}
+
 // TestRetransmitDeterminism: wrapped runs follow the kernel's bit-for-bit
 // contract — the wrapper's jitter is seeded, so same seed, same run.
 func TestRetransmitDeterminism(t *testing.T) {

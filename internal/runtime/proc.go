@@ -1,0 +1,268 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Proc is one live process: the event loop that runs a single automaton over
+// any Transport. It is the piece the old Cluster hardwired to channels, now
+// transport-agnostic — the same loop drives an in-process replica over a
+// ChanTransport and a deployable node over a TCPTransport.
+//
+// The loop multiplexes four event sources, taking one atomic step at a time
+// (the step model of §2):
+//
+//   - frames from the transport (message receptions; Heartbeat frames are
+//     consumed by the loop itself to maintain the heartbeat Ω),
+//   - local operations (Submit inputs and Inspect calls),
+//   - the tick timer (λ-steps, the paper's local timeout),
+//   - the heartbeat timer (broadcasting this process's liveness).
+//
+// The heartbeat Ω is the one failure detector actually IMPLEMENTED from
+// message passing: each process periodically sends Heartbeat to every peer
+// and trusts the smallest-ID process heard from within LeaderTimeout
+// (itself included). Under partial synchrony the timely processes stabilize
+// on one leader, which is how Ω is realized in practice.
+type Proc struct {
+	tr   Transport
+	opts Options
+	self model.ProcID
+	n    int
+	auto model.Automaton
+
+	ops      chan localOp
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	clockBase time.Time
+	msgSeq    atomic.Int64
+	lastBeat  []atomic.Int64 // index q-1: last heartbeat receipt from q, unix nanos
+}
+
+type localOp struct {
+	input   any
+	inspect func(model.Automaton)
+	done    chan struct{}
+}
+
+// NewProc builds and starts a process over tr, running the automaton the
+// factory produces for tr.Self(). Call Stop (or Close the transport and
+// Stop) to shut it down.
+func NewProc(tr Transport, factory model.AutomatonFactory, opts Options) *Proc {
+	opts = opts.withDefaults()
+	p := &Proc{
+		tr:        tr,
+		opts:      opts,
+		self:      tr.Self(),
+		n:         tr.N(),
+		auto:      factory(tr.Self(), tr.N()),
+		ops:       make(chan localOp, 64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		clockBase: opts.ClockEpoch,
+		lastBeat:  make([]atomic.Int64, tr.N()),
+	}
+	if p.clockBase.IsZero() {
+		p.clockBase = time.Now()
+	}
+	go p.run()
+	return p
+}
+
+// Self returns the process ID.
+func (p *Proc) Self() model.ProcID { return p.self }
+
+// N returns the cluster size.
+func (p *Proc) N() int { return p.n }
+
+// Transport returns the endpoint this process runs over.
+func (p *Proc) Transport() Transport { return p.tr }
+
+// Done is closed when the event loop has exited.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// now returns the process-local clock: milliseconds since ClockEpoch. The
+// paper's processes cannot read a global clock; this value is used only for
+// logging, trace timestamps, and incarnation epochs (see Options.ClockEpoch).
+func (p *Proc) now() model.Time {
+	return model.Time(time.Since(p.clockBase) / time.Millisecond)
+}
+
+// Submit delivers an external input (operation invocation) to the process.
+// It returns false if the process has stopped.
+func (p *Proc) Submit(in any) bool {
+	op := localOp{input: in}
+	select {
+	case <-p.stop:
+		return false
+	case p.ops <- op:
+		p.opts.Observer.OnInput(p.self, p.now(), in)
+		return true
+	}
+}
+
+// Inspect runs f on the automaton inside the event loop (safe live access)
+// and waits for completion. Returns false if the process has stopped.
+func (p *Proc) Inspect(f func(model.Automaton)) bool {
+	op := localOp{inspect: f, done: make(chan struct{})}
+	select {
+	case <-p.stop:
+		return false
+	case p.ops <- op:
+	}
+	select {
+	case <-op.done:
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+// Leader returns the process's current heartbeat-Ω output.
+func (p *Proc) Leader() model.ProcID {
+	return p.leader()
+}
+
+// Stop terminates the event loop and closes the transport endpoint.
+// Idempotent; it does not wait for the loop to exit (use Done).
+func (p *Proc) Stop() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		_ = p.tr.Close()
+	})
+}
+
+func (p *Proc) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.opts.TickInterval)
+	defer ticker.Stop()
+	beats := time.NewTicker(p.opts.HeartbeatInterval)
+	defer beats.Stop()
+
+	p.step(trace.StepInit, model.NoProc, nil, nil, func(ctx *liveCtx) { p.auto.Init(ctx) })
+	inbox := p.tr.Recv()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case op := <-p.ops:
+			if op.inspect != nil {
+				op.inspect(p.auto)
+				close(op.done)
+				continue
+			}
+			in := op.input
+			p.step(trace.StepInput, model.NoProc, nil, in, func(ctx *liveCtx) { p.auto.Input(ctx, in) })
+		case f := <-inbox:
+			p.handle(f)
+		case <-ticker.C:
+			p.step(trace.StepTick, model.NoProc, nil, nil, func(ctx *liveCtx) { p.auto.Tick(ctx) })
+		case <-beats.C:
+			for _, q := range model.Procs(p.n) {
+				if q != p.self {
+					_ = p.tr.Send(Frame{From: p.self, To: q, Payload: Heartbeat{}})
+				}
+			}
+		}
+	}
+}
+
+func (p *Proc) handle(f Frame) {
+	if _, ok := f.Payload.(Heartbeat); ok {
+		if f.From >= 1 && int(f.From) <= p.n {
+			p.lastBeat[f.From-1].Store(time.Now().UnixNano())
+		}
+		return
+	}
+	p.opts.Observer.OnDeliver(p.now(), sim.Message{
+		ID: f.ID, From: f.From, To: p.self, Payload: f.Payload, SentAt: f.SentAt,
+	})
+	p.step(trace.StepRecv, f.From, f.Payload, nil, func(ctx *liveCtx) {
+		p.auto.Recv(ctx, f.From, f.Payload)
+	})
+}
+
+// step executes one atomic step: fix the clock and detector value, run the
+// handler, and (when conformance logging is on) append the recorded step —
+// trigger, FD, clock, and emissions — to the StepLog.
+func (p *Proc) step(kind trace.StepKind, from model.ProcID, payload, in any, h func(*liveCtx)) {
+	ctx := &liveCtx{p: p, t: p.now(), leader: p.leader()}
+	if p.opts.StepLog != nil {
+		ctx.rec = &trace.Step{
+			P: p.self, Kind: kind, From: from, Payload: payload, In: in,
+			FD: fd.OmegaValue(ctx.leader), Now: ctx.t,
+		}
+	}
+	h(ctx)
+	if ctx.rec != nil {
+		p.opts.StepLog.Append(*ctx.rec)
+	}
+}
+
+// leader is the heartbeat Ω: the smallest-ID process believed alive (itself,
+// or a peer heard from within LeaderTimeout).
+func (p *Proc) leader() model.ProcID {
+	cutoff := time.Now().Add(-p.opts.LeaderTimeout).UnixNano()
+	for _, q := range model.Procs(p.n) {
+		if q == p.self {
+			return q
+		}
+		if p.lastBeat[q-1].Load() >= cutoff {
+			return q
+		}
+	}
+	return p.self
+}
+
+// sendProto transmits one protocol message: stamp a per-process message ID
+// (unique across the cluster by construction), notify the observer, and hand
+// the frame to the transport.
+func (p *Proc) sendProto(to model.ProcID, payload any) {
+	id := int64(p.self)<<40 | p.msgSeq.Add(1)
+	now := p.now()
+	p.opts.Observer.OnSend(now, sim.Message{ID: id, From: p.self, To: to, Payload: payload, SentAt: now})
+	_ = p.tr.Send(Frame{From: p.self, To: to, ID: id, SentAt: now, Payload: payload})
+}
+
+// liveCtx implements model.Context for one live step.
+type liveCtx struct {
+	p      *Proc
+	t      model.Time
+	leader model.ProcID
+	rec    *trace.Step // non-nil when conformance logging is on
+}
+
+var _ model.Context = (*liveCtx)(nil)
+
+func (c *liveCtx) Self() model.ProcID { return c.p.self }
+func (c *liveCtx) N() int             { return c.p.n }
+func (c *liveCtx) Now() model.Time    { return c.t }
+func (c *liveCtx) FD() any            { return fd.OmegaValue(c.leader) }
+
+func (c *liveCtx) Send(to model.ProcID, payload any) {
+	if c.rec != nil {
+		c.rec.Sends = append(c.rec.Sends, trace.SendRec{To: to, Payload: payload})
+	}
+	c.p.sendProto(to, payload)
+}
+
+func (c *liveCtx) Broadcast(payload any) {
+	for _, q := range model.Procs(c.p.n) {
+		c.Send(q, payload)
+	}
+}
+
+func (c *liveCtx) Output(v any) {
+	if c.rec != nil {
+		c.rec.Outputs = append(c.rec.Outputs, v)
+	}
+	c.p.opts.Observer.OnOutput(c.p.self, c.t, v)
+}

@@ -1,28 +1,48 @@
 // Package runtime runs the same protocol automata as internal/sim, but live:
-// one goroutine per process, channels as reliable links, wall-clock ticks —
-// the "goroutines/channels as asynchronous processes" realization of the
+// one event loop per process, a pluggable Transport as the wire, wall-clock
+// ticks — the "real processes over a real network" realization of the
 // paper's model. It also provides the one failure detector that is actually
 // IMPLEMENTED from message passing rather than read from an oracle: a
 // heartbeat-based Ω (eventually-timely heartbeats elect the smallest-ID
 // live process), which is how Ω is realized in practice under partial
 // synchrony.
 //
+// The package splits into three layers:
+//
+//   - Transport (transport.go): the wire. ChanTransport joins in-process
+//     replicas over buffered channels (the reference implementation, used by
+//     Cluster and the examples); TCPTransport (tcp.go) makes replicas
+//     separate OS processes speaking length-prefixed gob frames over
+//     reconnecting per-peer connections (used by internal/node). The
+//     interface's contract spells out each implementation's delivery
+//     guarantees and why lossy ones pair with internal/retransmit.
+//
+//   - Proc (proc.go): the per-process event loop — ticks, heartbeat Ω,
+//     local operations, frame reception — written against Transport only,
+//     so the SAME automaton binary runs over any wire.
+//
+//   - Cluster (this file): n Procs over a ChanNetwork, preserving the
+//     historical in-process API.
+//
+// Conformance: a Proc can record its run into a trace.StepLog; Replay
+// (replay.go) re-executes the log through the deterministic step discipline
+// and checks that every step's emissions match — the oracle pinning that no
+// transport forked the automaton semantics.
+//
 // The deterministic kernel remains the substrate for all experiments and
-// property checks; this runtime backs the runnable examples.
+// property checks; this runtime backs the runnable examples and the
+// deployable service plane (internal/node, internal/lb, cmd/ecnode).
 package runtime
 
 import (
-	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/fd"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
-// Options configure a live cluster.
+// Options configure a live process (and, via NewCluster, a live cluster).
 type Options struct {
 	// TickInterval is the λ-step period of every process. Default 2ms.
 	TickInterval time.Duration
@@ -31,12 +51,36 @@ type Options struct {
 	// LeaderTimeout is how long without a heartbeat before a process stops
 	// trusting a peer. Default 10×HeartbeatInterval.
 	LeaderTimeout time.Duration
-	// Delay, if non-nil, returns the artificial link delay per message.
+	// Delay, if non-nil, returns the artificial link delay per message
+	// (ChanNetwork fabrics only; wire transports have real delays).
 	Delay func(from, to model.ProcID) time.Duration
-	// InboxSize is the per-process channel buffer. Default 8192.
+	// InboxSize is the per-process frame buffer. Default 8192. A full inbox
+	// DROPS incoming frames — counted on the transport (Transport.Dropped,
+	// Cluster.Dropped) and surfaced to an Observer that implements
+	// DropObserver — instead of blocking the sender: a slow or wedged peer
+	// must not stall the whole replica mid-broadcast. Protocols that must
+	// survive drops wrap themselves in internal/retransmit.
 	InboxSize int
 	// Observer receives run events (a trace.Recorder works). Optional.
 	Observer sim.Observer
+	// StepLog, if non-nil, records every automaton step (trigger, detector
+	// value, clock, emissions) for conformance replay — see trace.StepLog
+	// and Replay.
+	StepLog *trace.StepLog
+	// ClockEpoch is the zero point of the process-local clock (Context.Now
+	// and retransmission epochs derive from it). Zero means "process start",
+	// the in-process Cluster behavior. Deployable nodes set a fixed epoch
+	// (internal/node uses the Unix epoch) so that a RESTARTED process gets a
+	// fresh, strictly larger incarnation epoch instead of colliding with its
+	// previous life at Now=0.
+	ClockEpoch time.Time
+}
+
+// DropObserver is an optional extension of sim.Observer: implementations are
+// told about every frame dropped on inbox overflow. The base Observer
+// interface is unchanged so existing observers keep compiling.
+type DropObserver interface {
+	OnDrop(from, to model.ProcID, payload any)
 }
 
 func (o Options) withDefaults() Options {
@@ -58,41 +102,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-type envelope struct {
-	from    model.ProcID
-	payload any
-	input   any
-	inspect func(model.Automaton)
-	done    chan struct{}
-	msgID   int64
-	sentAt  model.Time
-}
-
-type heartbeat struct{}
-
-// Cluster is a set of live processes.
+// Cluster is a set of live processes over an in-process ChanNetwork.
 type Cluster struct {
 	n     int
 	opts  Options
-	nodes []*liveNode
-	start time.Time
-
-	wg      sync.WaitGroup
-	pending sync.WaitGroup // delayed deliveries in flight
-	msgSeq  atomic.Int64
-	stopped atomic.Bool
-}
-
-type liveNode struct {
-	c    *Cluster
-	id   model.ProcID
-	auto model.Automaton
-
-	inbox   chan envelope
-	stop    chan struct{}
-	crashed atomic.Bool
-
-	lastBeat []atomic.Int64 // index p-1: last heartbeat receipt, unix nanos
+	nw    *ChanNetwork
+	procs []*Proc
 }
 
 // NewCluster builds and starts n processes running the automata produced by
@@ -101,21 +116,19 @@ func NewCluster(n int, factory model.AutomatonFactory, opts Options) *Cluster {
 	if n < 2 {
 		panic("runtime: need at least 2 processes")
 	}
-	c := &Cluster{n: n, opts: opts.withDefaults(), start: time.Now()}
-	for _, p := range model.Procs(n) {
-		nd := &liveNode{
-			c:        c,
-			id:       p,
-			auto:     factory(p, n),
-			inbox:    make(chan envelope, c.opts.InboxSize),
-			stop:     make(chan struct{}),
-			lastBeat: make([]atomic.Int64, n),
-		}
-		c.nodes = append(c.nodes, nd)
+	opts = opts.withDefaults()
+	var onDrop func(from, to model.ProcID, payload any)
+	if d, ok := opts.Observer.(DropObserver); ok {
+		onDrop = d.OnDrop
 	}
-	for _, nd := range c.nodes {
-		c.wg.Add(1)
-		go nd.run()
+	nw := NewChanNetwork(n, ChanNetworkConfig{
+		InboxSize: opts.InboxSize,
+		Delay:     opts.Delay,
+		OnDrop:    onDrop,
+	})
+	c := &Cluster{n: n, opts: opts, nw: nw}
+	for _, p := range model.Procs(n) {
+		c.procs = append(c.procs, NewProc(nw.Endpoint(p), factory, opts))
 	}
 	return c
 }
@@ -123,180 +136,40 @@ func NewCluster(n int, factory model.AutomatonFactory, opts Options) *Cluster {
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.n }
 
-func (c *Cluster) now() model.Time {
-	return model.Time(time.Since(c.start) / time.Millisecond)
-}
-
-func (c *Cluster) node(p model.ProcID) *liveNode {
-	if p < 1 || int(p) > c.n {
-		panic(fmt.Sprintf("runtime: unknown process %v", p))
-	}
-	return c.nodes[p-1]
+// Proc returns the live process p (for transport-level inspection).
+func (c *Cluster) Proc(p model.ProcID) *Proc {
+	c.nw.Endpoint(p) // panics on an unknown process, like the cluster always has
+	return c.procs[p-1]
 }
 
 // Submit delivers an external input (operation invocation) to process p.
 func (c *Cluster) Submit(p model.ProcID, in any) {
-	nd := c.node(p)
-	c.opts.Observer.OnInput(p, c.now(), in)
-	nd.offer(envelope{input: in})
+	c.Proc(p).Submit(in)
 }
 
-// Inspect runs f on process p's automaton inside its own goroutine (safe
+// Inspect runs f on process p's automaton inside its own event loop (safe
 // live access) and waits for completion. Returns false if p has crashed.
 func (c *Cluster) Inspect(p model.ProcID, f func(model.Automaton)) bool {
-	nd := c.node(p)
-	done := make(chan struct{})
-	nd.offer(envelope{inspect: f, done: done})
-	select {
-	case <-done:
-		return true
-	case <-nd.stop:
-		return false
-	}
+	return c.Proc(p).Inspect(f)
 }
 
 // Crash stops process p (it takes no further steps; messages to it are
 // dropped).
 func (c *Cluster) Crash(p model.ProcID) {
-	nd := c.node(p)
-	if nd.crashed.CompareAndSwap(false, true) {
-		close(nd.stop)
-	}
+	c.Proc(p).Stop()
 }
 
-// Stop shuts the whole cluster down and waits for every goroutine to exit.
+// Dropped returns the total frames dropped on inbox overflow across the
+// cluster (see Options.InboxSize).
+func (c *Cluster) Dropped() int64 { return c.nw.Dropped() }
+
+// Stop shuts the whole cluster down and waits for every process to exit.
 func (c *Cluster) Stop() {
-	if !c.stopped.CompareAndSwap(false, true) {
-		return
+	for _, p := range c.procs {
+		p.Stop()
 	}
-	for _, nd := range c.nodes {
-		if nd.crashed.CompareAndSwap(false, true) {
-			close(nd.stop)
-		}
+	c.nw.Close()
+	for _, p := range c.procs {
+		<-p.Done()
 	}
-	c.pending.Wait()
-	c.wg.Wait()
-}
-
-// send routes a protocol message, applying the artificial delay if any.
-func (c *Cluster) send(from, to model.ProcID, payload any) {
-	id := c.msgSeq.Add(1)
-	now := c.now()
-	c.opts.Observer.OnSend(now, sim.Message{ID: id, From: from, To: to, Payload: payload, SentAt: now})
-	env := envelope{from: from, payload: payload, msgID: id, sentAt: now}
-	var delay time.Duration
-	if c.opts.Delay != nil {
-		delay = c.opts.Delay(from, to)
-	}
-	target := c.node(to)
-	if delay <= 0 {
-		target.offer(env)
-		return
-	}
-	c.pending.Add(1)
-	time.AfterFunc(delay, func() {
-		defer c.pending.Done()
-		target.offer(env)
-	})
-}
-
-// offer enqueues an envelope unless the node has crashed.
-func (nd *liveNode) offer(env envelope) {
-	select {
-	case <-nd.stop:
-	case nd.inbox <- env:
-	}
-}
-
-func (nd *liveNode) run() {
-	defer nd.c.wg.Done()
-	ticker := time.NewTicker(nd.c.opts.TickInterval)
-	defer ticker.Stop()
-	beats := time.NewTicker(nd.c.opts.HeartbeatInterval)
-	defer beats.Stop()
-
-	nd.step(func(ctx *liveCtx) { nd.auto.Init(ctx) })
-	for {
-		select {
-		case <-nd.stop:
-			return
-		case env := <-nd.inbox:
-			nd.handle(env)
-		case <-ticker.C:
-			nd.step(func(ctx *liveCtx) { nd.auto.Tick(ctx) })
-		case <-beats.C:
-			for _, q := range model.Procs(nd.c.n) {
-				if q != nd.id {
-					nd.c.node(q).offer(envelope{from: nd.id, payload: heartbeat{}})
-				}
-			}
-		}
-	}
-}
-
-func (nd *liveNode) handle(env envelope) {
-	switch {
-	case env.inspect != nil:
-		env.inspect(nd.auto)
-		close(env.done)
-	case env.input != nil:
-		nd.step(func(ctx *liveCtx) { nd.auto.Input(ctx, env.input) })
-	default:
-		if _, ok := env.payload.(heartbeat); ok {
-			nd.lastBeat[env.from-1].Store(time.Now().UnixNano())
-			return
-		}
-		nd.c.opts.Observer.OnDeliver(nd.c.now(), sim.Message{
-			ID: env.msgID, From: env.from, To: nd.id, Payload: env.payload, SentAt: env.sentAt,
-		})
-		nd.step(func(ctx *liveCtx) { nd.auto.Recv(ctx, env.from, env.payload) })
-	}
-}
-
-func (nd *liveNode) step(h func(*liveCtx)) {
-	ctx := &liveCtx{nd: nd, t: nd.c.now(), leader: nd.leader()}
-	h(ctx)
-}
-
-// leader is the heartbeat Ω: the smallest-ID process believed alive (itself,
-// or a peer heard from within LeaderTimeout).
-func (nd *liveNode) leader() model.ProcID {
-	cutoff := time.Now().Add(-nd.c.opts.LeaderTimeout).UnixNano()
-	for _, q := range model.Procs(nd.c.n) {
-		if q == nd.id {
-			return q
-		}
-		if nd.lastBeat[q-1].Load() >= cutoff {
-			return q
-		}
-	}
-	return nd.id
-}
-
-// liveCtx implements model.Context for one live step.
-type liveCtx struct {
-	nd     *liveNode
-	t      model.Time
-	leader model.ProcID
-}
-
-var _ model.Context = (*liveCtx)(nil)
-
-func (c *liveCtx) Self() model.ProcID { return c.nd.id }
-func (c *liveCtx) N() int             { return c.nd.c.n }
-func (c *liveCtx) Now() model.Time    { return c.t }
-func (c *liveCtx) FD() any            { return fd.OmegaValue(c.leader) }
-
-func (c *liveCtx) Send(to model.ProcID, payload any) {
-	c.nd.c.send(c.nd.id, to, payload)
-}
-
-func (c *liveCtx) Broadcast(payload any) {
-	for _, q := range model.Procs(c.nd.c.n) {
-		c.nd.c.send(c.nd.id, q, payload)
-	}
-}
-
-func (c *liveCtx) Output(v any) {
-	c.nd.c.opts.Observer.OnOutput(c.nd.id, c.t, v)
 }

@@ -1,0 +1,366 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+)
+
+func init() {
+	// Heartbeats are the one payload the runtime itself puts on the wire.
+	gob.Register(Heartbeat{})
+}
+
+// RegisterWireType registers a concrete payload type with the gob codec used
+// by TCPTransport. Every payload type a protocol sends must be registered in
+// each process that sends or receives it (internal/node registers the whole
+// replica stack's vocabulary); unregistered payloads fail at encode time and
+// are counted as drops.
+func RegisterWireType(v any) { gob.Register(v) }
+
+// maxFrameBytes bounds a single decoded frame (defensive: a corrupt length
+// prefix must not allocate unbounded memory).
+const maxFrameBytes = 64 << 20
+
+// TCPConfig configures one process's TCPTransport endpoint.
+type TCPConfig struct {
+	// Self is this process.
+	Self model.ProcID
+	// Peers maps every process of the cluster — Self included — to its
+	// transport address (host:port). Self's entry is the address this
+	// endpoint listens on.
+	Peers map[model.ProcID]string
+	// InboxSize is the received-frame buffer (default 8192); overflow drops
+	// with a counter, like every Transport.
+	InboxSize int
+	// OutboxSize is the per-peer outbound queue (default 1024). When a peer
+	// is down or slow, frames beyond the queue are dropped and counted —
+	// never blocking the replica's event loop.
+	OutboxSize int
+	// DialTimeout bounds one connection attempt (default 500ms).
+	DialTimeout time.Duration
+	// RedialBackoff is the initial pause after a failed dial, doubling up to
+	// MaxRedialBackoff (defaults 25ms and 1s). The writer keeps redialing
+	// for as long as the endpoint lives, so a restarted peer is picked up
+	// automatically — reconnection is the transport's job, recovering the
+	// frames lost meanwhile is the retransmission layer's.
+	RedialBackoff    time.Duration
+	MaxRedialBackoff time.Duration
+	// OnDrop, if non-nil, hears about every dropped frame.
+	OnDrop func(from, to model.ProcID, payload any)
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.InboxSize <= 0 {
+		c.InboxSize = 8192
+	}
+	if c.OutboxSize <= 0 {
+		c.OutboxSize = 1024
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 500 * time.Millisecond
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 25 * time.Millisecond
+	}
+	if c.MaxRedialBackoff <= 0 {
+		c.MaxRedialBackoff = time.Second
+	}
+	return c
+}
+
+// TCPTransport is the wire transport: each process is its own OS process (or
+// at least its own listener), frames travel as length-prefixed gob blobs
+// over per-peer TCP connections. Writer goroutines own one reconnecting
+// connection per peer, sharing a single net.Dialer; readers accept any
+// number of inbound connections and funnel decoded frames into the inbox.
+// Every frame is encoded independently (4-byte big-endian length + gob
+// bytes), so a reconnection never desynchronizes the codec state and a
+// partially written frame just fails the connection's decode and triggers a
+// redial.
+//
+// Delivery is at-most-once — see the Transport contract for why replica
+// automata wrap themselves in internal/retransmit when running over TCP.
+type TCPTransport struct {
+	cfg  TCPConfig
+	self model.ProcID
+	n    int
+
+	ln      net.Listener
+	dialer  *net.Dialer // shared across all peer writers
+	inbox   chan Frame
+	closed  chan struct{}
+	once    sync.Once
+	dropped atomic.Int64
+	peers   map[model.ProcID]*tcpPeer
+	wg      sync.WaitGroup
+}
+
+type tcpPeer struct {
+	id   model.ProcID
+	addr string
+	out  chan Frame
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport binds Self's listen address and starts the accept loop and
+// one writer per peer. The peer map must name every process exactly once,
+// with IDs 1..n.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	cfg = cfg.withDefaults()
+	n := len(cfg.Peers)
+	if n < 2 {
+		return nil, errors.New("runtime: TCP cluster needs at least 2 peers")
+	}
+	selfAddr, ok := cfg.Peers[cfg.Self]
+	if !ok {
+		return nil, fmt.Errorf("runtime: peer map has no entry for self (%v)", cfg.Self)
+	}
+	for _, p := range model.Procs(n) {
+		if _, ok := cfg.Peers[p]; !ok {
+			return nil, fmt.Errorf("runtime: peer map must cover 1..%d contiguously; %v missing", n, p)
+		}
+	}
+	ln, err := net.Listen("tcp", selfAddr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: listen %s: %w", selfAddr, err)
+	}
+	t := &TCPTransport{
+		cfg:    cfg,
+		self:   cfg.Self,
+		n:      n,
+		ln:     ln,
+		dialer: &net.Dialer{Timeout: cfg.DialTimeout},
+		inbox:  make(chan Frame, cfg.InboxSize),
+		closed: make(chan struct{}),
+		peers:  make(map[model.ProcID]*tcpPeer, n-1),
+	}
+	for _, p := range model.Procs(n) {
+		if p == cfg.Self {
+			continue
+		}
+		peer := &tcpPeer{id: p, addr: cfg.Peers[p], out: make(chan Frame, cfg.OutboxSize)}
+		t.peers[p] = peer
+		t.wg.Add(1)
+		go t.writer(peer)
+	}
+	t.wg.Add(1)
+	go t.accept()
+	return t, nil
+}
+
+// Self implements Transport.
+func (t *TCPTransport) Self() model.ProcID { return t.self }
+
+// N implements Transport.
+func (t *TCPTransport) N() int { return t.n }
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv() <-chan Frame { return t.inbox }
+
+// Dropped implements Transport.
+func (t *TCPTransport) Dropped() int64 { return t.dropped.Load() }
+
+// Addr returns the address the endpoint actually listens on (useful with
+// ":0" test configs).
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Close implements Transport: stop the accept loop and all writers, close
+// every connection, and wait for the goroutines to exit.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		_ = t.ln.Close()
+	})
+	t.wg.Wait()
+	return nil
+}
+
+// Send implements Transport: self-frames loop back through the inbox, peer
+// frames enqueue on the peer's outbound queue. Never blocks — a full queue
+// or closed endpoint drops the frame with a counter.
+func (t *TCPTransport) Send(f Frame) error {
+	if f.To == t.self {
+		t.offer(f)
+		return nil
+	}
+	peer, ok := t.peers[f.To]
+	if !ok {
+		return fmt.Errorf("runtime: send to unknown process %v", f.To)
+	}
+	select {
+	case <-t.closed:
+		return errors.New("runtime: transport closed")
+	default:
+	}
+	select {
+	case peer.out <- f:
+	default:
+		t.drop(f)
+	}
+	return nil
+}
+
+// drop counts one lost frame and tells the configured hook.
+func (t *TCPTransport) drop(f Frame) {
+	t.dropped.Add(1)
+	if t.cfg.OnDrop != nil {
+		t.cfg.OnDrop(f.From, f.To, f.Payload)
+	}
+}
+
+// offer funnels a received (or self-sent) frame into the inbox, dropping on
+// overflow like every Transport.
+func (t *TCPTransport) offer(f Frame) {
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	select {
+	case t.inbox <- f:
+	case <-t.closed:
+	default:
+		t.drop(f)
+	}
+}
+
+// accept owns the listener: one reader goroutine per inbound connection.
+// Frames carry their sender, so no handshake is needed — any process may
+// open any number of connections here.
+func (t *TCPTransport) accept() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			// Transient accept error: back off briefly and keep serving.
+			select {
+			case <-t.closed:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		t.wg.Add(1)
+		go t.reader(conn)
+	}
+}
+
+// reader decodes length-prefixed frames off one inbound connection until it
+// breaks or the endpoint closes.
+func (t *TCPTransport) reader(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	// Unblock the blocking Read when the endpoint closes.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-t.closed:
+			conn.SetReadDeadline(time.Now())
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size == 0 || size > maxFrameBytes {
+			return // corrupt stream: drop the connection, peer will redial
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		var f Frame
+		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&f); err != nil {
+			return // undecodable frame: same treatment as a broken stream
+		}
+		t.offer(f)
+	}
+}
+
+// writer owns the outbound connection to one peer: dial (and redial, with
+// capped exponential backoff) for as long as the endpoint lives, encode each
+// queued frame independently, and drop-with-counter anything that cannot be
+// delivered right now. The frame being written when a connection breaks is
+// dropped too — at-most-once, by design.
+func (t *TCPTransport) writer(peer *tcpPeer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	var buf bytes.Buffer
+	for {
+		var f Frame
+		select {
+		case <-t.closed:
+			return
+		case f = <-peer.out:
+		}
+		if conn == nil {
+			conn = t.dial(peer)
+			if conn == nil {
+				return // endpoint closed while dialing
+			}
+		}
+		buf.Reset()
+		buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+		if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+			// Unregistered or unencodable payload: this frame can never be
+			// carried; count it and move on.
+			t.drop(f)
+			continue
+		}
+		b := buf.Bytes()
+		binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+		if _, err := conn.Write(b); err != nil {
+			conn.Close()
+			conn = nil
+			t.drop(f)
+			continue
+		}
+	}
+}
+
+// dial connects to a peer, retrying with capped exponential backoff until it
+// succeeds or the endpoint closes (then it returns nil).
+func (t *TCPTransport) dial(peer *tcpPeer) net.Conn {
+	backoff := t.cfg.RedialBackoff
+	for {
+		conn, err := t.dialer.Dial("tcp", peer.addr)
+		if err == nil {
+			return conn
+		}
+		select {
+		case <-t.closed:
+			return nil
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > t.cfg.MaxRedialBackoff {
+			backoff = t.cfg.MaxRedialBackoff
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// This file records a run at STEP granularity — finer than the Recorder's
+// input/output histories. A StepLog captures, for every atomic step a process
+// took, the step's trigger (init, tick, input, or the received message), the
+// failure-detector value the process was handed, the local clock it read, and
+// everything the step emitted (sends and outputs). That is the complete
+// input of the automaton's transition function, so a recorded log REPLAYS:
+// internal/runtime.Replay re-executes the same automaton factory against the
+// recorded schedule and must reproduce the emissions bit for bit. The replay
+// is the conformance oracle of the service plane — it pins that a live
+// transport (goroutines, TCP, ...) did not fork the automaton semantics,
+// because state evolution is a deterministic function of the step schedule
+// alone, independent of the wire that produced it.
+
+// StepKind classifies the trigger of one step.
+type StepKind int
+
+// The four step triggers of the model (§2): initialization, a λ-step, an
+// external input, and a message reception.
+const (
+	StepInit StepKind = iota + 1
+	StepTick
+	StepInput
+	StepRecv
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case StepInit:
+		return "init"
+	case StepTick:
+		return "tick"
+	case StepInput:
+		return "input"
+	case StepRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// SendRec is one message emission of a step.
+type SendRec struct {
+	To      model.ProcID
+	Payload any
+}
+
+// Step is one recorded atomic step: the trigger and clock/detector inputs
+// that drove it, plus the emissions it produced. Together the input fields
+// determine the automaton's transition exactly; the emission fields are what
+// a replay checks itself against.
+type Step struct {
+	// P is the process that took the step.
+	P model.ProcID
+	// Kind is the trigger.
+	Kind StepKind
+	// From and Payload describe the received message (StepRecv only).
+	From    model.ProcID
+	Payload any
+	// In is the external input (StepInput only).
+	In any
+	// FD is the failure-detector value handed to the step.
+	FD any
+	// Now is the local clock value the step observed.
+	Now model.Time
+
+	// Sends are the messages the step emitted, in emission order.
+	Sends []SendRec
+	// Outputs are the values the step emitted to the external world.
+	Outputs []any
+}
+
+// SameEmissions reports whether two steps emitted identical sends and
+// outputs (deep equality), which is the conformance criterion per step.
+func SameEmissions(a, b *Step) bool {
+	if len(a.Sends) != len(b.Sends) || len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for i := range a.Sends {
+		if a.Sends[i].To != b.Sends[i].To || !reflect.DeepEqual(a.Sends[i].Payload, b.Sends[i].Payload) {
+			return false
+		}
+	}
+	for i := range a.Outputs {
+		if !reflect.DeepEqual(a.Outputs[i], b.Outputs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// StepLog collects the steps of a run. It is safe for concurrent append (a
+// live cluster records from one goroutine per process); the global order is
+// the append order, and the per-process subsequences — the only order the
+// replay semantics depend on, since automata share no state — are exactly
+// each process's execution order.
+type StepLog struct {
+	mu    sync.Mutex
+	steps []Step
+}
+
+// NewStepLog returns an empty log.
+func NewStepLog() *StepLog { return &StepLog{} }
+
+// Append records one step.
+func (l *StepLog) Append(s Step) {
+	l.mu.Lock()
+	l.steps = append(l.steps, s)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded steps.
+func (l *StepLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.steps)
+}
+
+// Steps returns a snapshot of the recorded steps.
+func (l *StepLog) Steps() []Step {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Step(nil), l.steps...)
+}
