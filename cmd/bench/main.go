@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bench                       # run all experiments (E1..E13), print tables
+//	bench                       # run all experiments (E1..E14), print tables
 //	bench -exp e5               # run one experiment
 //	bench -quick                # smaller workloads
 //	bench -seed 7               # change the base seed

@@ -14,6 +14,14 @@
 // Both modes shut down gracefully on SIGINT/SIGTERM: a replica deregisters
 // from its front door and drains in-flight HTTP before stopping its event
 // loop, so rolling restarts cost clients nothing.
+//
+// Chaos mode wraps a replica's transport in the seeded live fault injector
+// (runtime.FaultTransport): -chaos names a preset from the injector's
+// vocabulary (lossy, lossy-burst, resets, hostile) and -chaos-seed pins its
+// deterministic fault schedule, so a whole cluster of ecnode processes can
+// soak under reproducible network hostility:
+//
+//	ecnode -id 1 -peers ... -chaos lossy -chaos-seed 42
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"repro/internal/lb"
 	"repro/internal/model"
 	"repro/internal/node"
+	"repro/internal/runtime"
 	"repro/internal/smr"
 )
 
@@ -45,6 +54,8 @@ func main() {
 		consistency = flag.String("consistency", "eventual", "eventual|strong")
 		machine     = flag.String("machine", "kv", "kv|counter")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		chaos       = flag.String("chaos", "", "fault-injection preset for the replica transport ("+strings.Join(runtime.FaultPresetNames(), "|")+")")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed pinning the chaos preset's deterministic fault schedule")
 	)
 	flag.Parse()
 
@@ -52,7 +63,7 @@ func main() {
 		runFront(*httpAddr)
 		return
 	}
-	runReplica(*id, *peersFlag, *httpAddr, *front, *consistency, *machine, *drainWait)
+	runReplica(*id, *peersFlag, *httpAddr, *front, *consistency, *machine, *drainWait, *chaos, *chaosSeed)
 }
 
 func runFront(addr string) {
@@ -66,13 +77,21 @@ func runFront(addr string) {
 	f.Close()
 }
 
-func runReplica(id int, peersFlag, httpAddr, front, consistency, machine string, drain time.Duration) {
+func runReplica(id int, peersFlag, httpAddr, front, consistency, machine string, drain time.Duration, chaos string, chaosSeed int64) {
 	if id < 1 {
 		log.Fatal("replica mode needs -id >= 1")
 	}
 	peers, err := parsePeers(peersFlag)
 	if err != nil {
 		log.Fatalf("bad -peers: %v", err)
+	}
+	var fault *runtime.FaultConfig
+	if chaos != "" {
+		fc, ok := runtime.FaultPreset(chaos, chaosSeed)
+		if !ok {
+			log.Fatalf("unknown -chaos preset %q (have: %s)", chaos, strings.Join(runtime.FaultPresetNames(), ", "))
+		}
+		fault = &fc
 	}
 	var level core.Consistency
 	switch consistency {
@@ -99,6 +118,7 @@ func runReplica(id int, peersFlag, httpAddr, front, consistency, machine string,
 		Front:       front,
 		Consistency: level,
 		Machine:     factory,
+		Fault:       fault,
 		Logf:        log.Printf,
 	})
 	if err != nil {

@@ -26,7 +26,12 @@
 // models merge through model.MergeFaults. Network models stack through
 // sim.ComposeNetworks (delays add, delivery needs unanimity), and
 // adversary.Composite registers a layered link stack plus a fault schedule
-// as ONE preset — "churn-lossy", "hostile". internal/retransmit restores
+// as ONE preset — "churn-lossy", "hostile", and "hostile-partition", which
+// adds a timed partition-and-heal window to the hostile stack. The starver
+// can also redirect its target from the leader to a quorum transversal of
+// followers (LeaderStarver.StarveQuorum, aimed at Σ-based baselines) — E14
+// measures that redirection costing the adversary ~10x on the leader-routed
+// transform workload. internal/retransmit restores
 // the paper's eventual-delivery assumption end-to-end over those hostile
 // environments (ack'd envelopes with per-link contiguous sequence numbers,
 // watermark-pruned dedup state bounded by the reordering window, and seeded
@@ -72,6 +77,20 @@
 // that spreads client sessions across registered replicas by rendezvous
 // hashing with health-driven eviction; cmd/ecnode runs either role as an OS
 // process (scripts/node_smoke.sh boots a real 3-process cluster in CI). The
+// hostile half runs against real sockets too: runtime.FaultTransport wraps
+// any Transport with seeded per-link drops, bursts, delays, duplicates,
+// reorders, reset bursts, and scriptable partitions — every per-frame
+// decision a pure function of (seed, link, frame index), so chaos runs
+// reproduce by seed — with presets mirroring the simulator's vocabulary
+// ("lossy", "hostile", "hostile-partition", ...; cmd/ecnode -chaos). The
+// paths the injector exposes are hardened: capped redial backoff in
+// TCPTransport, deadline-bounded retries with full jitter on node HTTP ops,
+// a per-backend circuit breaker and retry budget in the front door, and a
+// degraded read-only mode where a fully partitioned replica refuses writes
+// with 503 + Retry-After while serving staleness-marked reads
+// (internal/node's chaos soak pins convergence after heal with zero
+// acked-then-lost writes; CI's chaos-smoke job runs it at a pinned seed
+// under -race). The
 // deterministic kernel stays authoritative: runtime.Options.StepLog records
 // every live step's schedule and runtime.Replay re-executes it through fresh
 // automata, pinning that both transports run the SAME automaton semantics.

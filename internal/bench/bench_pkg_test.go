@@ -262,7 +262,7 @@ func TestE12AdversaryAdmissible(t *testing.T) {
 
 func TestAllRuns(t *testing.T) {
 	tables := All(Options{Quick: true})
-	if len(tables) != 13 {
+	if len(tables) != 14 {
 		t.Fatalf("All returned %d tables", len(tables))
 	}
 	for _, tbl := range tables {

@@ -62,6 +62,7 @@ var registry = []struct {
 	{"E11", e11Spec},
 	{"E12", e12Spec},
 	{"E13", e13Spec},
+	{"E14", e14Spec},
 }
 
 // IDs returns the experiment IDs in suite order.

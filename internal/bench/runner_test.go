@@ -142,7 +142,7 @@ func TestRunnerUnknownID(t *testing.T) {
 // from the single registry.
 func TestRegistryCoherence(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
+	if len(ids) != 14 {
 		t.Fatalf("IDs() = %v", ids)
 	}
 	tables := All(Options{Quick: true})

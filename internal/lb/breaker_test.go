@@ -1,0 +1,318 @@
+package lb
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosBackend is an httptest backend whose behavior is switchable at
+// runtime: healthy (200), declining (503 + Retry-After), or resetting
+// (hijack the connection and close it — a transport-level failure to the
+// front door's client, while /healthz stays green).
+type chaosBackend struct {
+	name string
+	srv  *httptest.Server
+	mode atomic.Int32 // 0 = ok, 1 = reset, 2 = decline
+	hits atomic.Int64 // non-healthz forwards that reached the handler
+}
+
+const (
+	beOK = iota
+	beReset
+	beDecline
+)
+
+func newChaosBackend(t *testing.T, name string) *chaosBackend {
+	t.Helper()
+	b := &chaosBackend{name: name}
+	b.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		b.hits.Add(1)
+		switch b.mode.Load() {
+		case beReset:
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("test server does not support hijacking")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+		case beDecline:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "degraded", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprint(w, b.name)
+		}
+	}))
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+func register(t *testing.T, f *Front, id, baseURL string) {
+	t.Helper()
+	resp, err := http.Post(f.URL()+"/register?id="+id+"&url="+baseURL, "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: %v %v", id, err, resp)
+	}
+	resp.Body.Close()
+}
+
+func get(t *testing.T, f *Front, session string) (body string, status int, hdr http.Header) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, f.URL()+"/op", nil)
+	req.Header.Set("X-Session", session)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return string(raw), resp.StatusCode, resp.Header
+}
+
+// sessionRanking finds a session whose rendezvous ranking puts wantFirst
+// first (white-box: ranking is deterministic, so some small session index
+// always exists).
+func sessionRanking(t *testing.T, f *Front, wantFirst string) string {
+	t.Helper()
+	for s := 0; s < 256; s++ {
+		session := fmt.Sprintf("s%d", s)
+		ranked := f.rank(session)
+		if len(ranked) > 0 && ranked[0].id == wantFirst {
+			return session
+		}
+	}
+	t.Fatalf("no session ranks %s first", wantFirst)
+	return ""
+}
+
+// TestBreakerOpensBlocksAndRecloses: consecutive transport failures open a
+// backend's breaker (forwards stop reaching it), and after the open interval
+// a half-open trial against the recovered backend closes it again. Probes
+// are parked (long interval) so the breaker alone is under test.
+func TestBreakerOpensBlocksAndRecloses(t *testing.T) {
+	be := newChaosBackend(t, "a")
+	be.mode.Store(beReset)
+	f, err := New(Config{
+		ProbeInterval:    10 * time.Second, // parked
+		FailThreshold:    1000,             // forward failures must not evict
+		BreakerThreshold: 2,
+		BreakerOpenFor:   150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	register(t, f, "a", be.srv.URL)
+
+	for i := 0; i < 2; i++ {
+		if _, status, _ := get(t, f, "s"); status != http.StatusBadGateway {
+			t.Fatalf("request %d against resetting backend: status %d, want 502", i, status)
+		}
+	}
+	if got := be.hits.Load(); got != 2 {
+		t.Fatalf("backend saw %d forwards before the breaker opened, want 2", got)
+	}
+	// Breaker open: further requests must not reach the backend at all.
+	for i := 0; i < 3; i++ {
+		if _, status, _ := get(t, f, "s"); status != http.StatusBadGateway {
+			t.Fatalf("request during open breaker: status %d, want 502", status)
+		}
+	}
+	if got := be.hits.Load(); got != 2 {
+		t.Fatalf("open breaker leaked %d forwards to the backend", got-2)
+	}
+
+	// Backend recovers; after the open interval one trial closes the breaker.
+	be.mode.Store(beOK)
+	time.Sleep(200 * time.Millisecond)
+	body, status, _ := get(t, f, "s")
+	if status != http.StatusOK || body != "a" {
+		t.Fatalf("half-open trial: got %d %q, want 200 \"a\"", status, body)
+	}
+	if body, status, _ = get(t, f, "s"); status != http.StatusOK || body != "a" {
+		t.Fatalf("after reclose: got %d %q, want 200 \"a\"", status, body)
+	}
+}
+
+// TestRetryBudgetBoundsFailovers: with the token bucket nearly empty, a
+// flapping first-ranked replica can absorb only the budgeted number of
+// failovers — excess requests fail fast instead of storming the healthy
+// replica — and once the flapper's breaker opens, requests route cleanly
+// around it at no budget cost.
+func TestRetryBudgetBoundsFailovers(t *testing.T) {
+	dead := newChaosBackend(t, "dead")
+	dead.mode.Store(beReset)
+	live := newChaosBackend(t, "live")
+	f, err := New(Config{
+		ProbeInterval:    10 * time.Second,
+		FailThreshold:    1000,
+		BreakerThreshold: 3,
+		BreakerOpenFor:   10 * time.Second,
+		RetryCredit:      0.01, // ~no refill during the test
+		RetryBurst:       1,    // exactly one failover in the bucket
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	register(t, f, "dead", dead.srv.URL)
+	register(t, f, "live", live.srv.URL)
+	session := sessionRanking(t, f, "dead")
+
+	// Request 1: dead fails, the one budgeted failover lands on live.
+	if body, status, _ := get(t, f, session); status != http.StatusOK || body != "live" {
+		t.Fatalf("request 1: got %d %q, want budgeted failover to live", status, body)
+	}
+	// Requests 2–3: budget dry — failover denied, requests fail fast.
+	for i := 2; i <= 3; i++ {
+		if _, status, _ := get(t, f, session); status != http.StatusBadGateway {
+			t.Fatalf("request %d: status %d, want 502 (failover denied)", i, status)
+		}
+	}
+	if f.RetriesDenied() != 2 {
+		t.Fatalf("RetriesDenied = %d, want 2", f.RetriesDenied())
+	}
+	if f.Failovers() != 1 {
+		t.Fatalf("Failovers = %d, want 1", f.Failovers())
+	}
+	// Request 3 was dead's third consecutive transport failure: breaker open.
+	// Routing now skips it as a FIRST attempt — no budget needed.
+	for i := 4; i <= 6; i++ {
+		if body, status, _ := get(t, f, session); status != http.StatusOK || body != "live" {
+			t.Fatalf("request %d after breaker opened: got %d %q, want live", i, status, body)
+		}
+	}
+	if got := f.RetriesDenied(); got != 2 {
+		t.Fatalf("breaker-routed requests consumed budget: RetriesDenied = %d", got)
+	}
+}
+
+// TestDecliningReplicaFailsOver: a degraded replica's 503 + Retry-After is
+// an invitation to try a peer — the front door relays the healthy answer,
+// charges no breaker failure, and only when EVERY replica declines does the
+// client see the 503 (with Retry-After preserved).
+func TestDecliningReplicaFailsOver(t *testing.T) {
+	deg := newChaosBackend(t, "deg")
+	deg.mode.Store(beDecline)
+	ok := newChaosBackend(t, "ok")
+	f, err := New(Config{ProbeInterval: 10 * time.Second, FailThreshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	register(t, f, "deg", deg.srv.URL)
+	register(t, f, "ok", ok.srv.URL)
+	session := sessionRanking(t, f, "deg")
+
+	for i := 0; i < 4; i++ {
+		body, status, _ := get(t, f, session)
+		if status != http.StatusOK || body != "ok" {
+			t.Fatalf("request %d: got %d %q, want failover to ok", i, status, body)
+		}
+	}
+	if f.Declined() != 4 {
+		t.Fatalf("Declined = %d, want 4", f.Declined())
+	}
+	// Declines are answers, not transport failures: deg must still be
+	// admitted (breaker closed) and hit first on every request.
+	if got := deg.hits.Load(); got != 4 {
+		t.Fatalf("declining replica saw %d forwards, want 4 (breaker must stay closed)", got)
+	}
+
+	// Everyone declines → the 503 is the service's honest answer.
+	ok.mode.Store(beDecline)
+	_, status, hdr := get(t, f, session)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("all-declining: status %d, want 503", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("all-declining 503 lost its Retry-After header")
+	}
+}
+
+// TestProbeDeregisterChurn pins the probe/deregister window: health probes
+// snapshot *replica pointers outside the lock, and a concurrent deregister
+// (or re-register, which installs a FRESH struct) orphans them mid-probe.
+// Before the membership re-check, the prober would mutate the orphan —
+// losing evictions or resurrecting replicas the registry no longer holds.
+// Run under -race with registration churn, probe traffic, and routing all
+// concurrent; afterwards the registry must reflect only the final state.
+func TestProbeDeregisterChurn(t *testing.T) {
+	flap := newChaosBackend(t, "flap")
+	f, err := New(Config{
+		ProbeInterval: time.Millisecond,
+		ProbeTimeout:  50 * time.Millisecond,
+		FailThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // churn: register/deregister the same id as fast as possible
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(f.URL()+"/register?id=x&url="+flap.srv.URL, "", nil)
+			if err == nil {
+				resp.Body.Close()
+			}
+			resp, err = http.Post(f.URL()+"/deregister?id=x", "", nil)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	go func() { // concurrent routing traffic
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, _ := http.NewRequest(http.MethodGet, f.URL()+"/op", nil)
+			req.Header.Set("X-Session", "s")
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Final deregister; any probe still in flight must not resurrect x.
+	resp, err := http.Post(f.URL()+"/deregister?id=x", "", nil)
+	if err == nil {
+		resp.Body.Close()
+	}
+	time.Sleep(20 * time.Millisecond) // let in-flight probes settle
+	f.mu.RLock()
+	_, present := f.replicas["x"]
+	f.mu.RUnlock()
+	if present {
+		t.Fatal("deregistered replica x still present in the registry")
+	}
+}

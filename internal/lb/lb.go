@@ -23,6 +23,33 @@
 // When the forward itself fails, the front door marks the replica failing
 // and retries the NEXT-best replica of the same session transparently, so a
 // replica dying between probes costs clients nothing but latency.
+//
+// # Failure containment
+//
+// Failover is governed by two mechanisms that keep a misbehaving backend or
+// a failure storm from amplifying through the front door:
+//
+//   - A per-backend CIRCUIT BREAKER: Config.BreakerThreshold consecutive
+//     transport failures open the breaker and the replica stops receiving
+//     forwards; after Config.BreakerOpenFor it half-opens, admitting one
+//     trial request (or a successful health probe) whose outcome closes or
+//     re-opens it. The breaker is deliberately separate from probe-driven
+//     eviction: probes ask "is the process alive", the breaker asks "are
+//     forwards to it currently failing", and a replica flapping between the
+//     two states is contained by whichever trips first.
+//
+//   - A RETRY BUDGET: each incoming request earns Config.RetryCredit retry
+//     tokens (capped at Config.RetryBurst), and every failover attempt
+//     beyond a request's first forward spends one. When the budget is
+//     exhausted, requests get the first answer or error without failover —
+//     so a flapping replica costs the fleet a bounded fraction of extra
+//     load instead of an unbounded retry storm.
+//
+// A backend answering 503 WITH a Retry-After header is DECLINING (a
+// degraded, partitioned-away replica refusing writes — see internal/node),
+// not broken: the front door fails such operations over to the next-ranked
+// replica without charging the breaker, relaying the 503 only when every
+// replica declines.
 package lb
 
 import (
@@ -36,6 +63,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,16 +78,43 @@ type Config struct {
 	// FailThreshold is how many consecutive probe failures evict a replica
 	// from routing (default 2).
 	FailThreshold int
+	// BreakerThreshold is how many consecutive forward (transport) failures
+	// open a replica's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerOpenFor is how long an open breaker blocks forwards before
+	// half-opening for a trial (default 2×ProbeInterval).
+	BreakerOpenFor time.Duration
+	// RetryCredit is how many retry tokens each incoming request earns
+	// (default 0.2 — failovers bounded at ~20% of request volume).
+	RetryCredit float64
+	// RetryBurst caps the retry-token bucket (default 10; the bucket starts
+	// full so cold-start failovers are never denied).
+	RetryBurst float64
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
 
-// replica is one registered backend.
+// Circuit breaker states.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// replica is one registered backend. All fields beyond id/baseURL are
+// guarded by Front.mu; a *replica may outlive its registry entry (a stale
+// pointer held by the prober or a forward in flight), so every mutation
+// first re-checks membership — see Front.current.
 type replica struct {
 	id      string
 	baseURL string
 	fails   int
 	healthy bool
+
+	brState   int
+	brFails   int
+	openUntil time.Time
+	trial     bool // half-open: one trial forward in flight
 }
 
 // Front is a running front door.
@@ -71,6 +126,11 @@ type Front struct {
 
 	mu       sync.RWMutex
 	replicas map[string]*replica
+	tokens   float64 // retry budget (guarded by mu)
+
+	failovers   atomic.Int64
+	retryDenied atomic.Int64
+	declined    atomic.Int64
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -92,6 +152,18 @@ func New(cfg Config) (*Front, error) {
 	if cfg.FailThreshold <= 0 {
 		cfg.FailThreshold = 2
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerOpenFor <= 0 {
+		cfg.BreakerOpenFor = 2 * cfg.ProbeInterval
+	}
+	if cfg.RetryCredit <= 0 {
+		cfg.RetryCredit = 0.2
+	}
+	if cfg.RetryBurst <= 0 {
+		cfg.RetryBurst = 10
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("lb: listen %s: %w", cfg.Addr, err)
@@ -101,6 +173,7 @@ func New(cfg Config) (*Front, error) {
 		ln:       ln,
 		client:   &http.Client{Timeout: 10 * time.Second},
 		replicas: make(map[string]*replica),
+		tokens:   cfg.RetryBurst,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		httpDone: make(chan struct{}),
@@ -265,11 +338,66 @@ func (f *Front) rank(session string) []*replica {
 	return out
 }
 
-// markFailed records a forwarding failure against a replica, evicting it at
-// the configured threshold (probes bring it back).
-func (f *Front) markFailed(rep *replica) {
+// current reports whether rep is still THE registry entry for its id. Every
+// mutation of a replica's guarded fields must check this first: the prober
+// and in-flight forwards hold *replica pointers across lock releases, and a
+// concurrent Deregister (or re-register, which installs a fresh struct) can
+// orphan the pointer in between — mutating the orphan would resurrect or
+// mis-track a replica the registry no longer knows.
+func (f *Front) current(rep *replica) bool {
+	return f.replicas[rep.id] == rep
+}
+
+// admit asks rep's circuit breaker whether a forward may proceed,
+// transitioning open→half-open when the open interval has elapsed.
+func (f *Front) admit(rep *replica) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if !f.current(rep) {
+		return false
+	}
+	switch rep.brState {
+	case brClosed:
+		return true
+	case brOpen:
+		if time.Now().Before(rep.openUntil) {
+			return false
+		}
+		rep.brState, rep.trial = brHalfOpen, true
+		f.logf("lb: breaker half-open for replica %s", rep.id)
+		return true
+	default: // half-open: one trial at a time
+		if rep.trial {
+			return false
+		}
+		rep.trial = true
+		return true
+	}
+}
+
+// reportForward settles a forward attempt against rep's breaker and the
+// probe-eviction counter. Success closes the breaker; failure counts toward
+// both opening it and probe-style eviction.
+func (f *Front) reportForward(rep *replica, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.current(rep) {
+		return
+	}
+	if ok {
+		if rep.brState != brClosed {
+			f.logf("lb: breaker closed for replica %s", rep.id)
+		}
+		rep.brState, rep.brFails, rep.trial = brClosed, 0, false
+		return
+	}
+	rep.trial = false
+	rep.brFails++
+	if rep.brState == brHalfOpen || (rep.brState == brClosed && rep.brFails >= f.cfg.BreakerThreshold) {
+		rep.brState = brOpen
+		rep.openUntil = time.Now().Add(f.cfg.BreakerOpenFor)
+		f.logf("lb: breaker open for replica %s after %d transport failures", rep.id, rep.brFails)
+	}
 	rep.fails++
 	if rep.fails >= f.cfg.FailThreshold && rep.healthy {
 		rep.healthy = false
@@ -277,22 +405,73 @@ func (f *Front) markFailed(rep *replica) {
 	}
 }
 
+// creditRetry refills the retry budget on an incoming request; spendRetry
+// charges one token per failover attempt, denying when the bucket is dry.
+func (f *Front) creditRetry() {
+	f.mu.Lock()
+	if f.tokens += f.cfg.RetryCredit; f.tokens > f.cfg.RetryBurst {
+		f.tokens = f.cfg.RetryBurst
+	}
+	f.mu.Unlock()
+}
+
+func (f *Front) spendRetry() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tokens < 1 {
+		return false
+	}
+	f.tokens--
+	return true
+}
+
+// Failovers returns how many times a request was retried on another replica.
+func (f *Front) Failovers() int64 { return f.failovers.Load() }
+
+// RetriesDenied returns how many failovers the retry budget refused.
+func (f *Front) RetriesDenied() int64 { return f.retryDenied.Load() }
+
+// Declined returns how many forwards a degraded replica declined
+// (503 + Retry-After) before failover.
+func (f *Front) Declined() int64 { return f.declined.Load() }
+
+// declining recognizes a replica's explicit "not now": a degraded node
+// refusing writes answers 503 WITH Retry-After (see internal/node) — an
+// invitation to try a peer, not a transport failure.
+func declining(resp *http.Response) bool {
+	return resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != ""
+}
+
 // handleRoute forwards any other request to the session's replica, falling
 // through the session's rendezvous ranking when a forward fails at the
-// transport level. Only transport failures fail over — an HTTP error status
-// is the replica's answer and is relayed as-is.
+// transport level or the replica declines (degraded 503 + Retry-After).
+// Other HTTP error statuses are the replica's answer and are relayed as-is.
+// Failovers past a request's first attempt spend the retry budget.
 func (f *Front) handleRoute(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	f.creditRetry()
 	ranked := f.rank(sessionKey(r))
 	if len(ranked) == 0 {
 		http.Error(w, "no healthy replicas", http.StatusServiceUnavailable)
 		return
 	}
+	attempts, someoneDeclined := 0, false
 	for _, rep := range ranked {
+		if !f.admit(rep) {
+			continue
+		}
+		if attempts > 0 {
+			if !f.spendRetry() {
+				f.retryDenied.Add(1)
+				break
+			}
+			f.failovers.Add(1)
+		}
+		attempts++
 		target := rep.baseURL + r.URL.RequestURI()
 		req, err := http.NewRequestWithContext(r.Context(), r.Method, target, strings.NewReader(string(body)))
 		if err != nil {
@@ -302,13 +481,26 @@ func (f *Front) handleRoute(w http.ResponseWriter, r *http.Request) {
 		req.Header = r.Header.Clone()
 		resp, err := f.client.Do(req)
 		if err != nil {
-			f.markFailed(rep)
+			f.reportForward(rep, false)
+			continue
+		}
+		f.reportForward(rep, true)
+		if declining(resp) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			f.declined.Add(1)
+			someoneDeclined = true
 			continue
 		}
 		w.Header().Set("X-Replica", rep.id)
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body)
 		resp.Body.Close()
+		return
+	}
+	if someoneDeclined {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "all replicas declining (degraded)", http.StatusServiceUnavailable)
 		return
 	}
 	http.Error(w, "all replicas unreachable", http.StatusBadGateway)
@@ -335,11 +527,26 @@ func (f *Front) probeLoop() {
 		for _, rep := range reps {
 			ok := probe(client, rep.baseURL+"/healthz")
 			f.mu.Lock()
+			if !f.current(rep) {
+				// Deregistered (or replaced by a re-registration) while the
+				// probe was in flight: this pointer is an orphan, and
+				// mutating it would route state changes to a replica the
+				// registry no longer holds.
+				f.mu.Unlock()
+				continue
+			}
 			if ok {
 				if !rep.healthy {
 					f.logf("lb: replica %s recovered", rep.id)
 				}
 				rep.fails, rep.healthy = 0, true
+				// A live health endpoint is the half-open trial for an
+				// expired breaker: auto-close without waiting for a client
+				// request to volunteer.
+				if rep.brState == brOpen && !time.Now().Before(rep.openUntil) {
+					rep.brState, rep.brFails, rep.trial = brClosed, 0, false
+					f.logf("lb: breaker closed for replica %s (probe)", rep.id)
+				}
 			} else {
 				rep.fails++
 				if rep.fails >= f.cfg.FailThreshold && rep.healthy {

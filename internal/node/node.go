@@ -32,6 +32,32 @@
 // driving operations through the front door across a rolling restart
 // observes zero failed operations (the node package's integration test pins
 // this).
+//
+// # Degraded read-only mode
+//
+// A replica that has heard NO peer heartbeat for a leader-timeout span
+// (Config.DegradedAfter) is cut off from the mesh: its Ω output has
+// collapsed to itself, and a command accepted now cannot replicate anywhere
+// — if this replica then dies, "202 accepted" was a lie. Rather than fail
+// silently, the node degrades explicitly:
+//
+//   - Writes are REFUSED with 503 and a Retry-After header. The front door
+//     treats that reply as "replica declining, not broken" and fails the
+//     operation over to a backend on the other side of the partition.
+//   - Reads and snapshots keep being served — eventual consistency means
+//     local state is always a legitimate (if stale) prefix — but carry an
+//     "X-Ec-Degraded: stale" header so clients can tell.
+//   - /healthz stays 200: a degraded replica is alive and useful for reads;
+//     eviction would throw that capacity away.
+//
+// Degradation is self-healing: the first peer heartbeat after the partition
+// heals clears it. A boot grace period (Config.BootGrace) keeps a starting
+// replica out of degraded mode while the mesh dials in.
+//
+// Chaos: Config.Fault, when set, wraps the TCP transport in a
+// runtime.FaultTransport — the live seeded chaos injector — and Fault()
+// exposes the handle so harnesses can script partitions and heals against a
+// running node.
 package node
 
 import (
@@ -40,6 +66,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
@@ -95,6 +122,17 @@ type Config struct {
 	// Retransmit tunes the retransmission layer. Nil gets a per-ID seed and
 	// DefaultGiveUpTicks.
 	Retransmit *retransmit.Options
+	// Fault, if non-nil, wraps the TCP transport in a runtime.FaultTransport
+	// seeded with this config — the live chaos injector. The handle is
+	// available via Fault() for scripting partitions and heals.
+	Fault *runtime.FaultConfig
+	// DegradedAfter is the peer-silence window after which the replica
+	// declares itself degraded (read-only). Default: the event loop's
+	// leader timeout.
+	DegradedAfter time.Duration
+	// BootGrace suppresses degraded mode for this long after start, covering
+	// mesh dial-in. Default: 2×DegradedAfter.
+	BootGrace time.Duration
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -102,15 +140,21 @@ type Config struct {
 // Node is one running replica.
 type Node struct {
 	cfg   Config
-	tr    *runtime.TCPTransport
+	tr    runtime.Transport
+	fault *runtime.FaultTransport // nil unless Config.Fault was set
 	proc  *runtime.Proc
 	srv   *http.Server
 	ln    net.Listener
 	rt    retransmit.Options
 	front string
 
+	started       time.Time
+	degradedAfter time.Duration
+	bootGrace     time.Duration
+
 	draining  atomic.Bool
 	accepted  atomic.Int64
+	rejected  atomic.Int64 // writes refused while degraded
 	closeOnce sync.Once
 	httpDone  chan struct{}
 }
@@ -129,9 +173,15 @@ func New(cfg Config) (*Node, error) {
 		rt = *cfg.Retransmit
 	}
 	RegisterProtocolTypes()
-	tr, err := runtime.NewTCPTransport(runtime.TCPConfig{Self: cfg.ID, Peers: cfg.Peers})
+	tcp, err := runtime.NewTCPTransport(runtime.TCPConfig{Self: cfg.ID, Peers: cfg.Peers})
 	if err != nil {
 		return nil, err
+	}
+	var tr runtime.Transport = tcp
+	var fault *runtime.FaultTransport
+	if cfg.Fault != nil {
+		fault = runtime.NewFaultTransport(tcp, *cfg.Fault)
+		tr = fault
 	}
 	ln, err := net.Listen("tcp", cfg.HTTPAddr)
 	if err != nil {
@@ -140,13 +190,34 @@ func New(cfg Config) (*Node, error) {
 	}
 	opts := cfg.Runtime
 	opts.ClockEpoch = time.Unix(0, 0)
+	// Degraded window defaults track the event loop's own liveness horizon
+	// (mirroring runtime.Options defaults for unset fields).
+	hb := opts.HeartbeatInterval
+	if hb <= 0 {
+		hb = 2 * time.Millisecond
+	}
+	degradedAfter := cfg.DegradedAfter
+	if degradedAfter <= 0 {
+		degradedAfter = opts.LeaderTimeout
+		if degradedAfter <= 0 {
+			degradedAfter = 10 * hb
+		}
+	}
+	bootGrace := cfg.BootGrace
+	if bootGrace <= 0 {
+		bootGrace = 2 * degradedAfter
+	}
 	n := &Node{
-		cfg:      cfg,
-		tr:       tr,
-		rt:       rt,
-		front:    strings.TrimRight(cfg.Front, "/"),
-		ln:       ln,
-		httpDone: make(chan struct{}),
+		cfg:           cfg,
+		tr:            tr,
+		fault:         fault,
+		rt:            rt,
+		front:         strings.TrimRight(cfg.Front, "/"),
+		ln:            ln,
+		started:       time.Now(),
+		degradedAfter: degradedAfter,
+		bootGrace:     bootGrace,
+		httpDone:      make(chan struct{}),
 	}
 	n.proc = runtime.NewProc(tr, core.ReplicaStack(cfg.Consistency, cfg.Machine, &rt), opts)
 
@@ -156,7 +227,15 @@ func New(cfg Config) (*Node, error) {
 	mux.HandleFunc("/snapshot", n.handleSnapshot)
 	mux.HandleFunc("/status", n.handleStatus)
 	mux.HandleFunc("/healthz", n.handleHealthz)
-	n.srv = &http.Server{Handler: mux}
+	// Explicit server deadlines: a wedged or malicious client must not pin a
+	// handler goroutine (or a drain) forever.
+	n.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go func() {
 		defer close(n.httpDone)
 		err := n.srv.Serve(ln)
@@ -194,37 +273,105 @@ func (n *Node) Proc() *runtime.Proc { return n.proc }
 // Accepted returns how many update operations this node has accepted.
 func (n *Node) Accepted() int64 { return n.accepted.Load() }
 
-// register announces this replica to the front door, retrying briefly so a
-// node booting alongside its front door wins the race.
+// Rejected returns how many writes this node refused while degraded.
+func (n *Node) Rejected() int64 { return n.rejected.Load() }
+
+// Fault returns the live chaos injector wrapping this node's transport, or
+// nil when Config.Fault was not set.
+func (n *Node) Fault() *runtime.FaultTransport { return n.fault }
+
+// Degraded reports whether this replica is currently cut off from its peer
+// mesh: past the boot grace, cluster size ≥ 2, and no peer heartbeat within
+// the degraded window. See the package comment for the semantics.
+func (n *Node) Degraded() bool {
+	if n.proc.N() < 2 {
+		return false
+	}
+	if time.Since(n.started) < n.bootGrace {
+		return false
+	}
+	return n.proc.PeersHeard(n.degradedAfter) == 0
+}
+
+// Front-door client-op budget: every control-plane HTTP call carries an
+// explicit deadline, and retries follow exponential backoff with FULL jitter
+// — uniform in [0, min(base·2^attempt, cap)] — so a herd of replicas racing
+// a rebooting front door decorrelates instead of hammering in lockstep.
+const (
+	frontOpTimeout     = 2 * time.Second
+	frontBackoffBase   = 50 * time.Millisecond
+	frontBackoffCap    = time.Second
+	registerAttempts   = 12
+	deregisterAttempts = 3
+)
+
+func backoffFullJitter(base, cap time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
+}
+
+// postFront performs one deadline-bounded POST to the front door, treating
+// any non-200 as an error.
+func (n *Node) postFront(target string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), frontOpTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("front door answered %s", resp.Status)
+	}
+	return nil
+}
+
+// register announces this replica to the front door, with bounded
+// backoff-and-jitter retries so a node booting alongside its front door wins
+// the race without tight-loop hammering.
 func (n *Node) register() error {
 	v := url.Values{"id": {fmt.Sprint(int(n.cfg.ID))}, "url": {n.URL()}}
 	target := n.front + "/register?" + v.Encode()
 	var lastErr error
-	for attempt := 0; attempt < 20; attempt++ {
-		resp, err := http.Post(target, "text/plain", nil)
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-			lastErr = fmt.Errorf("front door answered %s", resp.Status)
-		} else {
-			lastErr = err
+	for attempt := 0; attempt < registerAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoffFullJitter(frontBackoffBase, frontBackoffCap, attempt-1))
 		}
-		time.Sleep(100 * time.Millisecond)
+		if lastErr = n.postFront(target); lastErr == nil {
+			return nil
+		}
 	}
 	return lastErr
 }
 
-// deregister withdraws this replica from the front door (best effort).
+// deregister withdraws this replica from the front door (best effort, but
+// retried: a lost deregistration leaves the front door routing to a corpse
+// until its probes notice).
 func (n *Node) deregister() {
 	v := url.Values{"id": {fmt.Sprint(int(n.cfg.ID))}}
-	resp, err := http.Post(n.front+"/deregister?"+v.Encode(), "text/plain", nil)
-	if err != nil {
-		n.logf("node %v: deregister: %v", n.cfg.ID, err)
-		return
+	target := n.front + "/deregister?" + v.Encode()
+	var lastErr error
+	for attempt := 0; attempt < deregisterAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoffFullJitter(frontBackoffBase, frontBackoffCap, attempt-1))
+		}
+		if lastErr = n.postFront(target); lastErr == nil {
+			return
+		}
 	}
-	resp.Body.Close()
+	n.logf("node %v: deregister: %v", n.cfg.ID, lastErr)
 }
 
 // Shutdown stops the node gracefully, in the order that costs clients
@@ -314,6 +461,16 @@ func (n *Node) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty command", http.StatusBadRequest)
 		return
 	}
+	// A DEGRADED replica refuses writes explicitly: accepted-but-unreplicable
+	// is the one acknowledgment this service must never hand out. 503 plus
+	// Retry-After tells the front door "decline, not death" — it fails the
+	// operation over to a connected backend without marking this one down.
+	if n.Degraded() {
+		n.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "degraded: partitioned from all peers, refusing writes", http.StatusServiceUnavailable)
+		return
+	}
 	// Note: a DRAINING node still accepts — operations routed here before the
 	// front door saw the deregistration must succeed, and the shutdown path
 	// flushes their replication before the event loop stops. Only an actually
@@ -341,6 +498,7 @@ func (n *Node) handleRead(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing key", http.StatusBadRequest)
 		return
 	}
+	n.markStaleness(w)
 	var snap string
 	if !n.inspect(func(rep *smr.Replica) { snap = rep.Snapshot() }) {
 		http.Error(w, "replica stopped", http.StatusServiceUnavailable)
@@ -355,8 +513,17 @@ func (n *Node) handleRead(w http.ResponseWriter, r *http.Request) {
 	http.Error(w, "not found", http.StatusNotFound)
 }
 
+// markStaleness stamps degraded responses: reads keep flowing but announce
+// that this replica may be arbitrarily behind the rest of the cluster.
+func (n *Node) markStaleness(w http.ResponseWriter) {
+	if n.Degraded() {
+		w.Header().Set("X-Ec-Degraded", "stale")
+	}
+}
+
 // handleSnapshot answers GET /snapshot with the machine's full snapshot.
 func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	n.markStaleness(w)
 	var snap string
 	if !n.inspect(func(rep *smr.Replica) { snap = rep.Snapshot() }) {
 		http.Error(w, "replica stopped", http.StatusServiceUnavailable)
@@ -367,17 +534,21 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // Status is the replica's introspection report (GET /status).
 type Status struct {
-	ID        int    `json:"id"`
-	N         int    `json:"n"`
-	Leader    int    `json:"leader"`
-	Applied   int    `json:"applied"`
-	Rebuilds  int    `json:"rebuilds"`
-	Accepted  int64  `json:"accepted"`
-	Dropped   int64  `json:"dropped"`
-	Resends   int64  `json:"resends"`
-	Pending   int    `json:"pending"`
-	Abandoned int64  `json:"abandoned"`
-	Snapshot  string `json:"snapshot"`
+	ID         int    `json:"id"`
+	N          int    `json:"n"`
+	Leader     int    `json:"leader"`
+	Applied    int    `json:"applied"`
+	Rebuilds   int    `json:"rebuilds"`
+	Accepted   int64  `json:"accepted"`
+	Rejected   int64  `json:"rejected"`
+	Degraded   bool   `json:"degraded"`
+	Dropped    int64  `json:"dropped"`
+	Injected   int64  `json:"injected,omitempty"` // faults injected by the chaos layer
+	Resends    int64  `json:"resends"`
+	Duplicates int64  `json:"duplicates"`
+	Pending    int    `json:"pending"`
+	Abandoned  int64  `json:"abandoned"`
+	Snapshot   string `json:"snapshot"`
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -386,11 +557,17 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		N:        n.proc.N(),
 		Leader:   int(n.proc.Leader()),
 		Accepted: n.accepted.Load(),
+		Rejected: n.rejected.Load(),
+		Degraded: n.Degraded(),
 		Dropped:  n.tr.Dropped(),
+	}
+	if n.fault != nil {
+		st.Injected = n.fault.Injected()
 	}
 	ok := n.proc.Inspect(func(a model.Automaton) {
 		if wrap, isWrapped := a.(*retransmit.Automaton); isWrapped {
 			st.Resends = wrap.Resends()
+			st.Duplicates = wrap.Duplicates()
 			st.Pending = wrap.PendingEnvelopes()
 			st.Abandoned = wrap.Abandoned()
 		}

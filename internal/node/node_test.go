@@ -24,12 +24,20 @@ var testClient = &http.Client{Timeout: 45 * time.Second}
 // cluster is a live 3-replica service behind a front door, entirely on
 // loopback — the deployable topology, in-process for testability.
 type cluster struct {
-	front *lb.Front
-	nodes []*node.Node
-	peers map[model.ProcID]string
+	front   *lb.Front
+	nodes   []*node.Node
+	peers   map[model.ProcID]string
+	cfgHook func(*node.Config) // optional per-node config mutation (chaos tests)
 }
 
 func newCluster(t *testing.T, n int) *cluster {
+	return newClusterWith(t, n, nil)
+}
+
+// newClusterWith boots a cluster whose every node config first passes
+// through hook — the chaos tests use it to wire fault injectors and degraded
+// windows into otherwise-standard replicas.
+func newClusterWith(t *testing.T, n int, hook func(*node.Config)) *cluster {
 	t.Helper()
 	front, err := lb.New(lb.Config{
 		ProbeInterval: 50 * time.Millisecond,
@@ -55,7 +63,7 @@ func newCluster(t *testing.T, n int) *cluster {
 	for _, ln := range reserved {
 		ln.Close()
 	}
-	c := &cluster{front: front, peers: peers}
+	c := &cluster{front: front, peers: peers, cfgHook: hook}
 	for i := 0; i < n; i++ {
 		c.nodes = append(c.nodes, c.startNode(t, model.ProcID(i+1)))
 	}
@@ -76,7 +84,7 @@ func (c *cluster) startNode(t *testing.T, p model.ProcID) *node.Node {
 	var nd *node.Node
 	var err error
 	for attempt := 0; attempt < 100; attempt++ {
-		nd, err = node.New(node.Config{
+		cfg := node.Config{
 			ID:    p,
 			Peers: clonePeers(c.peers),
 			Front: c.front.URL(),
@@ -88,7 +96,11 @@ func (c *cluster) startNode(t *testing.T, p model.ProcID) *node.Node {
 				TickInterval:      10 * time.Millisecond,
 				HeartbeatInterval: 10 * time.Millisecond,
 			},
-		})
+		}
+		if c.cfgHook != nil {
+			c.cfgHook(&cfg)
+		}
+		nd, err = node.New(cfg)
 		if err == nil {
 			return nd
 		}
@@ -184,6 +196,18 @@ func waitConverged(t *testing.T, nodes []*node.Node, minApplied int, want map[st
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("replicas did not converge within %v:\n%s", within, strings.Join(last, "\n"))
+}
+
+// waitHealthy waits until the front door routes to exactly n replicas.
+func waitHealthy(t *testing.T, c *cluster, n int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for len(c.front.Healthy()) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("front door healthy=%v, want %d replicas", c.front.Healthy(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func hasPair(snapshot, pair string) bool {

@@ -260,6 +260,7 @@ type Automaton struct {
 	sent    int64             // send ordinal counter (see pending.ord)
 	seen    map[srcKey]*dedup // per (sender, epoch) watermark + sparse set
 	resends int64
+	dupes   int64 // duplicate envelopes suppressed by receiver-side dedup
 
 	// Give-up bookkeeping (Options.GiveUpTicks).
 	lastHeard []int64 // index q-1: tick of last Data/Ack from q, any epoch
@@ -274,6 +275,13 @@ func (a *Automaton) Inner() model.Automaton { return a.inner }
 
 // Resends returns how many envelope retransmissions this process performed.
 func (a *Automaton) Resends() int64 { return a.resends }
+
+// Duplicates returns how many duplicate envelopes receiver-side dedup
+// suppressed (cumulative across incarnations). Under a duplicating or
+// resend-heavy network this is the at-most-once half of the exactly-once
+// guarantee made visible: every copy beyond the first lands here instead of
+// in the inner automaton.
+func (a *Automaton) Duplicates() int64 { return a.dupes }
 
 // PendingEnvelopes returns how many envelopes are still awaiting an ack.
 func (a *Automaton) PendingEnvelopes() int { return len(a.pending) }
@@ -343,6 +351,7 @@ func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
 		}
 		d.compactTo(m.Base - 1)
 		if d.seen(m.Seq) {
+			a.dupes++
 			return
 		}
 		a.inner.Recv(&wrapCtx{ctx: ctx, a: a}, from, m.Payload)

@@ -131,6 +131,26 @@ func (p *Proc) Leader() model.ProcID {
 	return p.leader()
 }
 
+// PeersHeard returns how many PEERS (self excluded) this process has received
+// a heartbeat from within the given window. It is the live connectivity
+// signal the service plane's degraded mode keys on: a replica that has heard
+// nobody for a leader-timeout span is cut off from the mesh — its Ω output
+// has collapsed to itself and nothing it accepts can replicate until the
+// partition heals.
+func (p *Proc) PeersHeard(window time.Duration) int {
+	cutoff := time.Now().Add(-window).UnixNano()
+	heard := 0
+	for i := range p.lastBeat {
+		if model.ProcID(i+1) == p.self {
+			continue
+		}
+		if p.lastBeat[i].Load() >= cutoff {
+			heard++
+		}
+	}
+	return heard
+}
+
 // Stop terminates the event loop and closes the transport endpoint.
 // Idempotent; it does not wait for the loop to exit (use Done).
 func (p *Proc) Stop() {

@@ -303,6 +303,14 @@ func (t *TCPTransport) reader(conn net.Conn) {
 // queued frame independently, and drop-with-counter anything that cannot be
 // delivered right now. The frame being written when a connection breaks is
 // dropped too — at-most-once, by design.
+//
+// The backoff streak persists ACROSS connections, not just across failed
+// dials: a flapping peer whose listener accepts connections and immediately
+// resets them would otherwise induce a tight dial/write-fail/redial loop
+// (dial succeeds, so dial-level backoff never engages). Consecutive
+// connection failures — dial errors and write errors alike — widen the pause
+// before the next dial up to MaxRedialBackoff; one successful write resets
+// the streak.
 func (t *TCPTransport) writer(peer *tcpPeer) {
 	defer t.wg.Done()
 	var conn net.Conn
@@ -312,6 +320,7 @@ func (t *TCPTransport) writer(peer *tcpPeer) {
 		}
 	}()
 	var buf bytes.Buffer
+	failStreak := 0
 	for {
 		var f Frame
 		select {
@@ -320,7 +329,12 @@ func (t *TCPTransport) writer(peer *tcpPeer) {
 		case f = <-peer.out:
 		}
 		if conn == nil {
-			conn = t.dial(peer)
+			if failStreak > 0 && !t.pause(capBackoff(t.cfg.RedialBackoff, t.cfg.MaxRedialBackoff, failStreak)) {
+				return // endpoint closed while backing off
+			}
+			var dialErrs int
+			conn, dialErrs = t.dial(peer)
+			failStreak += dialErrs
 			if conn == nil {
 				return // endpoint closed while dialing
 			}
@@ -338,24 +352,53 @@ func (t *TCPTransport) writer(peer *tcpPeer) {
 		if _, err := conn.Write(b); err != nil {
 			conn.Close()
 			conn = nil
+			failStreak++
 			t.drop(f)
 			continue
 		}
+		failStreak = 0
 	}
 }
 
+// pause sleeps for d unless the endpoint closes first.
+func (t *TCPTransport) pause(d time.Duration) bool {
+	select {
+	case <-t.closed:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// capBackoff is the writer's capped exponential redial pause after streak
+// consecutive connection failures.
+func capBackoff(base, max time.Duration, streak int) time.Duration {
+	d := base
+	for i := 1; i < streak && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
 // dial connects to a peer, retrying with capped exponential backoff until it
-// succeeds or the endpoint closes (then it returns nil).
-func (t *TCPTransport) dial(peer *tcpPeer) net.Conn {
+// succeeds or the endpoint closes (then it returns a nil conn). It reports
+// how many attempts failed so the writer's cross-connection streak keeps
+// counting.
+func (t *TCPTransport) dial(peer *tcpPeer) (net.Conn, int) {
 	backoff := t.cfg.RedialBackoff
+	errs := 0
 	for {
 		conn, err := t.dialer.Dial("tcp", peer.addr)
 		if err == nil {
-			return conn
+			return conn, errs
 		}
+		errs++
 		select {
 		case <-t.closed:
-			return nil
+			return nil, errs
 		case <-time.After(backoff):
 		}
 		backoff *= 2

@@ -57,6 +57,16 @@ type LeaderStarver struct {
 	// (default 16; negative disables). Exploration outranks starvation,
 	// exactly as in AdversarialScheduler.
 	Explore int
+	// StarveQuorum redirects the starvation target from the leader to a
+	// QUORUM of its followers: the ⌈n/2⌉ lowest-id processes other than the
+	// current leader — the smallest set guaranteed to intersect every
+	// majority quorum, so a Σ-style quorum primitive layered on these runs
+	// cannot assemble an unstarved quorum. The leader's own links (its step
+	// loop included) run at the ordinary greedy schedule; the adversary bets
+	// that choking the followers' inbound promote traffic delays agreement
+	// as much as choking its source. E14 quantifies that bet against the
+	// leader-starving default.
+	StarveQuorum bool
 
 	n       int // frozen in Validate
 	rng     *rand.Rand
@@ -126,6 +136,35 @@ func (s *LeaderStarver) victim(t model.Time) (model.ProcID, bool) {
 // canonicalObserver is the process whose Ω view anchors the victim choice.
 const canonicalObserver = model.ProcID(1)
 
+// starves reports whether p's links run at the bound at time t. In the
+// default mode the starved set is exactly {victim}. With StarveQuorum it is
+// the ⌈n/2⌉ lowest-id processes OTHER than the victim — a deterministic
+// transversal of every majority quorum that leaves the leader itself
+// unstarved.
+func (s *LeaderStarver) starves(p model.ProcID, t model.Time) bool {
+	v, ok := s.victim(t)
+	if !ok {
+		return false
+	}
+	if !s.StarveQuorum {
+		return p == v
+	}
+	if p == v {
+		return false
+	}
+	quota := (s.n + 1) / 2
+	for q := model.ProcID(1); quota > 0 && int(q) <= s.n; q++ {
+		if q == v {
+			continue
+		}
+		if q == p {
+			return true
+		}
+		quota--
+	}
+	return false
+}
+
 // Delay implements sim.NetworkModel.
 func (s *LeaderStarver) Delay(from, to model.ProcID, sendTime model.Time) (model.Time, bool) {
 	min, max, menu := s.params()
@@ -134,22 +173,22 @@ func (s *LeaderStarver) Delay(from, to model.ProcID, sendTime model.Time) (model
 		s.arrival = append(s.arrival, make([]model.Time, s.n+1-len(s.arrival))...)
 	}
 	if from == to {
-		// Self-delivery models local memory — except the victim's: the
+		// Self-delivery models local memory — except a starved process's: the
 		// leader's own step loop (an EC leader decides on its own promote
 		// round-trip) is a link touching the leader, and pinning it is what
-		// starves the promotion pipeline at its source.
-		if v, ok := s.victim(sendTime); ok && v == from {
+		// starves the promotion pipeline at its source; a starved follower's
+		// step loop is likewise a link touching the follower.
+		if s.starves(from, sendTime) {
 			return max, true
 		}
 		return min, true
 	}
 	pick := explorePick(s.rng, s.Explore, menu)
-	v, hasVictim := s.victim(sendTime)
 	switch {
 	case pick >= 0:
 		// Seeded exploration chose for us (outranks starvation, as in
 		// AdversarialScheduler).
-	case hasVictim && (v == from || v == to):
+	case s.starves(from, sendTime) || s.starves(to, sendTime):
 		pick = menu - 1
 	default:
 		pick = greedySpread(s.arrival, to, sendTime, min, max, menu)

@@ -59,6 +59,45 @@ func TestLeaderStarverPinsLeaderLinks(t *testing.T) {
 	}
 }
 
+// TestQuorumStarverSparesLeaderStarvesFollowers: with StarveQuorum the
+// starved set flips — the leader's links run at the ordinary schedule while
+// the ⌈n/2⌉ lowest-id FOLLOWERS (a transversal of every majority quorum) are
+// pinned at the bound, self-delivery included. With n=5 and leader 2 the
+// starved set is {1, 3, 4}: any 3-of-5 quorum must include one of them.
+func TestQuorumStarverSparesLeaderStarvesFollowers(t *testing.T) {
+	s := &LeaderStarver{Explore: -1, StarveQuorum: true}
+	if err := s.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset(1)
+	s.ObserveLeadership(stableObservation(2))
+	min, max, _ := s.params()
+	if d, _ := s.Delay(2, 2, 10); d != min {
+		t.Errorf("leader self-delivery delayed %d, want %d (quorum mode spares the leader)", d, min)
+	}
+	for _, starved := range []model.ProcID{1, 3, 4} {
+		if d, _ := s.Delay(2, starved, 10); d != max {
+			t.Errorf("message to starved follower %d delayed %d, want the bound %d", starved, d, max)
+		}
+		if d, _ := s.Delay(starved, starved, 10); d != max {
+			t.Errorf("starved follower %d self-delivery delayed %d, want the bound %d", starved, d, max)
+		}
+	}
+	// p5 is outside the quorum transversal: its self-delivery is unstarved.
+	if d, _ := s.Delay(5, 5, 10); d != min {
+		t.Errorf("unstarved follower self-delivery delayed %d, want %d", d, min)
+	}
+	// No observation → no starved set, exactly as in the default mode.
+	bare := &LeaderStarver{Explore: -1, StarveQuorum: true}
+	if err := bare.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	bare.Reset(1)
+	if d, _ := bare.Delay(1, 1, 10); d != min {
+		t.Errorf("no observation: self-delivery delayed %d, want %d", d, min)
+	}
+}
+
 // TestLeaderStarverVictimFollowsOmega: the victim is the CURRENT Ω output of
 // the canonical observer, so when leadership fails over the starvation moves
 // with it, within the same run.
@@ -171,7 +210,7 @@ func TestSchedulerRangeFrozen(t *testing.T) {
 // hostilePresets are the protocol-aware and composite environments this PR
 // registers; the determinism and parallel/serial tests below run all of them.
 func hostilePresets() []string {
-	return []string{"leader-starve", "churn-lossy", "hostile"}
+	return []string{"leader-starve", "churn-lossy", "hostile", "hostile-partition"}
 }
 
 // presetTrace runs one 4-process kernel under a named preset (network + any

@@ -68,4 +68,26 @@ func init() {
 				Spare: []model.ProcID{1}})
 		},
 	}.Register()
+	// hostile-partition: the hostile stack with a TIMED partition-and-heal
+	// layer composed on top — {p1, p2} split from the rest over the window
+	// [1500, 2300), cross-partition traffic buffered at the boundary and
+	// released at the heal (sim.Partitioned's eventual-delivery behavior), on
+	// top of the starver's schedule and the lossy layer's drops. The same
+	// scenario the live injector runs under the matching preset name, so a
+	// partition-spanning chaos run means the same environment in the
+	// simulator and over real sockets. Pair with -retransmit for convergence.
+	Composite{
+		Name: "hostile-partition",
+		Network: func() sim.NetworkModel {
+			return sim.ComposeNetworks(
+				&LeaderStarver{Min: 1, Max: 60},
+				&Lossy{Min: 1, Max: 1, Drop: 0.10},
+				&sim.Partitioned{Min: 1, Max: 1, LeftSize: 2, FirstAt: 1500, Duration: 800},
+			)
+		},
+		Faults: func(n int) model.FaultModel {
+			return Churn(n, ChurnConfig{Seed: 1, MeanUp: 900, MeanDown: 250, Until: 4000,
+				Spare: []model.ProcID{1}})
+		},
+	}.Register()
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — run the service plane's chaos soak at its pinned seed under
+# the race detector and emit the machine-readable run summary. The soak
+# (internal/node TestChaosSoakConvergesUnderScriptedFaults) boots four
+# replicas behind the front door, wraps every transport in the seeded live
+# fault injector, and scripts a partition/heal plus a kill/restart over an
+# open-loop client stream; the degraded-mode test rides along in the same
+# package. Every injector decision is a pure function of (seed, link, frame
+# index), so a failure here reproduces locally with the same seed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# `go test` runs each test binary in its package directory, so a relative
+# summary path would land under internal/node — resolve it here first.
+SUMMARY="${CHAOS_SUMMARY:-chaos_summary.json}"
+case "$SUMMARY" in
+  /*) ;;
+  *) SUMMARY="$PWD/$SUMMARY" ;;
+esac
+export CHAOS_SUMMARY="$SUMMARY"
+
+go test -race -count=1 \
+  -run 'TestChaosSoak|TestDegraded' \
+  ./internal/node
+
+if [ -f "$SUMMARY" ]; then
+  echo "chaos summary ($SUMMARY):"
+  cat "$SUMMARY"
+else
+  echo "FAIL: soak did not write $SUMMARY" >&2
+  exit 1
+fi
