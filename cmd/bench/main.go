@@ -23,23 +23,39 @@
 //	                            # only the recorded timings steady; the
 //	                            # max−min spread per cell lands in the
 //	                            # report's spread_ms column)
-//	bench -json BENCH_5.json    # also write the machine-readable report
-//	bench -json BENCH_5.json -scaling 1,2,4,8
+//	bench -json BENCH_6.json    # also write the machine-readable report
+//	bench -json BENCH_6.json -scaling 1,2,4,8
 //	                            # additionally rerun the suite per worker
 //	                            # count and record the wall-time scaling
+//	bench -json BENCH_6.json -latency
+//	                            # additionally run the open-loop latency
+//	                            # sweep (presets × batch configs) into the
+//	                            # report's "latency" section
+//	bench -latency-presets uniform,lossy
+//	                            # restrict the sweep's environment axis
+//	bench -json BENCH_6.json -latency-only
+//	                            # ONLY the latency sweep — skip the
+//	                            # experiment tables (CI latency smoke)
+//	bench -profile cpu          # write cpu.pprof (or mem.pprof) covering
+//	bench -profile mem          # the experiment run; -profile-dir sets
+//	                            # where the profile lands (default ".")
 //
-// The -json report (schema "repro-bench/3", see internal/bench.Report)
+// The -json report (schema "repro-bench/4", see internal/bench.Report)
 // records per-experiment wall time (median-of-(-repeat) per cell) with its
 // run-to-run spread, kernel steps/sec, the kernel and CHT microbenchmarks
-// (ns/op, allocs/op), and the optional scaling sweep. Progress notes for the
-// extra passes go to stderr; stdout carries only the tables.
+// (ns/op, allocs/op), the optional scaling sweep, and the optional open-loop
+// latency sweep (p50/p99/p999 visibility and order-stability latency per
+// network preset × batch config; see internal/loadgen). Progress notes for
+// the extra passes go to stderr; stdout carries only the tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -61,6 +77,11 @@ func run() int {
 	repeat := flag.Int("repeat", 1, "run every cell N times and record the median cell time (tames single-core noise)")
 	jsonPath := flag.String("json", "", "write a machine-readable report (BENCH_<n>.json) to this path")
 	scaling := flag.String("scaling", "", "comma-separated worker counts to sweep for the -json scaling section, e.g. 1,2,8")
+	latency := flag.Bool("latency", false, "run the open-loop latency sweep into the -json report's latency section")
+	latencyPresets := flag.String("latency-presets", "", "comma-separated network presets for the latency sweep (default uniform,lossy,hostile)")
+	latencyOnly := flag.Bool("latency-only", false, "run ONLY the latency sweep, skipping the experiment tables (implies -latency; requires -json)")
+	profileKind := flag.String("profile", "", "write a pprof profile of the experiment run: cpu or mem")
+	profileDir := flag.String("profile-dir", ".", "directory for -profile output (cpu.pprof / mem.pprof)")
 	flag.Parse()
 
 	opts := bench.Options{Quick: *quick, Seed: *seed}
@@ -76,12 +97,31 @@ func run() int {
 	if sh.Count > 1 {
 		fmt.Fprintf(os.Stderr, "bench: running shard %d/%d (tables are partial; reassemble with the other shards)\n", sh.Index, sh.Count)
 	}
+	wantLatency := *latency || *latencyOnly
+	if *jsonPath == "" && (*scaling != "" || wantLatency) {
+		fmt.Fprintln(os.Stderr, "bench: -scaling/-latency require -json")
+		return 2
+	}
+	stopProfile, err := startProfile(*profileKind, *profileDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil {
+			fmt.Fprintf(os.Stderr, "bench: profile: %v\n", perr)
+		}
+	}()
+
 	runner := bench.Runner{Opts: opts, Parallel: *parallel, CellTimeout: *cellTimeout, Shard: sh, Repeat: *repeat}
 	start := time.Now()
-	results, err := runner.Run(ids)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err) // the registry error already names the valid IDs
-		return 2
+	var results []bench.Result
+	if !*latencyOnly {
+		results, err = runner.Run(ids)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err) // the registry error already names the valid IDs
+			return 2
+		}
 	}
 	wall := time.Since(start)
 	for i, r := range results {
@@ -92,10 +132,6 @@ func run() int {
 	}
 
 	if *jsonPath == "" {
-		if *scaling != "" {
-			fmt.Fprintln(os.Stderr, "bench: -scaling requires -json")
-			return 2
-		}
 		return 0
 	}
 	report := bench.NewReport(opts, *parallel, *repeat, results, wall)
@@ -107,14 +143,69 @@ func run() int {
 		}
 		report.AddScaling(points)
 	}
-	fmt.Fprintln(os.Stderr, "bench: running kernel microbenchmarks")
-	report.Micro = bench.Microbenchmarks(*quick)
+	if wantLatency {
+		var presets []string
+		if *latencyPresets != "" {
+			for _, p := range strings.Split(*latencyPresets, ",") {
+				presets = append(presets, strings.TrimSpace(p))
+			}
+		}
+		fmt.Fprintln(os.Stderr, "bench: running open-loop latency sweep")
+		lat, err := bench.LatencySweep(*quick, *seed, presets)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		report.Latency = lat
+	}
+	if !*latencyOnly {
+		fmt.Fprintln(os.Stderr, "bench: running kernel microbenchmarks")
+		report.Micro = bench.Microbenchmarks(*quick)
+	}
 	if err := report.WriteFile(*jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "bench: report written to %s\n", *jsonPath)
 	return 0
+}
+
+// startProfile begins the requested pprof capture and returns a stop function
+// to call when the run is over. kind "" is a no-op; "cpu" records the whole
+// run into cpu.pprof; "mem" snapshots the heap at the end into mem.pprof.
+func startProfile(kind, dir string) (func() error, error) {
+	switch kind {
+	case "":
+		return func() error { return nil }, nil
+	case "cpu":
+		f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "bench: cpu profile written to %s\n", f.Name())
+			return f.Close()
+		}, nil
+	case "mem":
+		path := filepath.Join(dir, "mem.pprof")
+		return func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			fmt.Fprintf(os.Stderr, "bench: heap profile written to %s\n", path)
+			return pprof.WriteHeapProfile(f)
+		}, nil
+	default:
+		return nil, fmt.Errorf("bad -profile %q (want cpu or mem)", kind)
+	}
 }
 
 // parseShard parses the -shard "i/n" syntax; empty means no sharding.

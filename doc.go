@@ -64,9 +64,22 @@
 // median-of-N cell timing (-repeat N) to tame single-core noise, with
 // rows reassembled deterministically so parallel output is byte-identical
 // to serial; cmd/bench -json writes a machine-readable BENCH_<n>.json
-// (schema repro-bench/3: per-experiment wall time with its run-to-run
+// (schema repro-bench/4: per-experiment wall time with its run-to-run
 // spread, kernel steps/sec, microbenchmark ns/op and allocs/op, optional
-// worker-scaling sweep) tracking the perf trajectory.
+// worker-scaling sweep, optional open-loop latency sweep) tracking the perf
+// trajectory. The broadcast layers batch under load: etob.BatchOptions
+// coalesces k pending ops into one update(CG) broadcast (flush on depth k or
+// a linger deadline; k=1 is bit-for-bit the historical path) with an optional
+// AIMD controller that grows the window under queue pressure and halves it
+// when linger-forced flushes run light, and internal/ec carries bursts of
+// promote messages in one envelope the same way. internal/loadgen is the
+// open-loop harness that measures what batching buys: seeded Poisson arrivals
+// over many client sessions into the kernel (or a live cluster), recording
+// submit→visible-at-every-correct-process and submit→order-stable latency
+// per op into fixed-footprint log-bucketed histograms — p50/p99/p999 per
+// network preset × batch config land in the report's "latency" section
+// (cmd/bench -latency), and cmd/bench -profile cpu|mem captures pprof
+// profiles of any run.
 //
 // The service plane makes the paper's replicated service deployable: the
 // live runtime's plumbing is abstracted behind runtime.Transport (in-process

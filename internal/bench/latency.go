@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/etob"
+	"repro/internal/loadgen"
+)
+
+// LatencyResult is one open-loop load measurement inside a Report: a network
+// preset crossed with a batching configuration, driven by internal/loadgen's
+// Poisson arrival stream on the deterministic kernel. Latencies are kernel
+// ticks (the kernel's only clock), quantiles read from the harness's
+// log-bucketed histograms (~3% relative error).
+type LatencyResult struct {
+	Preset string `json:"preset"` // "uniform", "lossy", "hostile", ...
+	Batch  string `json:"batch"`  // "k=1", "k=8", "adaptive"
+	Ops    int    `json:"ops"`
+	// Resolved ops became visible at every correct process; Unresolved did
+	// not inside the settle window (under churn presets a small residue is
+	// expected — restarts can eat a submission; under uniform it means queue
+	// collapse and fails the sweep).
+	Resolved   int `json:"resolved"`
+	Unresolved int `json:"unresolved,omitempty"`
+	// Visibility latency: submit → applied at every correct process.
+	VisibleP50  int64 `json:"visible_p50"`
+	VisibleP99  int64 `json:"visible_p99"`
+	VisibleP999 int64 `json:"visible_p999"`
+	// Order stability: submit → the op's last (re)application anywhere.
+	StableP50  int64 `json:"stable_p50"`
+	StableP99  int64 `json:"stable_p99"`
+	StableP999 int64 `json:"stable_p999"`
+	// MessagesSent is what batching amortizes; OpsPerSec/StepsPerSec and
+	// AllocsPerOp are the wall-clock cost of pushing the stream through.
+	MessagesSent int64   `json:"messages_sent"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// latencyBatchConfigs is the batching axis of the sweep: the historical
+// unbatched path, a fixed window of eight, and the AIMD controller.
+var latencyBatchConfigs = []struct {
+	Name string
+	Opts etob.BatchOptions
+}{
+	{"k=1", etob.BatchOptions{}},
+	{"k=8", etob.BatchOptions{MaxBatch: 8, MaxLinger: 3}},
+	{"adaptive", etob.BatchOptions{Adaptive: true, MaxBatch: 32, MaxLinger: 3}},
+}
+
+// LatencyPresets is the default environment axis of the sweep.
+var LatencyPresets = []string{"uniform", "lossy", "hostile"}
+
+// LatencySweep runs the open-loop latency grid — presets × batch configs —
+// and returns one LatencyResult per cell for the Report's "latency" section.
+// quick shrinks the stream for CI smoke runs; the arrival schedule is fully
+// determined by seed, so latency quantiles (everything but the wall-clock
+// fields) are reproducible.
+func LatencySweep(quick bool, seed int64, presets []string) ([]LatencyResult, error) {
+	if len(presets) == 0 {
+		presets = LatencyPresets
+	}
+	ops, rate := 20_000, 2.0
+	if quick {
+		ops, rate = 1_500, 1.0
+	}
+	var out []LatencyResult
+	for _, preset := range presets {
+		for _, bc := range latencyBatchConfigs {
+			cfg := loadgen.Config{
+				Ops:      ops,
+				Rate:     rate,
+				Sessions: 64,
+				Seed:     seed,
+				Preset:   preset,
+				Batch:    bc.Opts,
+			}
+			res, err := loadgen.RunSim(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("latency sweep %s/%s: %w", preset, bc.Name, err)
+			}
+			if preset == "uniform" && res.Unresolved > 0 {
+				return nil, fmt.Errorf("latency sweep %s/%s: %d/%d ops unresolved on the clean network — queue collapse",
+					preset, bc.Name, res.Unresolved, res.Ops)
+			}
+			out = append(out, LatencyResult{
+				Preset:       preset,
+				Batch:        bc.Name,
+				Ops:          res.Ops,
+				Resolved:     res.Resolved,
+				Unresolved:   res.Unresolved,
+				VisibleP50:   res.Visible.Quantile(0.50),
+				VisibleP99:   res.Visible.Quantile(0.99),
+				VisibleP999:  res.Visible.Quantile(0.999),
+				StableP50:    res.Stable.Quantile(0.50),
+				StableP99:    res.Stable.Quantile(0.99),
+				StableP999:   res.Stable.Quantile(0.999),
+				MessagesSent: res.MessagesSent,
+				OpsPerSec:    res.OpsPerSec,
+				StepsPerSec:  res.StepsPerSec,
+				AllocsPerOp:  res.AllocsPerOp,
+				WallMS:       res.WallMS,
+			})
+		}
+	}
+	return out, nil
+}

@@ -10,15 +10,19 @@ import (
 // Report is the machine-readable record of a bench run, written by cmd/bench
 // as BENCH_<n>.json to track the perf trajectory across PRs.
 //
-// Schema ("repro-bench/3" — rev 3 adds "spread_ms": the summed per-cell
-// time spread (max − min across the -repeat samples), so a reader can judge
-// how noisy the medians in "cell_ms" are; it is 0 when "repeat" is 1 and the
-// rest of the report reads exactly like schema 2. Rev 2 added "repeat":
-// per-cell times are the median of that many repetitions, taming single-core
-// scheduling noise):
+// Schema ("repro-bench/4" — rev 4 adds the optional "latency" section: the
+// open-loop load sweep (internal/loadgen) crossing network presets with
+// broadcast-batching configurations, recording p50/p99/p999 visibility and
+// order-stability latency in kernel ticks plus messages sent and allocs/op
+// per cell; absent when the sweep was not requested, and the rest of the
+// report reads exactly like schema 3. Rev 3 added "spread_ms": the summed
+// per-cell time spread (max − min across the -repeat samples), so a reader
+// can judge how noisy the medians in "cell_ms" are; it is 0 when "repeat" is
+// 1. Rev 2 added "repeat": per-cell times are the median of that many
+// repetitions, taming single-core scheduling noise):
 //
 //	{
-//	  "schema":     "repro-bench/3",
+//	  "schema":     "repro-bench/4",
 //	  "seed":       42,            // base experiment seed
 //	  "quick":      false,         // reduced workloads?
 //	  "parallel":   8,             // worker-pool size of the recorded run
@@ -38,7 +42,13 @@ import (
 //	    {"workers": 8, "wall_ms": 300.0,  "speedup": 6.7}],   // vs the first entry
 //	  "micro": [                   // kernel microbenchmarks (see Microbenchmarks)
 //	    {"name": "kernel/uniform", "iters": 30,
-//	     "ns_per_op": 590000, "allocs_per_op": 172}, ...]
+//	     "ns_per_op": 590000, "allocs_per_op": 172}, ...],
+//	  "latency": [                 // optional open-loop load sweep (see LatencySweep)
+//	    {"preset": "uniform", "batch": "k=8", "ops": 20000, "resolved": 20000,
+//	     "visible_p50": 33, "visible_p99": 49, "visible_p999": 57,
+//	     "stable_p50": 33, "stable_p99": 49, "stable_p999": 57,
+//	     "messages_sent": 123456, "ops_per_sec": 250000,
+//	     "steps_per_sec": 800000, "allocs_per_op": 90, "wall_ms": 80.0}, ...]
 //	}
 type Report struct {
 	Schema      string         `json:"schema"`
@@ -49,8 +59,9 @@ type Report struct {
 	GoMaxProcs  int            `json:"gomaxprocs"`
 	WallMS      float64        `json:"wall_ms"`
 	Experiments []ExpReport    `json:"experiments"`
-	Scaling     []ScalingPoint `json:"scaling,omitempty"`
-	Micro       []MicroResult  `json:"micro,omitempty"`
+	Scaling     []ScalingPoint  `json:"scaling,omitempty"`
+	Micro       []MicroResult   `json:"micro,omitempty"`
+	Latency     []LatencyResult `json:"latency,omitempty"`
 }
 
 // ExpReport is one experiment's perf accounting inside a Report.
@@ -78,7 +89,7 @@ func NewReport(opts Options, parallel, repeat int, results []Result, wall time.D
 		repeat = 1
 	}
 	r := &Report{
-		Schema:     "repro-bench/3",
+		Schema:     "repro-bench/4",
 		Seed:       opts.seed(),
 		Quick:      opts.Quick,
 		Parallel:   parallel,

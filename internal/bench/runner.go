@@ -209,7 +209,7 @@ func median(durs []time.Duration) time.Duration {
 }
 
 // spread returns max − min of the samples (zero for fewer than two): the
-// per-cell time-spread column of the repro-bench/3 report. Call after median
+// per-cell time-spread column of the repro-bench/4 report. Call after median
 // (which leaves durs sorted); a single sample has no spread to report.
 func spread(durs []time.Duration) time.Duration {
 	if len(durs) < 2 {

@@ -133,13 +133,38 @@ func (s OmegaSpec) Build(fp *model.FailurePattern) *fd.Omega {
 // additionally require a Σ oracle next to Ω, which only the simulator can
 // provide (see NewLiveService).
 func ReplicaStack(c Consistency, machine smr.MachineFactory, rt *retransmit.Options) model.AutomatonFactory {
-	if machine == nil {
-		machine = smr.KVFactory
+	return ReplicaStackWith(c, StackOptions{Machine: machine, Retransmit: rt})
+}
+
+// StackOptions carries the optional layers of a replica stack (see
+// ReplicaStackWith).
+type StackOptions struct {
+	// Machine is the replicated state machine (nil = KV store).
+	Machine smr.MachineFactory
+	// Retransmit wraps the stack in the retransmission layer (nil = bare).
+	Retransmit *retransmit.Options
+	// Batch configures ETOB's op-coalescing layer (Eventual only; the
+	// strong variants' Paxos log has no batching layer and ignores it). The
+	// zero value — batching disabled — keeps the stack bit-for-bit identical
+	// to the historical one.
+	Batch etob.BatchOptions
+}
+
+// ReplicaStackWith is ReplicaStack with the optional layers spelled out —
+// notably ETOB's batching layer, which amortizes one update broadcast over k
+// queued commands (internal/etob's BatchOptions).
+func ReplicaStackWith(c Consistency, o StackOptions) model.AutomatonFactory {
+	if o.Machine == nil {
+		o.Machine = smr.KVFactory
 	}
 	var broadcast model.AutomatonFactory
 	switch c {
 	case Eventual, 0:
-		broadcast = etob.Factory()
+		if o.Batch.Enabled() {
+			broadcast = etob.BatchedFactory(o.Batch)
+		} else {
+			broadcast = etob.Factory()
+		}
 	case Strong:
 		broadcast = consensus.LogFactory(consensus.MajorityQuorums)
 	case StrongSigma:
@@ -147,9 +172,9 @@ func ReplicaStack(c Consistency, machine smr.MachineFactory, rt *retransmit.Opti
 	default:
 		panic(fmt.Sprintf("core: unknown consistency %v", c))
 	}
-	factory := smr.ReplicaFactory(broadcast, machine)
-	if rt != nil {
-		factory = retransmit.Wrap(factory, *rt)
+	factory := smr.ReplicaFactory(broadcast, o.Machine)
+	if o.Retransmit != nil {
+		factory = retransmit.Wrap(factory, *o.Retransmit)
 	}
 	return factory
 }
@@ -184,6 +209,9 @@ type Config struct {
 	// churn (Sim.Faults with restarts) — where the paper's eventual-delivery
 	// assumption must be restored end-to-end for convergence to hold.
 	Retransmit bool
+	// Batch configures ETOB's op-coalescing layer (Eventual only); the zero
+	// value keeps the historical unbatched behavior.
+	Batch etob.BatchOptions
 }
 
 // SimService is a replicated service running on the deterministic simulator.
@@ -218,7 +246,7 @@ func NewSimService(cfg Config) *SimService {
 		rt = &retransmit.Options{Seed: cfg.Sim.Seed}
 	}
 	rec := trace.NewRecorder(cfg.N)
-	factory := ReplicaStack(cfg.Consistency, cfg.Machine, rt)
+	factory := ReplicaStackWith(cfg.Consistency, StackOptions{Machine: cfg.Machine, Retransmit: rt, Batch: cfg.Batch})
 	k := sim.New(cfg.Failures, det, factory, cfg.Sim)
 	k.SetObserver(rec)
 	return &SimService{cfg: cfg, kernel: k, rec: rec, det: det}

@@ -1,0 +1,103 @@
+package ec
+
+import "repro/internal/model"
+
+// Batching for Algorithm 4: unlike ETOB — whose update messages carry the
+// whole causality graph, so coalescing is free — EC's promote(v, ℓ) messages
+// are per-instance, so batching needs a carrier: PromoteBatchMsg packs the
+// promotes of several instances into one broadcast. Receivers unpack and
+// handle each item exactly as a standalone promote, so the protocol state
+// machine is unchanged; only the message count shrinks. The flush policy
+// mirrors internal/etob's contract: flush when MaxBatch promotes are queued
+// or when the oldest has waited MaxLinger ticks, whichever comes first, with
+// the linger check running at the start of Tick (before the decide step).
+// With MaxBatch <= 1 the queue is never touched and every trace is
+// byte-identical to the unbatched automaton.
+
+// PromoteBatchMsg carries the promote(v, ℓ) messages of several instances in
+// one broadcast.
+type PromoteBatchMsg struct {
+	Msgs []PromoteMsg
+}
+
+// BatchOptions configures the EC batching layer.
+type BatchOptions struct {
+	// MaxBatch is the flush threshold; <= 1 disables batching.
+	MaxBatch int
+	// MaxLinger is the maximum ticks a queued promote waits (default 1).
+	MaxLinger int
+}
+
+// Enabled reports whether these options actually batch.
+func (o BatchOptions) Enabled() bool { return o.MaxBatch > 1 }
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.MaxLinger <= 0 {
+		o.MaxLinger = 1
+	}
+	return o
+}
+
+// NewBatched returns the Algorithm 4 automaton with promote batching.
+func NewBatched(p model.ProcID, n int, o BatchOptions) *Automaton {
+	a := New(p, n)
+	a.SetBatch(o)
+	return a
+}
+
+// BatchedFactory adapts NewBatched to model.AutomatonFactory.
+func BatchedFactory(o BatchOptions) model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton { return NewBatched(p, n, o) }
+}
+
+// NewDrivenBatched returns a driver-closed-loop automaton with batching.
+func NewDrivenBatched(p model.ProcID, n int, d Driver, o BatchOptions) *Automaton {
+	a := NewDriven(p, n, d)
+	a.SetBatch(o)
+	return a
+}
+
+// SetBatch installs the batch options. Must be called before the automaton
+// takes its first step.
+func (a *Automaton) SetBatch(o BatchOptions) { a.batch = o.withDefaults() }
+
+// Flushes returns how many batched broadcasts the layer emitted (single-item
+// flushes included).
+func (a *Automaton) Flushes() int64 { return a.flushes }
+
+// enqueuePromote queues one promote for the next coalesced broadcast.
+func (a *Automaton) enqueuePromote(ctx model.Context, m PromoteMsg) {
+	a.pending = append(a.pending, m)
+	if len(a.pending) >= a.batch.MaxBatch {
+		a.flushPromotes(ctx)
+	}
+}
+
+// flushPromotes broadcasts everything queued: one raw promote when the batch
+// holds a single item (the wire then looks exactly like the unbatched
+// protocol), one PromoteBatchMsg otherwise.
+func (a *Automaton) flushPromotes(ctx model.Context) {
+	if len(a.pending) == 0 {
+		return
+	}
+	a.flushes++
+	if len(a.pending) == 1 {
+		ctx.Broadcast(a.pending[0])
+	} else {
+		ctx.Broadcast(PromoteBatchMsg{Msgs: append([]PromoteMsg(nil), a.pending...)})
+	}
+	a.pending = a.pending[:0]
+	a.linger = 0
+}
+
+// tickBatch runs the linger half of the flush policy; called at the start of
+// every Tick, before the decide step.
+func (a *Automaton) tickBatch(ctx model.Context) {
+	if len(a.pending) == 0 {
+		return
+	}
+	a.linger++
+	if a.linger >= a.batch.MaxLinger {
+		a.flushPromotes(ctx)
+	}
+}

@@ -1,0 +1,214 @@
+package ec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ecEventLog records every kernel event as a formatted line for trace-identity
+// comparisons.
+type ecEventLog struct {
+	sim.NopObserver
+	lines []string
+	sends int
+}
+
+func (l *ecEventLog) OnSend(t model.Time, m sim.Message) {
+	l.sends++
+	l.lines = append(l.lines, fmt.Sprintf("send %d %v->%v @%d %v", m.ID, m.From, m.To, t, m.Payload))
+}
+
+func (l *ecEventLog) OnDeliver(t model.Time, m sim.Message) {
+	l.lines = append(l.lines, fmt.Sprintf("dlv %d %v->%v @%d %v", m.ID, m.From, m.To, t, m.Payload))
+}
+
+func (l *ecEventLog) OnOutput(p model.ProcID, t model.Time, v any) {
+	l.lines = append(l.lines, fmt.Sprintf("out %v @%d %v", p, t, v))
+}
+
+func runECLogged(factory model.AutomatonFactory, seed int64) *ecEventLog {
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 1)
+	log := &ecEventLog{}
+	k := sim.New(fp, det, factory, sim.Options{Seed: seed})
+	k.SetObserver(log)
+	k.Run(4000)
+	return log
+}
+
+func TestECBatchK1TraceIdentity(t *testing.T) {
+	driver := func(p model.ProcID, inst int) (string, bool) {
+		return fmt.Sprintf("v/%v/%d", p, inst), inst <= 6
+	}
+	base := runECLogged(DrivenFactory(driver), 17)
+	batched := runECLogged(func(p model.ProcID, n int) model.Automaton {
+		return NewDrivenBatched(p, n, driver, BatchOptions{MaxBatch: 1, MaxLinger: 3})
+	}, 17)
+	if len(base.lines) != len(batched.lines) {
+		t.Fatalf("%d events batched vs %d unbatched", len(batched.lines), len(base.lines))
+	}
+	for i := range base.lines {
+		if base.lines[i] != batched.lines[i] {
+			t.Fatalf("event %d diverges:\n  batched:   %s\n  unbatched: %s", i, batched.lines[i], base.lines[i])
+		}
+	}
+}
+
+// scheduleBurstProposals submits instances 1..insts from every process in one
+// tick each — an OPEN-loop workload (the driver is closed-loop, one instance
+// in flight at a time, so its batches never fill).
+func scheduleBurstProposals(k *sim.Kernel, n, insts int) {
+	for _, p := range model.Procs(n) {
+		for inst := 1; inst <= insts; inst++ {
+			k.ScheduleInput(p, model.Time(10+p), model.ProposeInput{Instance: inst, Value: fmt.Sprintf("v/%v/%d", p, inst)})
+		}
+	}
+}
+
+func TestECBatchedClosedLoopStillSatisfiesSpec(t *testing.T) {
+	// Promote batching must not change what EC guarantees under the spec's
+	// closed loop (proposeEC_{ℓ+1} on deciding ℓ): the trace checker passes
+	// end to end. Batches stay shallow here by construction — at most one
+	// promote is in flight per process — which is exactly the degenerate
+	// case the linger deadline exists for.
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 1)
+	driver := func(p model.ProcID, inst int) (string, bool) {
+		return fmt.Sprintf("v/%v/%d", p, inst), inst <= 8
+	}
+	rec := trace.NewRecorder(3)
+	k := sim.New(fp, det, func(p model.ProcID, n int) model.Automaton {
+		return NewDrivenBatched(p, n, driver, BatchOptions{MaxBatch: 4, MaxLinger: 2})
+	}, sim.Options{Seed: 17})
+	k.SetObserver(rec)
+	k.Run(20000)
+
+	rep := trace.CheckEC(rec, fp.Correct(), 8)
+	if !rep.OK() {
+		t.Fatalf("batched EC violates the spec: %+v", rep)
+	}
+	for _, p := range fp.Correct() {
+		if a := k.Automaton(p).(*Automaton); a.Flushes() == 0 {
+			t.Errorf("%v never flushed a batch", p)
+		}
+	}
+}
+
+func TestECBatchCoalescesBurst(t *testing.T) {
+	// An open-loop burst (instances 1..10 proposed in one tick) fills the
+	// batches: the same promotes must reach everyone in fewer messages, and
+	// the live instance (count_i = 10) must still decide on the leader's
+	// value everywhere. (Instances 1..9 are superseded the moment the burst
+	// overwrites count_i — unbatched Algorithm 4 behaves identically.)
+	fp := model.NewFailurePattern(3)
+	det := fd.NewOmegaStable(fp, 1)
+	log := &ecEventLog{}
+	k := sim.New(fp, det, BatchedFactory(BatchOptions{MaxBatch: 4, MaxLinger: 2}), sim.Options{Seed: 17})
+	k.SetObserver(log)
+	scheduleBurstProposals(k, 3, 10)
+	k.Run(12000)
+
+	for _, p := range fp.Correct() {
+		a := k.Automaton(p).(*Automaton)
+		if a.Flushes() == 0 {
+			t.Errorf("%v never flushed a batch", p)
+		}
+		if !a.decided[10] {
+			t.Errorf("%v never decided the live instance 10", p)
+		}
+		// Every promote of every process must have arrived, batch or not.
+		for _, q := range fp.Correct() {
+			for inst := 1; inst <= 10; inst++ {
+				want := fmt.Sprintf("v/%v/%d", q, inst)
+				if got := a.received[q][inst]; got != want {
+					t.Errorf("%v received[%v][%d] = %q, want %q", p, q, inst, got, want)
+				}
+			}
+		}
+	}
+
+	base := &ecEventLog{}
+	kb := sim.New(model.NewFailurePattern(3), fd.NewOmegaStable(fp, 1), Factory(), sim.Options{Seed: 17})
+	kb.SetObserver(base)
+	scheduleBurstProposals(kb, 3, 10)
+	kb.Run(12000)
+	if log.sends >= base.sends {
+		t.Errorf("batched EC sent %d messages, unbatched %d", log.sends, base.sends)
+	}
+	t.Logf("sends: %d batched vs %d unbatched", log.sends, base.sends)
+}
+
+type ecTee struct{ a, b sim.Observer }
+
+func (t ecTee) OnSend(tm model.Time, m sim.Message)           { t.a.OnSend(tm, m); t.b.OnSend(tm, m) }
+func (t ecTee) OnDeliver(tm model.Time, m sim.Message)        { t.a.OnDeliver(tm, m); t.b.OnDeliver(tm, m) }
+func (t ecTee) OnOutput(p model.ProcID, tm model.Time, v any) { t.a.OnOutput(p, tm, v); t.b.OnOutput(p, tm, v) }
+func (t ecTee) OnInput(p model.ProcID, tm model.Time, v any)  { t.a.OnInput(p, tm, v); t.b.OnInput(p, tm, v) }
+
+func TestECBatchUnpackEquivalence(t *testing.T) {
+	// Receiving PromoteBatchMsg{m1..mk} must leave the automaton in exactly
+	// the state of receiving m1..mk individually.
+	msgs := []PromoteMsg{
+		{Instance: 1, Value: "a"},
+		{Instance: 2, Value: "b"},
+		{Instance: 3, Value: "c"},
+	}
+	one, many := New(2, 3), New(2, 3)
+	for _, m := range msgs {
+		one.Recv(nil, 1, m)
+	}
+	many.Recv(nil, 1, PromoteBatchMsg{Msgs: msgs})
+	for _, m := range msgs {
+		a, okA := one.received[1][m.Instance]
+		b, okB := many.received[1][m.Instance]
+		if okA != okB || a != b {
+			t.Errorf("instance %d: individually %q,%v vs batched %q,%v", m.Instance, a, okA, b, okB)
+		}
+	}
+}
+
+func TestECSingleItemFlushLooksUnbatched(t *testing.T) {
+	// A linger flush of one queued promote must put a raw PromoteMsg on the
+	// wire, not a one-element carrier.
+	a := NewBatched(1, 2, BatchOptions{MaxBatch: 8, MaxLinger: 1})
+	ctx := &captureCtx{}
+	a.propose(ctx, 1, "v")
+	if len(ctx.broadcasts) != 0 {
+		t.Fatalf("promote left before the flush: %v", ctx.broadcasts)
+	}
+	a.Tick(ctx)
+	found := false
+	for _, b := range ctx.broadcasts {
+		switch b.(type) {
+		case PromoteMsg:
+			found = true
+		case PromoteBatchMsg:
+			t.Fatalf("single-item flush used the batch carrier: %v", b)
+		}
+	}
+	if !found {
+		t.Fatal("queued promote never flushed")
+	}
+	if a.Flushes() != 1 {
+		t.Errorf("Flushes = %d, want 1", a.Flushes())
+	}
+}
+
+// captureCtx is a minimal model.Context recording broadcasts.
+type captureCtx struct {
+	broadcasts []any
+	outputs    []any
+}
+
+func (c *captureCtx) Self() model.ProcID     { return 1 }
+func (c *captureCtx) N() int                 { return 2 }
+func (c *captureCtx) Now() model.Time        { return 0 }
+func (c *captureCtx) FD() any                { return model.ProcID(1) }
+func (c *captureCtx) Send(model.ProcID, any) {}
+func (c *captureCtx) Broadcast(v any)        { c.broadcasts = append(c.broadcasts, v) }
+func (c *captureCtx) Output(v any)           { c.outputs = append(c.outputs, v) }

@@ -48,6 +48,12 @@ type Automaton struct {
 	decided  map[int]bool                    // instances already responded to
 	driver   Driver                          // optional auto-proposer
 	values   map[int]string                  // values this process proposed
+
+	// Promote batching (batch.go): inert unless batch.Enabled().
+	batch   BatchOptions
+	pending []PromoteMsg
+	linger  int
+	flushes int64
 }
 
 var _ model.Automaton = (*Automaton)(nil)
@@ -113,15 +119,31 @@ func (a *Automaton) propose(ctx model.Context, instance int, value string) {
 	}
 	a.count = instance
 	a.values[instance] = value
+	if a.batch.Enabled() {
+		a.enqueuePromote(ctx, PromoteMsg{Value: value, Instance: instance})
+		return
+	}
 	ctx.Broadcast(PromoteMsg{Value: value, Instance: instance})
 }
 
 // Recv implements model.Automaton.
-func (a *Automaton) Recv(_ model.Context, from model.ProcID, payload any) {
+func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
+	if b, ok := payload.(PromoteBatchMsg); ok {
+		for _, m := range b.Msgs {
+			a.recvPromote(from, m)
+		}
+		return
+	}
 	m, ok := payload.(PromoteMsg)
 	if !ok {
 		return
 	}
+	a.recvPromote(from, m)
+}
+
+// recvPromote is the reception handler of one promote(v, ℓ), shared by the
+// raw and batched carriers.
+func (a *Automaton) recvPromote(from model.ProcID, m PromoteMsg) {
 	byInst := a.received[from]
 	if byInst == nil {
 		byInst = make(map[int]string)
@@ -134,8 +156,12 @@ func (a *Automaton) Recv(_ model.Context, from model.ProcID, payload any) {
 	}
 }
 
-// Tick implements model.Automaton: the "local timeout" of Algorithm 4.
+// Tick implements model.Automaton: the "local timeout" of Algorithm 4. With
+// batching enabled, queued promotes flush (by linger) before the decide step.
 func (a *Automaton) Tick(ctx model.Context) {
+	if a.batch.Enabled() {
+		a.tickBatch(ctx)
+	}
 	if a.count == 0 || a.decided[a.count] {
 		return
 	}

@@ -22,6 +22,13 @@
 //     the protocol implements (strong) total order broadcast.
 //  3. TOB-Causal-Order holds at all times, even while Ω outputs different
 //     leaders at different processes.
+//
+// A batching layer (batch.go, BatchOptions) coalesces k pending
+// broadcastETOB invocations into one update(CG_i) message — same wire
+// vocabulary, same receiver logic, ~k× fewer broadcasts — under a
+// max-batch-size + max-linger flush policy with an optional AIMD self-tuning
+// target; at k=1 it degenerates bit-for-bit to the unbatched automaton. See
+// the flush-policy contract in batch.go.
 package etob
 
 import (
@@ -71,6 +78,16 @@ type Automaton struct {
 	// skipping it is behavior-preserving and removes the dominant cost of
 	// redundant update floods.
 	cgDirty bool
+
+	// Batching layer (batch.go): queued broadcastETOB invocations awaiting
+	// one coalesced update(CG_i). Inert — never touched — unless
+	// batch.Enabled().
+	batch      BatchOptions
+	pending    []pendingOp
+	linger     int   // ticks the oldest queued op has waited
+	target     int   // current batch-size target (fixed or adaptive)
+	flushes    int64 // update broadcasts emitted by the batch layer
+	batchedOps int64 // ops that went through the queue
 }
 
 var _ model.Automaton = (*Automaton)(nil)
@@ -107,8 +124,14 @@ func (a *Automaton) Input(ctx model.Context, in any) {
 }
 
 // BroadcastETOB invokes broadcastETOB(m, C(m)) programmatically (used by the
-// ETOB→EC transformation, which drives ETOB as a black box).
+// ETOB→EC transformation, which drives ETOB as a black box). With batching
+// enabled (SetBatch) the op is queued for a coalesced update instead — see
+// the flush-policy contract in batch.go.
 func (a *Automaton) BroadcastETOB(ctx model.Context, id string, deps []string) {
+	if a.batch.Enabled() {
+		a.enqueue(ctx, id, deps)
+		return
+	}
 	if a.cg.Has(id) {
 		return // duplicate broadcast of the same ID: ignore
 	}
@@ -141,8 +164,13 @@ func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
 	}
 }
 
-// Tick implements model.Automaton: the "local timeout" of Algorithm 5.
+// Tick implements model.Automaton: the "local timeout" of Algorithm 5. With
+// batching enabled, the linger half of the flush policy runs first, so a
+// leader flushes its own queued ops before promoting.
 func (a *Automaton) Tick(ctx model.Context) {
+	if a.batch.Enabled() {
+		a.tickBatch(ctx)
+	}
 	leader, ok := fd.LeaderOf(ctx.FD())
 	if !ok || leader != a.self {
 		return

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramExactBelow32(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 32 || h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	// Values below 32 live in exact buckets, so every quantile is exact:
+	// rank ⌈0.5·32⌉ = 16th smallest of 0..31 = 15.
+	if got := h.Quantile(0.5); got != 15 {
+		t.Errorf("p50 = %d, want 15", got)
+	}
+	if got := h.Quantile(1.0 / 32.0); got != 0 {
+		t.Errorf("q(1/32) = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Errorf("p100 = %d, want 31", got)
+	}
+	if got := h.Mean(); got != 15.5 {
+		t.Errorf("mean = %v, want 15.5", got)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// The representative value of a bucket must map back to that bucket, and
+	// bucket boundaries must be monotone, across the whole dynamic range.
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		v := histBucketValue(i)
+		if got := histBucketOf(v); got != i {
+			t.Fatalf("bucket %d: value %d maps back to bucket %d", i, v, got)
+		}
+		if v <= prev {
+			t.Fatalf("bucket %d: representative %d not monotone (prev %d)", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramQuantileError(t *testing.T) {
+	// Against a sorted reference: every quantile within ~3.2% (1/32) relative
+	// error, over a log-uniform spread covering several powers of two.
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	vals := make([]int64, 0, 20_000)
+	for i := 0; i < 20_000; i++ {
+		v := int64(1) << uint(rng.Intn(20))
+		v += rng.Int63n(v + 1)
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(len(vals))+0.5) - 1
+		want := vals[rank]
+		got := h.Quantile(q)
+		relErr := float64(got-want) / float64(want)
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > 0.04 {
+			t.Errorf("q=%v: got %d want %d (rel err %.3f)", q, got, want, relErr)
+		}
+	}
+}
+
+func TestHistogramMergeAndClamp(t *testing.T) {
+	var a, b Histogram
+	a.Record(-5) // clamps to 0
+	a.Record(10)
+	b.Record(1_000_000)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Min() != 0 || a.Max() != 1_000_000 {
+		t.Fatalf("after merge: %s", a.String())
+	}
+	if got := a.Quantile(1); got != 1_000_000 {
+		t.Errorf("p100 = %d, want exact max 1000000", got)
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 3 {
+		t.Errorf("merge with empty changed count to %d", a.Count())
+	}
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}

@@ -21,13 +21,20 @@ const chaosSeed = 42
 // chaosSummary is the soak's machine-readable run report, written to
 // $CHAOS_SUMMARY when set (CI uploads it as an artifact).
 type chaosSummary struct {
-	Seed      int64                  `json:"seed"`
-	Acked     int                    `json:"acked"`
-	ClientErr int                    `json:"client_errors"`
-	Failovers int64                  `json:"lb_failovers"`
-	Declined  int64                  `json:"lb_declined"`
-	Denied    int64                  `json:"lb_retries_denied"`
-	Nodes     map[string]node.Status `json:"nodes"`
+	Seed      int64 `json:"seed"`
+	Acked     int   `json:"acked"`
+	ClientErr int   `json:"client_errors"`
+	Failovers int64 `json:"lb_failovers"`
+	Declined  int64 `json:"lb_declined"`
+	Denied    int64 `json:"lb_retries_denied"`
+	// Cluster-wide aggregates of the per-node transport/retransmit counters
+	// (the soak asserts resends and duplicates are nonzero — a lossy soak
+	// that never resent anything exercised nothing — and that no frame was
+	// dropped at an inbox).
+	Resends      int64                  `json:"resends"`
+	Duplicates   int64                  `json:"duplicates"`
+	InboxDropped int64                  `json:"inbox_dropped"`
+	Nodes        map[string]node.Status `json:"nodes"`
 }
 
 func writeChaosSummary(t *testing.T, c *cluster, acked, clientErr int) {
@@ -51,6 +58,9 @@ func writeChaosSummary(t *testing.T, c *cluster, acked, clientErr int) {
 		if st, err := nodeStatus(nd); err == nil {
 			st.Snapshot = "" // the convergence check already compared these
 			sum.Nodes[fmt.Sprint(int(nd.ID()))] = st
+			sum.Resends += st.Resends
+			sum.Duplicates += st.Duplicates
+			sum.InboxDropped += st.InboxDropped
 		}
 	}
 	raw, err := json.MarshalIndent(sum, "", "  ")
@@ -169,6 +179,34 @@ func TestChaosSoakConvergesUnderScriptedFaults(t *testing.T) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+
+	// The healing machinery must have visibly worked: 15% seeded loss on
+	// every link forces resends, and lost ACKs make some of those resends
+	// arrive twice — receiver-side dedup records them as duplicates. Both
+	// counters at zero would mean the soak never exercised the layer it
+	// exists to test. The inbox, meanwhile, must never have shed a frame:
+	// this workload is far below the event loop's capacity, so any inbox
+	// drop is a scheduling bug, not load.
+	var resends, dups, inboxDropped int64
+	for _, nd := range c.nodes {
+		st, err := nodeStatus(nd)
+		if err != nil {
+			t.Fatalf("status for counter audit: %v", err)
+		}
+		resends += st.Resends
+		dups += st.Duplicates
+		inboxDropped += st.InboxDropped
+	}
+	if resends == 0 {
+		t.Error("seeded 15% loss produced zero resends across the cluster")
+	}
+	if dups == 0 {
+		t.Error("seeded loss produced zero receiver-side duplicates (ack loss should cause some)")
+	}
+	if inboxDropped != 0 {
+		t.Errorf("%d frames dropped at replica inboxes under a light workload", inboxDropped)
+	}
+	t.Logf("counter audit: resends=%d duplicates=%d inbox_dropped=%d", resends, dups, inboxDropped)
 
 	writeChaosSummary(t, c, acked, clientErr)
 }

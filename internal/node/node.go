@@ -122,6 +122,12 @@ type Config struct {
 	// Retransmit tunes the retransmission layer. Nil gets a per-ID seed and
 	// DefaultGiveUpTicks.
 	Retransmit *retransmit.Options
+	// Batch configures ETOB broadcast batching (internal/etob's flush-policy
+	// contract): HTTP-submitted updates queue at the broadcast layer and ride
+	// the next window — one update message per flush instead of one per
+	// command — shrinking both wire traffic and the retransmission layer's
+	// sender state by the batch factor. The zero value disables batching.
+	Batch etob.BatchOptions
 	// Fault, if non-nil, wraps the TCP transport in a runtime.FaultTransport
 	// seeded with this config — the live chaos injector. The handle is
 	// available via Fault() for scripting partitions and heals.
@@ -141,6 +147,7 @@ type Config struct {
 type Node struct {
 	cfg   Config
 	tr    runtime.Transport
+	tcp   *runtime.TCPTransport   // unwrapped handle for transport counters
 	fault *runtime.FaultTransport // nil unless Config.Fault was set
 	proc  *runtime.Proc
 	srv   *http.Server
@@ -210,6 +217,7 @@ func New(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:           cfg,
 		tr:            tr,
+		tcp:           tcp,
 		fault:         fault,
 		rt:            rt,
 		front:         strings.TrimRight(cfg.Front, "/"),
@@ -219,7 +227,11 @@ func New(cfg Config) (*Node, error) {
 		bootGrace:     bootGrace,
 		httpDone:      make(chan struct{}),
 	}
-	n.proc = runtime.NewProc(tr, core.ReplicaStack(cfg.Consistency, cfg.Machine, &rt), opts)
+	n.proc = runtime.NewProc(tr, core.ReplicaStackWith(cfg.Consistency, core.StackOptions{
+		Machine:    cfg.Machine,
+		Retransmit: &rt,
+		Batch:      cfg.Batch,
+	}), opts)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/update", n.handleUpdate)
@@ -548,7 +560,20 @@ type Status struct {
 	Duplicates int64  `json:"duplicates"`
 	Pending    int    `json:"pending"`
 	Abandoned  int64  `json:"abandoned"`
-	Snapshot   string `json:"snapshot"`
+	// Transport counters: frames dropped at the inbox (event loop too slow
+	// for the arrival rate) and the writer's coalescing effectiveness —
+	// connection writes performed vs frames that rode an earlier write.
+	InboxDropped int64 `json:"inbox_dropped"`
+	Flushes      int64 `json:"flushes"`
+	Coalesced    int64 `json:"coalesced"`
+	// Broadcast batching counters (zero when Config.Batch is off): update
+	// broadcasts emitted, commands that rode them, the current batch-size
+	// target, and commands still queued for the next window.
+	BatchFlushes int64  `json:"batch_flushes,omitempty"`
+	BatchOps     int64  `json:"batch_ops,omitempty"`
+	BatchTarget  int    `json:"batch_target,omitempty"`
+	BatchQueued  int    `json:"batch_queued,omitempty"`
+	Snapshot     string `json:"snapshot"`
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -564,6 +589,9 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if n.fault != nil {
 		st.Injected = n.fault.Injected()
 	}
+	st.InboxDropped = n.tcp.InboxDropped()
+	st.Flushes = n.tcp.Flushes()
+	st.Coalesced = n.tcp.Coalesced()
 	ok := n.proc.Inspect(func(a model.Automaton) {
 		if wrap, isWrapped := a.(*retransmit.Automaton); isWrapped {
 			st.Resends = wrap.Resends()
@@ -575,6 +603,13 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		st.Applied = rep.AppliedCount()
 		st.Rebuilds = rep.Rebuilds()
 		st.Snapshot = rep.Snapshot()
+		if b, batched := rep.Inner().(interface{ BatchStats() etob.BatchStats }); batched {
+			bs := b.BatchStats()
+			st.BatchFlushes = bs.Flushes
+			st.BatchOps = bs.Ops
+			st.BatchTarget = bs.Target
+			st.BatchQueued = bs.Queued
+		}
 	})
 	if !ok {
 		http.Error(w, "replica stopped", http.StatusServiceUnavailable)

@@ -31,6 +31,11 @@ func RegisterWireType(v any) { gob.Register(v) }
 // prefix must not allocate unbounded memory).
 const maxFrameBytes = 64 << 20
 
+// maxCoalescedFrames bounds how many queued frames one writer wakeup drains
+// into a single connection write (bounds the flush buffer; the remainder just
+// rides the next wakeup).
+const maxCoalescedFrames = 128
+
 // TCPConfig configures one process's TCPTransport endpoint.
 type TCPConfig struct {
 	// Self is this process.
@@ -95,14 +100,17 @@ type TCPTransport struct {
 	self model.ProcID
 	n    int
 
-	ln      net.Listener
-	dialer  *net.Dialer // shared across all peer writers
-	inbox   chan Frame
-	closed  chan struct{}
-	once    sync.Once
-	dropped atomic.Int64
-	peers   map[model.ProcID]*tcpPeer
-	wg      sync.WaitGroup
+	ln        net.Listener
+	dialer    *net.Dialer // shared across all peer writers
+	inbox     chan Frame
+	closed    chan struct{}
+	once      sync.Once
+	dropped   atomic.Int64
+	inboxDrop atomic.Int64 // subset of dropped: inbox-overflow drops
+	flushes   atomic.Int64 // connection writes (each carrying >= 1 frame)
+	coalesced atomic.Int64 // frames that rode an earlier frame's flush
+	peers     map[model.ProcID]*tcpPeer
+	wg        sync.WaitGroup
 }
 
 type tcpPeer struct {
@@ -171,6 +179,18 @@ func (t *TCPTransport) Recv() <-chan Frame { return t.inbox }
 // Dropped implements Transport.
 func (t *TCPTransport) Dropped() int64 { return t.dropped.Load() }
 
+// InboxDropped returns the subset of Dropped() lost to inbox overflow (as
+// opposed to outbound-queue overflow, encode failures, and broken writes).
+func (t *TCPTransport) InboxDropped() int64 { return t.inboxDrop.Load() }
+
+// Flushes returns how many connection writes the writers performed; each
+// flush carries one or more coalesced frames.
+func (t *TCPTransport) Flushes() int64 { return t.flushes.Load() }
+
+// Coalesced returns how many frames were carried by a flush they did not
+// trigger — the frames whose syscall the coalescing writer saved.
+func (t *TCPTransport) Coalesced() int64 { return t.coalesced.Load() }
+
 // Addr returns the address the endpoint actually listens on (useful with
 // ":0" test configs).
 func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
@@ -231,6 +251,7 @@ func (t *TCPTransport) offer(f Frame) {
 	case t.inbox <- f:
 	case <-t.closed:
 	default:
+		t.inboxDrop.Add(1)
 		t.drop(f)
 	}
 }
@@ -299,10 +320,18 @@ func (t *TCPTransport) reader(conn net.Conn) {
 }
 
 // writer owns the outbound connection to one peer: dial (and redial, with
-// capped exponential backoff) for as long as the endpoint lives, encode each
-// queued frame independently, and drop-with-counter anything that cannot be
-// delivered right now. The frame being written when a connection breaks is
-// dropped too — at-most-once, by design.
+// capped exponential backoff) for as long as the endpoint lives, COALESCE
+// whatever has queued behind the frame that woke it — up to
+// maxCoalescedFrames, drained without blocking — into one buffer of
+// independently encoded length-prefixed frames, and flush that buffer with a
+// single connection write (the writev-style amortization: a replica
+// broadcasting through the retransmission layer queues n envelopes back to
+// back, and a batch-window's worth of traffic to one peer becomes one
+// syscall instead of one per frame). Each frame still gets its own gob
+// encoder and length prefix, so the reader is unchanged and a reconnection
+// never desynchronizes codec state. Anything that cannot be delivered right
+// now is dropped with a counter: an unencodable frame individually, a broken
+// write the whole flush — at-most-once, by design.
 //
 // The backoff streak persists ACROSS connections, not just across failed
 // dials: a flapping peer whose listener accepts connections and immediately
@@ -320,6 +349,8 @@ func (t *TCPTransport) writer(peer *tcpPeer) {
 		}
 	}()
 	var buf bytes.Buffer
+	batch := make([]Frame, 0, maxCoalescedFrames)
+	encoded := make([]Frame, 0, maxCoalescedFrames)
 	failStreak := 0
 	for {
 		var f Frame
@@ -327,6 +358,18 @@ func (t *TCPTransport) writer(peer *tcpPeer) {
 		case <-t.closed:
 			return
 		case f = <-peer.out:
+		}
+		// Drain what queued behind the wakeup frame; later arrivals ride the
+		// next flush.
+		batch = append(batch[:0], f)
+	drain:
+		for len(batch) < maxCoalescedFrames {
+			select {
+			case more := <-peer.out:
+				batch = append(batch, more)
+			default:
+				break drain
+			}
 		}
 		if conn == nil {
 			if failStreak > 0 && !t.pause(capBackoff(t.cfg.RedialBackoff, t.cfg.MaxRedialBackoff, failStreak)) {
@@ -340,23 +383,36 @@ func (t *TCPTransport) writer(peer *tcpPeer) {
 			}
 		}
 		buf.Reset()
-		buf.Write([]byte{0, 0, 0, 0}) // length placeholder
-		if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-			// Unregistered or unencodable payload: this frame can never be
-			// carried; count it and move on.
-			t.drop(f)
+		encoded = encoded[:0]
+		for _, fr := range batch {
+			start := buf.Len()
+			buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+			if err := gob.NewEncoder(&buf).Encode(fr); err != nil {
+				// Unregistered or unencodable payload: this frame can never
+				// be carried; count it and keep the rest of the flush.
+				buf.Truncate(start)
+				t.drop(fr)
+				continue
+			}
+			b := buf.Bytes()[start:]
+			binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+			encoded = append(encoded, fr)
+		}
+		if len(encoded) == 0 {
 			continue
 		}
-		b := buf.Bytes()
-		binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
-		if _, err := conn.Write(b); err != nil {
+		if _, err := conn.Write(buf.Bytes()); err != nil {
 			conn.Close()
 			conn = nil
 			failStreak++
-			t.drop(f)
+			for _, fr := range encoded {
+				t.drop(fr)
+			}
 			continue
 		}
 		failStreak = 0
+		t.flushes.Add(1)
+		t.coalesced.Add(int64(len(encoded) - 1))
 	}
 }
 

@@ -42,14 +42,21 @@ type Command struct {
 	Cmd string
 }
 
-// Applied is output whenever the replica's machine state changes: the command
-// sequence applied and the resulting snapshot. Rebuilt reports whether the
-// replica had to replay from scratch because its delivered prefix changed
-// (only possible before the ETOB stabilization time).
+// Applied is output whenever the replica's machine state changes. It carries
+// only the DELTA: the command IDs applied by this change, in order, and the
+// total applied count after it — not the full sequence and not a snapshot.
+// (It used to carry both, which made the output O(applied) per change and the
+// whole run quadratic in ops; under the open-loop load harness that copying
+// dominated everything. Observers that want the full sequence accumulate the
+// deltas — a Rebuilt change restarts the accumulation — and ones that want
+// the machine state ask the Replica.) Rebuilt reports whether the replica
+// replayed from scratch because its delivered prefix changed (only possible
+// before the ETOB stabilization time); the New of a rebuilt change is the
+// entire re-applied sequence.
 type Applied struct {
-	Commands []string
-	Snapshot string
-	Rebuilt  bool
+	New     []string
+	Total   int
+	Rebuilt bool
 }
 
 // EncodeCommand builds the broadcast message ID carrying cmd; uniq must be
@@ -147,25 +154,28 @@ func (r *Replica) onDelivered(ctx model.Context, seq []string) {
 		r.rebuilt++
 		rebuilt = true
 	}
-	changed := rebuilt
-	for _, id := range seq[len(r.applied):] {
+	from := len(r.applied)
+	for _, id := range seq[from:] {
 		if cmd, ok := DecodeCommand(id); ok {
 			r.machine.Apply(cmd)
 		}
 		r.applied = append(r.applied, id)
-		changed = true
 	}
-	if changed {
+	if rebuilt || len(r.applied) > from {
 		ctx.Output(Applied{
-			Commands: append([]string(nil), r.applied...),
-			Snapshot: r.machine.Snapshot(),
-			Rebuilt:  rebuilt,
+			New:     append([]string(nil), r.applied[from:]...),
+			Total:   len(r.applied),
+			Rebuilt: rebuilt,
 		})
 	}
 }
 
 // Snapshot returns the replica's current machine snapshot.
 func (r *Replica) Snapshot() string { return r.machine.Snapshot() }
+
+// Inner returns the broadcast automaton the replica drives (introspection:
+// e.g. the ETOB batching layer's counters live there).
+func (r *Replica) Inner() model.Automaton { return r.inner }
 
 // AppliedCount returns the number of commands currently applied.
 func (r *Replica) AppliedCount() int { return len(r.applied) }

@@ -13,32 +13,40 @@ import (
 	"repro/internal/sim"
 )
 
+// snapObserver accumulates each replica's applied sequence from the Applied
+// deltas — a rebuilt change restarts the accumulation — which doubles as a
+// test of the delta contract: the running total must always match
+// Applied.Total.
 type snapObserver struct {
 	sim.NopObserver
-	mu    sync.Mutex
-	snaps map[model.ProcID][]Applied
+	t    *testing.T
+	mu   sync.Mutex
+	seqs map[model.ProcID][]string
 }
 
-func newSnapObserver() *snapObserver {
-	return &snapObserver{snaps: make(map[model.ProcID][]Applied)}
+func newSnapObserver(t *testing.T) *snapObserver {
+	return &snapObserver{t: t, seqs: make(map[model.ProcID][]string)}
 }
 
 func (o *snapObserver) OnOutput(p model.ProcID, _ model.Time, v any) {
 	if a, ok := v.(Applied); ok {
 		o.mu.Lock()
-		o.snaps[p] = append(o.snaps[p], a)
+		if a.Rebuilt {
+			o.seqs[p] = o.seqs[p][:0]
+		}
+		o.seqs[p] = append(o.seqs[p], a.New...)
+		if len(o.seqs[p]) != a.Total {
+			o.t.Errorf("%v: accumulated %d applied commands, Applied.Total says %d", p, len(o.seqs[p]), a.Total)
+		}
 		o.mu.Unlock()
 	}
 }
 
-func (o *snapObserver) final(p model.ProcID) (Applied, bool) {
+func (o *snapObserver) final(p model.ProcID) ([]string, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	s := o.snaps[p]
-	if len(s) == 0 {
-		return Applied{}, false
-	}
-	return s[len(s)-1], true
+	s, ok := o.seqs[p]
+	return s, ok && len(s) > 0
 }
 
 func TestCommandCodec(t *testing.T) {
@@ -129,7 +137,7 @@ func TestEventualSMRConvergesAfterDivergence(t *testing.T) {
 	// Even processes trust p2 (itself even), odd processes trust p1 (itself
 	// odd): two self-sustaining leader camps until t=1500.
 	det := fd.NewOmegaSplit(fp, 2, 1, 1, 1500)
-	obs := newSnapObserver()
+	obs := newSnapObserver(t)
 	factory := ReplicaFactory(etob.Factory(), KVFactory)
 	k := sim.New(fp, det, factory, sim.Options{Seed: 61})
 	k.SetObserver(obs)
@@ -147,13 +155,14 @@ func TestEventualSMRConvergesAfterDivergence(t *testing.T) {
 		if !ok {
 			t.Fatalf("%v never applied anything", p)
 		}
-		if len(fin.Commands) != 8 {
-			t.Errorf("%v applied %d commands, want 8", p, len(fin.Commands))
+		if len(fin) != 8 {
+			t.Errorf("%v applied %d commands, want 8", p, len(fin))
 		}
+		snap := k.Automaton(p).(*Replica).Snapshot()
 		if want == "" {
-			want = fin.Snapshot
-		} else if fin.Snapshot != want {
-			t.Errorf("%v snapshot %q != %q", p, fin.Snapshot, want)
+			want = snap
+		} else if snap != want {
+			t.Errorf("%v snapshot %q != %q", p, snap, want)
 		}
 	}
 	// Divergence happened: some replica rebuilt at least once.
@@ -171,7 +180,7 @@ func TestStrongSMRNeverRebuilds(t *testing.T) {
 	// Paxos-backed KV store: sequences never reorder, so no rebuilds ever.
 	fp := model.NewFailurePattern(3)
 	det := fd.NewOmegaRotating(fp, 1, 800, 50)
-	obs := newSnapObserver()
+	obs := newSnapObserver(t)
 	factory := ReplicaFactory(consensus.LogFactory(consensus.MajorityQuorums), KVFactory)
 	k := sim.New(fp, det, factory, sim.Options{Seed: 71})
 	k.SetObserver(obs)
@@ -186,8 +195,10 @@ func TestStrongSMRNeverRebuilds(t *testing.T) {
 	}
 	a, okA := obs.final(1)
 	b, okB := obs.final(2)
-	if !okA || !okB || a.Snapshot != b.Snapshot {
-		t.Fatalf("strong replicas differ: %+v vs %+v", a, b)
+	snapA := k.Automaton(1).(*Replica).Snapshot()
+	snapB := k.Automaton(2).(*Replica).Snapshot()
+	if !okA || !okB || snapA != snapB {
+		t.Fatalf("strong replicas differ: %v (%q) vs %v (%q)", a, snapA, b, snapB)
 	}
 }
 
