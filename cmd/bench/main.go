@@ -36,17 +36,26 @@
 //	bench -json BENCH_6.json -latency-only
 //	                            # ONLY the latency sweep — skip the
 //	                            # experiment tables (CI latency smoke)
+//	bench -json BENCH_7.json -metrics
+//	                            # additionally rerun the suite with the obs
+//	                            # metrics registry attached to every cell's
+//	                            # kernel and record the on/off overhead
+//	                            # comparison in the report's "metrics"
+//	                            # section (errors if observation changes
+//	                            # any table row)
 //	bench -profile cpu          # write cpu.pprof (or mem.pprof) covering
 //	bench -profile mem          # the experiment run; -profile-dir sets
 //	                            # where the profile lands (default ".")
 //
-// The -json report (schema "repro-bench/4", see internal/bench.Report)
+// The -json report (schema "repro-bench/5", see internal/bench.Report)
 // records per-experiment wall time (median-of-(-repeat) per cell) with its
 // run-to-run spread, kernel steps/sec, the kernel and CHT microbenchmarks
-// (ns/op, allocs/op), the optional scaling sweep, and the optional open-loop
+// (ns/op, allocs/op), the optional scaling sweep, the optional open-loop
 // latency sweep (p50/p99/p999 visibility and order-stability latency per
-// network preset × batch config; see internal/loadgen). Progress notes for
-// the extra passes go to stderr; stdout carries only the tables.
+// network preset × batch config; see internal/loadgen), and the optional
+// metrics-on/off overhead audit (see internal/bench.MetricsCompare).
+// Progress notes for the extra passes go to stderr; stdout carries only the
+// tables.
 package main
 
 import (
@@ -80,6 +89,7 @@ func run() int {
 	latency := flag.Bool("latency", false, "run the open-loop latency sweep into the -json report's latency section")
 	latencyPresets := flag.String("latency-presets", "", "comma-separated network presets for the latency sweep (default uniform,lossy,hostile)")
 	latencyOnly := flag.Bool("latency-only", false, "run ONLY the latency sweep, skipping the experiment tables (implies -latency; requires -json)")
+	metrics := flag.Bool("metrics", false, "rerun the suite with the obs metrics registry on and record the overhead comparison in the -json report's metrics section")
 	profileKind := flag.String("profile", "", "write a pprof profile of the experiment run: cpu or mem")
 	profileDir := flag.String("profile-dir", ".", "directory for -profile output (cpu.pprof / mem.pprof)")
 	flag.Parse()
@@ -98,8 +108,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "bench: running shard %d/%d (tables are partial; reassemble with the other shards)\n", sh.Index, sh.Count)
 	}
 	wantLatency := *latency || *latencyOnly
-	if *jsonPath == "" && (*scaling != "" || wantLatency) {
-		fmt.Fprintln(os.Stderr, "bench: -scaling/-latency require -json")
+	if *jsonPath == "" && (*scaling != "" || wantLatency || *metrics) {
+		fmt.Fprintln(os.Stderr, "bench: -scaling/-latency/-metrics require -json")
+		return 2
+	}
+	if *metrics && *latencyOnly {
+		fmt.Fprintln(os.Stderr, "bench: -metrics needs the experiment tables; drop -latency-only")
 		return 2
 	}
 	stopProfile, err := startProfile(*profileKind, *profileDir)
@@ -157,6 +171,15 @@ func run() int {
 			return 1
 		}
 		report.Latency = lat
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "bench: running metrics-on/off overhead comparison")
+		mres, err := bench.MetricsCompare(runner, ids)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		report.AddMetrics(mres)
 	}
 	if !*latencyOnly {
 		fmt.Fprintln(os.Stderr, "bench: running kernel microbenchmarks")

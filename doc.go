@@ -64,10 +64,10 @@
 // median-of-N cell timing (-repeat N) to tame single-core noise, with
 // rows reassembled deterministically so parallel output is byte-identical
 // to serial; cmd/bench -json writes a machine-readable BENCH_<n>.json
-// (schema repro-bench/4: per-experiment wall time with its run-to-run
+// (schema repro-bench/5: per-experiment wall time with its run-to-run
 // spread, kernel steps/sec, microbenchmark ns/op and allocs/op, optional
-// worker-scaling sweep, optional open-loop latency sweep) tracking the perf
-// trajectory. The broadcast layers batch under load: etob.BatchOptions
+// worker-scaling sweep, optional open-loop latency sweep, optional
+// metrics-on/off overhead audit) tracking the perf trajectory. The broadcast layers batch under load: etob.BatchOptions
 // coalesces k pending ops into one update(CG) broadcast (flush on depth k or
 // a linger deadline; k=1 is bit-for-bit the historical path) with an optional
 // AIMD controller that grows the window under queue pressure and halves it
@@ -103,7 +103,16 @@
 // with 503 + Retry-After while serving staleness-marked reads
 // (internal/node's chaos soak pins convergence after heal with zero
 // acked-then-lost writes; CI's chaos-smoke job runs it at a pinned seed
-// under -race). The
+// under -race). The whole plane is observable through internal/obs, a
+// dependency-free metrics registry (atomic counters, gauges, log-bucketed
+// histograms) plus a bounded-ring op-lifecycle tracer: every replica and the
+// front door serve Prometheus-text GET /metrics (the same counter names the
+// sim kernel registers, so sim and live runs compare by name), GET /trace?op=
+// returns one op's causal timeline (submit → batch-flush → broadcast →
+// deliver → order-stable), /status reads the same registry the scrape does,
+// and the chaos soak cross-checks scraped counters against the runtime
+// StepLog ground truth while scripts/metrics_overhead.sh gates the
+// registry's hot-path cost at 5%. The
 // deterministic kernel stays authoritative: runtime.Options.StepLog records
 // every live step's schedule and runtime.Replay re-executes it through fresh
 // automata, pinning that both transports run the SAME automaton semantics.

@@ -101,6 +101,12 @@ type Options struct {
 	Quick bool
 	// Seed is the base PRNG seed (experiments derive from it).
 	Seed int64
+	// Metrics attaches an obs.Registry to every cell's kernel and scrapes it
+	// when the cell finishes — the monitored-run configuration whose timing
+	// MetricsCompare holds against the default within the run's own spread.
+	// Tables are bit-identical either way (observation reads counters the
+	// kernel already keeps; MetricsCompare enforces this).
+	Metrics bool
 }
 
 func (o Options) seed() int64 {

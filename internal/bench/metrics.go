@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// observe attaches a fresh metrics registry to one cell's kernel when
+// Options.Metrics is on, and returns the scrape to run when the cell
+// finishes (defer it right after sim.New). A metrics-on cell therefore pays
+// exactly what a monitored run pays — registry construction, counter
+// registration, and one end-of-run scrape (stack snapshot + Prometheus
+// exposition) — and NOTHING per step, because the registry reads the
+// counters the kernel and stack already maintain. The metrics-on/off
+// comparison in MetricsCompare (the "metrics" section of BENCH_*.json, and
+// the 5% gate in scripts/metrics_overhead.sh) exists to keep that claim
+// honest. With Metrics off this is a no-op, so the default suite is
+// unchanged.
+func (o Options) observe(k *sim.Kernel) func() {
+	if !o.Metrics {
+		return func() {}
+	}
+	reg := obs.NewRegistry()
+	k.RegisterMetrics(reg)
+	return func() {
+		// Proc 1 exists in every experiment topology; non-replica stacks
+		// (echo, quorum baselines) register the parity set as zeros.
+		core.CollectStackMetrics(reg, k.Automaton(1))
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			panic(fmt.Sprintf("bench: metrics exposition: %v", err))
+		}
+	}
+}
+
+// MetricsResult is one experiment's metrics-on/off comparison inside a
+// Report: median cell time with the registry off and on, the delta, and
+// whether that delta sits within the run's own repeat-to-repeat spread (plus
+// a 0.5ms floor for experiments too small to have measurable spread) — the
+// observability plane's overhead contract, measured.
+type MetricsResult struct {
+	ID           string  `json:"id"`
+	OffMS        float64 `json:"off_ms"`
+	OnMS         float64 `json:"on_ms"`
+	DeltaMS      float64 `json:"delta_ms"`
+	SpreadMS     float64 `json:"spread_ms"`
+	WithinSpread bool    `json:"within_spread"`
+}
+
+// noiseFloorMS absorbs scheduler jitter on experiments whose whole cell time
+// is microseconds: a sub-half-millisecond delta is below what wall-clock
+// timing can attribute to the registry.
+const noiseFloorMS = 0.5
+
+// MetricsCompare runs the selected experiments twice with identical Runner
+// settings — metrics registry off and on — and compares per-experiment cell
+// times. The off and on runs of EACH experiment execute back to back
+// (off(E1), on(E1), off(E2), ...) rather than as two whole-suite passes:
+// on a shared 1-core host the machine drifts on a seconds scale, and a
+// suite-apart pairing charges that drift to the registry. It errors if any
+// experiment's TABLE differs between the runs: observation must never
+// perturb results, only (boundedly) timing.
+func MetricsCompare(r Runner, ids []string) ([]MetricsResult, error) {
+	off, on := r, r
+	off.Opts.Metrics = false
+	on.Opts.Metrics = true
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	out := make([]MetricsResult, 0, len(ids))
+	for _, id := range ids {
+		offRes, err := off.Run([]string{id})
+		if err != nil {
+			return nil, err
+		}
+		onRes, err := on.Run([]string{id})
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(offRes[0].Table.Rows, onRes[0].Table.Rows) {
+			return nil, fmt.Errorf("bench: %s rows differ with metrics on — observation perturbed the run",
+				offRes[0].Table.ID)
+		}
+		mr := MetricsResult{
+			ID:      offRes[0].Table.ID,
+			OffMS:   ms(offRes[0].CellTime),
+			OnMS:    ms(onRes[0].CellTime),
+			DeltaMS: ms(onRes[0].CellTime - offRes[0].CellTime),
+		}
+		mr.SpreadMS = ms(offRes[0].CellSpread)
+		if s := ms(onRes[0].CellSpread); s > mr.SpreadMS {
+			mr.SpreadMS = s
+		}
+		delta := mr.DeltaMS
+		if delta < 0 {
+			delta = -delta
+		}
+		mr.WithinSpread = delta <= mr.SpreadMS+noiseFloorMS
+		out = append(out, mr)
+	}
+	return out, nil
+}
+
+// AddMetrics records a metrics-on/off comparison in the report.
+func (r *Report) AddMetrics(results []MetricsResult) { r.Metrics = results }

@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// TestMetricsCompare pins the overhead audit's contract on a pair of quick
+// experiments: one result per experiment in selection order, tables
+// bit-identical on/off (MetricsCompare errors otherwise), non-negative
+// timings, and a spread that is the max of the two runs' spreads.
+func TestMetricsCompare(t *testing.T) {
+	r := Runner{Opts: Options{Quick: true}, Parallel: 2, Repeat: 2}
+	results, err := MetricsCompare(r, []string{"E1", "E11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "E1" || results[1].ID != "E11" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	for _, mr := range results {
+		if mr.OffMS <= 0 || mr.OnMS <= 0 {
+			t.Errorf("%s: off_ms=%v on_ms=%v, want both > 0", mr.ID, mr.OffMS, mr.OnMS)
+		}
+		if got := mr.OnMS - mr.OffMS; got-mr.DeltaMS > 1e-6 || mr.DeltaMS-got > 1e-6 {
+			t.Errorf("%s: delta_ms=%v, want on-off=%v", mr.ID, mr.DeltaMS, got)
+		}
+		if mr.SpreadMS < 0 {
+			t.Errorf("%s: negative spread %v", mr.ID, mr.SpreadMS)
+		}
+	}
+}
+
+// TestMetricsOptionIdenticalTables is the perturbation-freedom property on
+// its own: a metrics-on run must produce byte-identical tables to the
+// default, across every experiment in the suite (quick workloads).
+func TestMetricsOptionIdenticalTables(t *testing.T) {
+	off, err := Runner{Opts: Options{Quick: true}, Parallel: 4}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Runner{Opts: Options{Quick: true, Metrics: true}, Parallel: 4}.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := formatAll(off), formatAll(on); a != b {
+		t.Fatalf("metrics registry changed the tables:\n--- off ---\n%s\n--- on ---\n%s", a, b)
+	}
+}

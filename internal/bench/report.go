@@ -10,7 +10,13 @@ import (
 // Report is the machine-readable record of a bench run, written by cmd/bench
 // as BENCH_<n>.json to track the perf trajectory across PRs.
 //
-// Schema ("repro-bench/4" — rev 4 adds the optional "latency" section: the
+// Schema ("repro-bench/5" — rev 5 adds the optional "metrics" section: the
+// observability plane's overhead audit, comparing each experiment's median
+// cell time with the metrics registry off and on (same seeds, same repeat);
+// "within_spread" reports whether the delta sits inside the run's own
+// repeat-to-repeat spread plus a 0.5ms noise floor — the registry's
+// zero-hot-path-cost contract, measured. Absent when the comparison was not
+// requested. Rev 4 added the optional "latency" section: the
 // open-loop load sweep (internal/loadgen) crossing network presets with
 // broadcast-batching configurations, recording p50/p99/p999 visibility and
 // order-stability latency in kernel ticks plus messages sent and allocs/op
@@ -22,7 +28,7 @@ import (
 // repetitions, taming single-core scheduling noise):
 //
 //	{
-//	  "schema":     "repro-bench/4",
+//	  "schema":     "repro-bench/5",
 //	  "seed":       42,            // base experiment seed
 //	  "quick":      false,         // reduced workloads?
 //	  "parallel":   8,             // worker-pool size of the recorded run
@@ -48,7 +54,10 @@ import (
 //	     "visible_p50": 33, "visible_p99": 49, "visible_p999": 57,
 //	     "stable_p50": 33, "stable_p99": 49, "stable_p999": 57,
 //	     "messages_sent": 123456, "ops_per_sec": 250000,
-//	     "steps_per_sec": 800000, "allocs_per_op": 90, "wall_ms": 80.0}, ...]
+//	     "steps_per_sec": 800000, "allocs_per_op": 90, "wall_ms": 80.0}, ...],
+//	  "metrics": [                 // optional metrics-on/off overhead audit (MetricsCompare)
+//	    {"id": "E1", "off_ms": 456.7, "on_ms": 458.1, "delta_ms": 1.4,
+//	     "spread_ms": 12.3, "within_spread": true}, ...]
 //	}
 type Report struct {
 	Schema      string         `json:"schema"`
@@ -62,6 +71,7 @@ type Report struct {
 	Scaling     []ScalingPoint  `json:"scaling,omitempty"`
 	Micro       []MicroResult   `json:"micro,omitempty"`
 	Latency     []LatencyResult `json:"latency,omitempty"`
+	Metrics     []MetricsResult `json:"metrics,omitempty"`
 }
 
 // ExpReport is one experiment's perf accounting inside a Report.
@@ -89,7 +99,7 @@ func NewReport(opts Options, parallel, repeat int, results []Result, wall time.D
 		repeat = 1
 	}
 	r := &Report{
-		Schema:     "repro-bench/4",
+		Schema:     "repro-bench/5",
 		Seed:       opts.seed(),
 		Quick:      opts.Quick,
 		Parallel:   parallel,

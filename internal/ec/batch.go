@@ -65,10 +65,19 @@ func (a *Automaton) SetBatch(o BatchOptions) { a.batch = o.withDefaults() }
 // flushes included).
 func (a *Automaton) Flushes() int64 { return a.flushes }
 
+// FullFlushes returns how many flushes were triggered by the queue reaching
+// MaxBatch; LingerFlushes how many were forced out partial by the linger
+// timeout. Their sum is Flushes.
+func (a *Automaton) FullFlushes() int64 { return a.fullFlushes }
+
+// LingerFlushes returns the linger-forced half of the Full/Linger split.
+func (a *Automaton) LingerFlushes() int64 { return a.lingerFlushes }
+
 // enqueuePromote queues one promote for the next coalesced broadcast.
 func (a *Automaton) enqueuePromote(ctx model.Context, m PromoteMsg) {
 	a.pending = append(a.pending, m)
 	if len(a.pending) >= a.batch.MaxBatch {
+		a.fullFlushes++
 		a.flushPromotes(ctx)
 	}
 }
@@ -98,6 +107,7 @@ func (a *Automaton) tickBatch(ctx model.Context) {
 	}
 	a.linger++
 	if a.linger >= a.batch.MaxLinger {
+		a.lingerFlushes++
 		a.flushPromotes(ctx)
 	}
 }

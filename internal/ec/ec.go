@@ -50,10 +50,12 @@ type Automaton struct {
 	values   map[int]string                  // values this process proposed
 
 	// Promote batching (batch.go): inert unless batch.Enabled().
-	batch   BatchOptions
-	pending []PromoteMsg
-	linger  int
-	flushes int64
+	batch         BatchOptions
+	pending       []PromoteMsg
+	linger        int
+	flushes       int64
+	fullFlushes   int64 // flushes triggered by queue depth
+	lingerFlushes int64 // flushes forced by the linger timeout
 }
 
 var _ model.Automaton = (*Automaton)(nil)

@@ -81,6 +81,11 @@ type pendingOp struct {
 type BatchStats struct {
 	// Flushes is the number of update(CG_i) broadcasts the layer emitted.
 	Flushes int64
+	// FullFlushes and LingerFlushes split Flushes by trigger: queue depth
+	// reaching the target vs the linger timeout forcing out a partial batch.
+	// Their ratio is what the adaptive controller steers on.
+	FullFlushes   int64
+	LingerFlushes int64
 	// Ops is the number of broadcastETOB invocations that went through the
 	// queue (Ops/Flushes is the realized mean batch size).
 	Ops int64
@@ -131,7 +136,14 @@ func (a *Automaton) SetBatch(o BatchOptions) {
 
 // BatchStats returns the batching layer's counters.
 func (a *Automaton) BatchStats() BatchStats {
-	return BatchStats{Flushes: a.flushes, Ops: a.batchedOps, Target: a.target, Queued: len(a.pending)}
+	return BatchStats{
+		Flushes:       a.flushes,
+		FullFlushes:   a.fullFlushes,
+		LingerFlushes: a.lingerFlushes,
+		Ops:           a.batchedOps,
+		Target:        a.target,
+		Queued:        len(a.pending),
+	}
 }
 
 // enqueue queues one broadcastETOB invocation and flushes if the queue
@@ -171,6 +183,10 @@ func (a *Automaton) flush(ctx model.Context, full bool) {
 		return
 	}
 	flushed := len(a.pending)
+	var ids []string
+	if a.onFlush != nil {
+		ids = make([]string, 0, flushed)
+	}
 	for i := range a.pending {
 		op := &a.pending[i]
 		deps := op.deps
@@ -178,11 +194,22 @@ func (a *Automaton) flush(ctx model.Context, full bool) {
 			deps = a.frontier()
 		}
 		a.updateCG(op.id, deps)
+		if ids != nil {
+			ids = append(ids, op.id)
+		}
 	}
 	a.pending = a.pending[:0]
 	a.linger = 0
 	a.flushes++
+	if full {
+		a.fullFlushes++
+	} else {
+		a.lingerFlushes++
+	}
 	ctx.Broadcast(UpdateMsg{CG: a.cg.Clone()})
+	if a.onFlush != nil {
+		a.onFlush(ids)
+	}
 	if a.batch.Adaptive {
 		a.adapt(full, flushed)
 	}

@@ -82,12 +82,19 @@ type Automaton struct {
 	// Batching layer (batch.go): queued broadcastETOB invocations awaiting
 	// one coalesced update(CG_i). Inert — never touched — unless
 	// batch.Enabled().
-	batch      BatchOptions
-	pending    []pendingOp
-	linger     int   // ticks the oldest queued op has waited
-	target     int   // current batch-size target (fixed or adaptive)
-	flushes    int64 // update broadcasts emitted by the batch layer
-	batchedOps int64 // ops that went through the queue
+	batch         BatchOptions
+	pending       []pendingOp
+	linger        int   // ticks the oldest queued op has waited
+	target        int   // current batch-size target (fixed or adaptive)
+	flushes       int64 // update broadcasts emitted by the batch layer
+	fullFlushes   int64 // flushes triggered by queue depth
+	lingerFlushes int64 // flushes forced by the linger timeout
+	batchedOps    int64 // ops that went through the queue
+
+	// onFlush, when set, is called with the op IDs each update(CG_i)
+	// broadcast carries (the flushed batch, or the single op on the unbatched
+	// path). Observability tap — see SetFlushHook.
+	onFlush func(ids []string)
 }
 
 var _ model.Automaton = (*Automaton)(nil)
@@ -140,6 +147,27 @@ func (a *Automaton) BroadcastETOB(ctx model.Context, id string, deps []string) {
 	}
 	a.updateCG(id, deps)
 	ctx.Broadcast(UpdateMsg{CG: a.cg.Clone()})
+	if a.onFlush != nil {
+		a.onFlush([]string{id})
+	}
+}
+
+// SetFlushHook installs an observability tap called, from within the step
+// that broadcasts, with the op IDs each update(CG_i) carries — the flushed
+// batch, or the single op on the unbatched path. The node's op-lifecycle
+// tracer stamps its batch-flush and broadcast stages here. The hook must not
+// retain the slice.
+func (a *Automaton) SetFlushHook(fn func(ids []string)) { a.onFlush = fn }
+
+// Undelivered returns how many ops are known to CG_i but not yet in the
+// output sequence d_i — the unresolved-dependency stall depth the eventual
+// guarantees are draining.
+func (a *Automaton) Undelivered() int {
+	n := a.cg.Len() - len(a.d)
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // Recv implements model.Automaton.

@@ -65,6 +65,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config configures a front door.
@@ -132,6 +134,12 @@ type Front struct {
 	retryDenied atomic.Int64
 	declined    atomic.Int64
 
+	// Observability plane: the registry behind GET /metrics and the routed-
+	// request latency histogram (same name as the replicas' so a dashboard
+	// overlays front-door latency on backend latency directly).
+	reg     *obs.Registry
+	httpLat *obs.Histogram
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
@@ -178,10 +186,15 @@ func New(cfg Config) (*Front, error) {
 		done:     make(chan struct{}),
 		httpDone: make(chan struct{}),
 	}
+	f.wireMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/register", f.handleRegister)
 	mux.HandleFunc("/deregister", f.handleDeregister)
 	mux.HandleFunc("/replicas", f.handleReplicas)
+	// /metrics is the front door's OWN scrape endpoint — registered on an
+	// exact pattern so it wins over the catch-all route and is never
+	// forwarded to a backend.
+	mux.Handle("/metrics", f.reg)
 	mux.HandleFunc("/", f.handleRoute)
 	f.srv = &http.Server{Handler: mux}
 	go func() {
@@ -193,6 +206,34 @@ func New(cfg Config) (*Front, error) {
 	go f.probeLoop()
 	return f, nil
 }
+
+// wireMetrics builds the front door's registry: failover-governance counters
+// read straight from the existing atomics, plus two routing-health gauges
+// computed at scrape time under the registry lock's snapshot.
+func (f *Front) wireMetrics() {
+	f.reg = obs.NewRegistry()
+	f.httpLat = f.reg.Histogram(obs.MetricHTTPLatency)
+	f.reg.CounterFunc(obs.MetricLBFailovers, f.failovers.Load)
+	f.reg.CounterFunc(obs.MetricLBRetriesDenied, f.retryDenied.Load)
+	f.reg.CounterFunc(obs.MetricLBDeclined, f.declined.Load)
+	f.reg.GaugeFunc(obs.MetricLBHealthy, func() int64 {
+		return int64(len(f.Healthy()))
+	})
+	f.reg.GaugeFunc(obs.MetricLBBreakerOpen, func() int64 {
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+		var open int64
+		for _, rep := range f.replicas {
+			if rep.brState == brOpen {
+				open++
+			}
+		}
+		return open
+	})
+}
+
+// Registry returns the front door's metrics registry (GET /metrics).
+func (f *Front) Registry() *obs.Registry { return f.reg }
 
 func (f *Front) logf(format string, args ...any) {
 	if f.cfg.Logf != nil {
@@ -448,6 +489,8 @@ func declining(resp *http.Response) bool {
 // Other HTTP error statuses are the replica's answer and are relayed as-is.
 // Failovers past a request's first attempt spend the retry budget.
 func (f *Front) handleRoute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { f.httpLat.Record(time.Since(start).Microseconds()) }()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

@@ -1,143 +1,10 @@
 package loadgen
 
-import (
-	"fmt"
-	"math"
-	"math/bits"
-)
+import "repro/internal/obs"
 
-// Histogram is a fixed-footprint log-bucketed latency histogram in the HDR
-// style: values 0..31 are recorded exactly, and each further power of two is
-// split into 32 sub-buckets, bounding the relative quantile error at ~3%
-// while covering the full non-negative int64 range in a 16 KiB counts array.
-// No dependency, no allocation after construction, deterministic for a
-// deterministic record sequence. The zero value is ready to use.
-type Histogram struct {
-	counts [histBuckets]int64
-	n      int64
-	sum    int64
-	min    int64
-	max    int64
-}
-
-const (
-	histSubBuckets = 32 // sub-buckets per power of two: 2^5
-	histSubBits    = 5
-	// 32 exact buckets + one row of 32 per remaining power of two.
-	histBuckets = histSubBuckets + (63-histSubBits)*histSubBuckets
-)
-
-// Record adds one value. Negative values clamp to zero (latency cannot be
-// negative; a clamp beats a panic in a measurement path).
-func (h *Histogram) Record(v int64) {
-	if v < 0 {
-		v = 0
-	}
-	if h.n == 0 || v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.n++
-	h.sum += v
-	h.counts[histBucketOf(v)]++
-}
-
-func histBucketOf(v int64) int {
-	if v < histSubBuckets {
-		return int(v)
-	}
-	exp := bits.Len64(uint64(v)) - 1 // v ∈ [2^exp, 2^exp+1), exp >= 5
-	base := exp - histSubBits
-	sub := int((v >> base) - histSubBuckets) // 0..31
-	return histSubBuckets*(base+1) + sub
-}
-
-// histBucketValue returns the representative (midpoint) value of bucket i.
-func histBucketValue(i int) int64 {
-	if i < histSubBuckets {
-		return int64(i)
-	}
-	base := i/histSubBuckets - 1
-	sub := i % histSubBuckets
-	lo := int64(histSubBuckets+sub) << base
-	return lo + (int64(1)<<base)/2
-}
-
-// Count returns how many values were recorded.
-func (h *Histogram) Count() int64 { return h.n }
-
-// Min and Max return the exact extremes of the recorded values (0 when empty).
-func (h *Histogram) Min() int64 { return h.min }
-
-// Max returns the exact maximum recorded value.
-func (h *Histogram) Max() int64 { return h.max }
-
-// Mean returns the exact arithmetic mean (0 when empty).
-func (h *Histogram) Mean() float64 {
-	if h.n == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.n)
-}
-
-// Quantile returns the approximate q-quantile (q in [0,1]) of the recorded
-// values: the representative value of the bucket containing the rank-⌈q·n⌉
-// value. Exact for values < 32; within ~3% above. Returns 0 when empty.
-func (h *Histogram) Quantile(q float64) int64 {
-	if h.n == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return h.min
-	}
-	if q >= 1 {
-		return h.max
-	}
-	rank := int64(math.Ceil(q * float64(h.n)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i := 0; i < histBuckets; i++ {
-		seen += h.counts[i]
-		if seen >= rank {
-			v := histBucketValue(i)
-			// Clamp to the exact extremes: the top/bottom buckets may extend
-			// past what was actually recorded.
-			if v > h.max {
-				v = h.max
-			}
-			if v < h.min {
-				v = h.min
-			}
-			return v
-		}
-	}
-	return h.max
-}
-
-// Merge folds other into h (exact: bucket-wise addition).
-func (h *Histogram) Merge(other *Histogram) {
-	if other.n == 0 {
-		return
-	}
-	if h.n == 0 || other.min < h.min {
-		h.min = other.min
-	}
-	if other.max > h.max {
-		h.max = other.max
-	}
-	h.n += other.n
-	h.sum += other.sum
-	for i := range h.counts {
-		h.counts[i] += other.counts[i]
-	}
-}
-
-// String summarizes the histogram (for logs and test failures).
-func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d min=%d p50=%d p99=%d p999=%d max=%d mean=%.1f",
-		h.n, h.min, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.max, h.Mean())
-}
+// Histogram is the shared log-bucketed latency histogram, extracted to
+// internal/obs (the observability plane) so the serving path and the load
+// harness bucket latencies identically. The alias keeps loadgen's API — and
+// its golden outputs — byte-identical to the pre-extraction type; the
+// histogram's own tests live with the implementation in internal/obs.
+type Histogram = obs.Histogram

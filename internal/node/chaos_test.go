@@ -8,8 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/model"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/runtime"
+	"repro/internal/smr"
+	"repro/internal/trace"
 )
 
 // chaosSeed pins the soak's fault schedule: every injector's per-link
@@ -84,6 +88,40 @@ func (c *cluster) script(step func(f *runtime.FaultTransport)) {
 	}
 }
 
+// midSoakScrape hits every listed node's /metrics DURING the soak — faults
+// live, traffic flowing — asserting each scrape is individually valid
+// Prometheus text and that the named counters never step backwards across
+// scrapes (prev carries per-node last-seen values between calls).
+func midSoakScrape(t *testing.T, nodes []*node.Node, prev map[model.ProcID]map[string]int64) {
+	t.Helper()
+	counters := []string{
+		obs.MetricNodeAccepted, obs.MetricSMRApplied, obs.MetricRetransmitResends,
+		obs.MetricRetransmitDuplicates, obs.MetricTransportFlushes, obs.MetricTransportInjected,
+	}
+	for _, nd := range nodes {
+		resp, err := testClient.Get(nd.URL() + "/metrics")
+		if err != nil {
+			t.Fatalf("mid-soak scrape %v: %v", nd.ID(), err)
+		}
+		vals, err := obs.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("mid-soak scrape %v: invalid exposition under chaos: %v", nd.ID(), err)
+		}
+		last := prev[nd.ID()]
+		if last == nil {
+			last = map[string]int64{}
+			prev[nd.ID()] = last
+		}
+		for _, name := range counters {
+			if vals[name] < last[name] {
+				t.Errorf("mid-soak scrape %v: %s went backwards (%d -> %d)", nd.ID(), name, last[name], vals[name])
+			}
+			last[name] = vals[name]
+		}
+	}
+}
+
 // TestChaosSoakConvergesUnderScriptedFaults is the service plane's hostile
 // soak: four replicas behind the front door, every transport wrapped in a
 // seeded lossy injector, while an OPEN-LOOP client streams updates — each
@@ -99,15 +137,31 @@ func (c *cluster) script(step func(f *runtime.FaultTransport)) {
 //
 // Client-visible errors during fault windows are permitted (counted, not
 // retried — open loop); silent loss of an ack is not.
+//
+// The soak doubles as the observability plane's trust check: each replica
+// records its StepLog (the conformance ground truth), /metrics is scraped
+// MID-soak (valid exposition and monotone counters while faults are live),
+// and after convergence the scraped counters are cross-checked against the
+// StepLog — accepted ops against input steps, applied ops against the
+// replica's Applied outputs — so a dashboard number provably equals what the
+// protocol actually did.
 func TestChaosSoakConvergesUnderScriptedFaults(t *testing.T) {
+	logs := make(map[model.ProcID]*trace.StepLog)
 	c := newClusterWith(t, 4, func(cfg *node.Config) {
 		fc, ok := runtime.FaultPreset("lossy", chaosSeed+int64(cfg.ID))
 		if !ok {
 			t.Fatal("lossy fault preset missing")
 		}
 		cfg.Fault = &fc
+		// One StepLog per identity, shared across restarts: the ground truth
+		// for the metrics cross-check below.
+		if logs[cfg.ID] == nil {
+			logs[cfg.ID] = trace.NewStepLog()
+		}
+		cfg.Runtime.StepLog = logs[cfg.ID]
 	})
 	waitHealthy(t, c, 4, 10*time.Second)
+	scrapes := make(map[model.ProcID]map[string]int64)
 
 	want := make(map[string]string)
 	acked, clientErr := 0, 0
@@ -125,6 +179,7 @@ func TestChaosSoakConvergesUnderScriptedFaults(t *testing.T) {
 	}
 
 	phase("a", 40) // seeded 15% loss on every link; retransmit heals
+	midSoakScrape(t, c.nodes, scrapes)
 
 	// Two-sided partition {1,2} | {3,4}: enforced at every sender, so no
 	// frame crosses in either direction. Both sides keep a peer, so neither
@@ -132,6 +187,7 @@ func TestChaosSoakConvergesUnderScriptedFaults(t *testing.T) {
 	// diverge until the heal.
 	c.script(func(f *runtime.FaultTransport) { f.Partition(1, 2) })
 	phase("b", 40)
+	midSoakScrape(t, c.nodes, scrapes) // scraped THROUGH the partition
 	c.script(func(f *runtime.FaultTransport) { f.Heal() })
 	phase("c", 30)
 
@@ -140,6 +196,7 @@ func TestChaosSoakConvergesUnderScriptedFaults(t *testing.T) {
 	c.nodes[3].Kill()
 	waitHealthy(t, c, 3, 15*time.Second)
 	phase("d", 30)
+	midSoakScrape(t, c.nodes[:3], scrapes) // replica 4 is a corpse; scrape survivors
 	c.nodes[3] = c.startNode(t, 4)
 	waitHealthy(t, c, 4, 15*time.Second)
 	phase("e", 20)
@@ -207,6 +264,55 @@ func TestChaosSoakConvergesUnderScriptedFaults(t *testing.T) {
 		t.Errorf("%d frames dropped at replica inboxes under a light workload", inboxDropped)
 	}
 	t.Logf("counter audit: resends=%d duplicates=%d inbox_dropped=%d", resends, dups, inboxDropped)
+
+	// Metrics-vs-StepLog cross-check, on the replicas that lived through the
+	// whole soak (replica 4's restart split its counters across two lives,
+	// but its shared StepLog spans both). The StepLog is the conformance
+	// ground truth — every atomic step with its trigger and emissions — so:
+	//
+	//   - node_accepted_total must equal the number of input steps that
+	//     carried a client command (every 202 became exactly one step), and
+	//   - smr_applied_total must equal the Total of the replica's LAST
+	//     Applied output (the machine's own account of its applied prefix).
+	//
+	// A divergence here means the observability plane is lying about the
+	// protocol — the one failure mode a metrics endpoint must not have.
+	for _, nd := range c.nodes[:3] {
+		steps := logs[nd.ID()].Steps()
+		var inputSteps, lastApplied int64
+		for _, s := range steps {
+			if s.Kind == trace.StepInput {
+				if _, isCmd := s.In.(smr.Command); isCmd {
+					inputSteps++
+				}
+			}
+			for _, out := range s.Outputs {
+				if ap, isApplied := out.(smr.Applied); isApplied {
+					lastApplied = int64(ap.Total)
+				}
+			}
+		}
+		resp, err := testClient.Get(nd.URL() + "/metrics")
+		if err != nil {
+			t.Fatalf("final scrape %v: %v", nd.ID(), err)
+		}
+		vals, err := obs.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("final scrape %v: invalid exposition: %v", nd.ID(), err)
+		}
+		if got := vals[obs.MetricNodeAccepted]; got != inputSteps {
+			t.Errorf("replica %v: node_accepted_total=%d but StepLog recorded %d command input steps",
+				nd.ID(), got, inputSteps)
+		}
+		if got := vals[obs.MetricSMRApplied]; got != lastApplied {
+			t.Errorf("replica %v: smr_applied_total=%d but StepLog's last Applied.Total=%d",
+				nd.ID(), got, lastApplied)
+		}
+		if int64(len(steps)) == 0 {
+			t.Errorf("replica %v recorded no steps; cross-check is vacuous", nd.ID())
+		}
+	}
 
 	writeChaosSummary(t, c, acked, clientErr)
 }

@@ -78,8 +78,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/etob"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/retransmit"
 	"repro/internal/runtime"
+	"repro/internal/sim"
 	"repro/internal/smr"
 )
 
@@ -164,6 +166,16 @@ type Node struct {
 	rejected  atomic.Int64 // writes refused while degraded
 	closeOnce sync.Once
 	httpDone  chan struct{}
+
+	// Observability plane: the metrics registry behind GET /metrics (and,
+	// since the migration, /status), the op-lifecycle tracer behind
+	// GET /trace, and a snapshot cache the registry's scrape hook refreshes
+	// alongside the stack counters (one Proc.Inspect serves both).
+	reg     *obs.Registry
+	tracer  *obs.OpTracer
+	httpLat *obs.Histogram
+	snapMu  sync.Mutex
+	snap    string
 }
 
 // New builds and starts a replica node: transport bound, event loop running,
@@ -227,11 +239,22 @@ func New(cfg Config) (*Node, error) {
 		bootGrace:     bootGrace,
 		httpDone:      make(chan struct{}),
 	}
+	n.reg = obs.NewRegistry()
+	n.tracer = obs.NewOpTracer(0)
+	n.httpLat = n.reg.Histogram(obs.MetricHTTPLatency)
+	// The tracer's submit and deliver stamps ride the event loop's output
+	// stream; tee with whatever observer the caller installed.
+	obsv := opts.Observer
+	if obsv == nil {
+		obsv = sim.NopObserver{}
+	}
+	opts.Observer = traceObserver{Observer: obsv, n: n}
 	n.proc = runtime.NewProc(tr, core.ReplicaStackWith(cfg.Consistency, core.StackOptions{
 		Machine:    cfg.Machine,
 		Retransmit: &rt,
 		Batch:      cfg.Batch,
 	}), opts)
+	n.wireMetrics()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/update", n.handleUpdate)
@@ -239,10 +262,12 @@ func New(cfg Config) (*Node, error) {
 	mux.HandleFunc("/snapshot", n.handleSnapshot)
 	mux.HandleFunc("/status", n.handleStatus)
 	mux.HandleFunc("/healthz", n.handleHealthz)
+	mux.Handle("/metrics", n.reg)
+	mux.Handle("/trace", n.tracer)
 	// Explicit server deadlines: a wedged or malicious client must not pin a
 	// handler goroutine (or a drain) forever.
 	n.srv = &http.Server{
-		Handler:           mux,
+		Handler:           n.instrument(mux),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      15 * time.Second,
@@ -262,6 +287,93 @@ func New(cfg Config) (*Node, error) {
 		}
 	}
 	return n, nil
+}
+
+// wireMetrics connects every layer of the node to the registry. Sources with
+// their own atomics (transport, event loop, HTTP counters) register
+// read-at-scrape functions; counters living inside the event loop (the
+// protocol stack) are snapshotted by an OnScrape hook through ONE
+// Proc.Inspect, which also refreshes the machine-snapshot cache /status
+// serves. The ETOB flush hook for the op tracer is installed the same way.
+func (n *Node) wireMetrics() {
+	reg := n.reg
+	reg.CounterFunc(obs.MetricTransportDropped, n.tr.Dropped)
+	reg.CounterFunc(obs.MetricTransportInboxDrop, n.tcp.InboxDropped)
+	reg.CounterFunc(obs.MetricTransportFlushes, n.tcp.Flushes)
+	reg.CounterFunc(obs.MetricTransportCoalesced, n.tcp.Coalesced)
+	reg.CounterFunc(obs.MetricTransportRedials, n.tcp.Redials)
+	if n.fault != nil {
+		reg.CounterFunc(obs.MetricTransportInjected, n.fault.Injected)
+	}
+	reg.CounterFunc(obs.MetricNodeAccepted, n.accepted.Load)
+	reg.CounterFunc(obs.MetricNodeRejected, n.rejected.Load)
+	reg.GaugeFunc(obs.MetricNodeDegraded, func() int64 {
+		if n.Degraded() {
+			return 1
+		}
+		return 0
+	})
+	reg.CounterFunc(obs.MetricOmegaFlaps, n.proc.LeaderFlaps)
+	reg.GaugeFunc(obs.MetricOmegaLeader, func() int64 { return int64(n.proc.Leader()) })
+	reg.OnScrape(func() {
+		n.proc.Inspect(func(a model.Automaton) {
+			core.CollectStackMetrics(reg, a)
+			snap := core.UnwrapReplica(a).Snapshot()
+			n.snapMu.Lock()
+			n.snap = snap
+			n.snapMu.Unlock()
+		})
+	})
+	n.proc.Inspect(func(a model.Automaton) {
+		if e, ok := core.UnwrapReplica(a).Inner().(*etob.Automaton); ok {
+			e.SetFlushHook(n.onFlush)
+		}
+	})
+}
+
+// onFlush is the ETOB batching layer's observability tap: every op leaving
+// in an update(CG_i) broadcast gets its batch-flush and broadcast stamps
+// (one instant — in this protocol the flush IS the broadcast).
+func (n *Node) onFlush(ids []string) {
+	now := time.Now().UnixMicro()
+	self := fmt.Sprint(int(n.cfg.ID))
+	for _, id := range ids {
+		n.tracer.Record(id, obs.StageBatchFlush, self, now)
+		n.tracer.Record(id, obs.StageBroadcast, self, now)
+	}
+}
+
+// traceObserver stamps the op tracer from the event loop's output stream:
+// the replica announces each minted broadcast ID (submit) and each applied
+// suffix (deliver — possibly again after a causal-order rebuild, which is
+// exactly the re-application the "order-stable" reading keys on).
+type traceObserver struct {
+	sim.Observer
+	n *Node
+}
+
+func (o traceObserver) OnOutput(p model.ProcID, t model.Time, out any) {
+	switch v := out.(type) {
+	case model.BroadcastInput:
+		o.n.tracer.Record(v.ID, obs.StageSubmit, fmt.Sprint(int(p)), time.Now().UnixMicro())
+	case smr.Applied:
+		now := time.Now().UnixMicro()
+		proc := fmt.Sprint(int(p))
+		for _, id := range v.New {
+			o.n.tracer.Record(id, obs.StageDeliver, proc, now)
+		}
+	}
+	o.Observer.OnOutput(p, t, out)
+}
+
+// instrument wraps the HTTP mux with the request-latency histogram
+// (http_request_duration_us — microseconds, all endpoints).
+func (n *Node) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		n.httpLat.Record(time.Since(start).Microseconds())
+	})
 }
 
 func (n *Node) logf(format string, args ...any) {
@@ -287,6 +399,14 @@ func (n *Node) Accepted() int64 { return n.accepted.Load() }
 
 // Rejected returns how many writes this node refused while degraded.
 func (n *Node) Rejected() int64 { return n.rejected.Load() }
+
+// Registry returns the node's metrics registry (the handler behind
+// GET /metrics). Harnesses can read counters directly instead of scraping.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// Tracer returns the node's op-lifecycle tracer (the handler behind
+// GET /trace).
+func (n *Node) Tracer() *obs.OpTracer { return n.tracer }
 
 // Fault returns the live chaos injector wrapping this node's transport, or
 // nil when Config.Fault was not set.
@@ -561,60 +681,83 @@ type Status struct {
 	Pending    int    `json:"pending"`
 	Abandoned  int64  `json:"abandoned"`
 	// Transport counters: frames dropped at the inbox (event loop too slow
-	// for the arrival rate) and the writer's coalescing effectiveness —
-	// connection writes performed vs frames that rode an earlier write.
+	// for the arrival rate), the writer's coalescing effectiveness —
+	// connection writes performed vs frames that rode an earlier write — and
+	// peer-connection re-dial attempts.
 	InboxDropped int64 `json:"inbox_dropped"`
 	Flushes      int64 `json:"flushes"`
 	Coalesced    int64 `json:"coalesced"`
+	Redials      int64 `json:"redials"`
+	// LeaderFlaps counts changes of this process's heartbeat-Ω output — the
+	// oscillation the paper's eventual guarantees ask to see settle.
+	LeaderFlaps int64 `json:"leader_flaps"`
+	// DedupSparse is the receiver-side dedup footprint (out-of-order seqnos
+	// held beyond the compact watermark).
+	DedupSparse int `json:"dedup_sparse"`
 	// Broadcast batching counters (zero when Config.Batch is off): update
-	// broadcasts emitted, commands that rode them, the current batch-size
-	// target, and commands still queued for the next window.
-	BatchFlushes int64  `json:"batch_flushes,omitempty"`
-	BatchOps     int64  `json:"batch_ops,omitempty"`
-	BatchTarget  int    `json:"batch_target,omitempty"`
-	BatchQueued  int    `json:"batch_queued,omitempty"`
-	Snapshot     string `json:"snapshot"`
+	// broadcasts emitted (split by trigger — depth-reached vs linger-expired),
+	// commands that rode them, the current batch-size target, and commands
+	// still queued for the next window. Undelivered is the broadcast layer's
+	// submitted-but-not-yet-delivered backlog (nonzero also without batching).
+	BatchFlushes       int64  `json:"batch_flushes,omitempty"`
+	BatchFullFlushes   int64  `json:"batch_full_flushes,omitempty"`
+	BatchLingerFlushes int64  `json:"batch_linger_flushes,omitempty"`
+	BatchOps           int64  `json:"batch_ops,omitempty"`
+	BatchTarget        int    `json:"batch_target,omitempty"`
+	BatchQueued        int    `json:"batch_queued,omitempty"`
+	Undelivered        int    `json:"undelivered"`
+	Snapshot           string `json:"snapshot"`
 }
 
+// handleStatus serves the introspection report off the metrics registry: one
+// Collect() runs the scrape hook (a single Proc.Inspect snapshotting the
+// protocol stack and the machine), then every field is a registry read. The
+// report and GET /metrics are therefore the same numbers by construction.
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st := Status{
-		ID:       int(n.cfg.ID),
-		N:        n.proc.N(),
-		Leader:   int(n.proc.Leader()),
-		Accepted: n.accepted.Load(),
-		Rejected: n.rejected.Load(),
-		Degraded: n.Degraded(),
-		Dropped:  n.tr.Dropped(),
-	}
-	if n.fault != nil {
-		st.Injected = n.fault.Injected()
-	}
-	st.InboxDropped = n.tcp.InboxDropped()
-	st.Flushes = n.tcp.Flushes()
-	st.Coalesced = n.tcp.Coalesced()
-	ok := n.proc.Inspect(func(a model.Automaton) {
-		if wrap, isWrapped := a.(*retransmit.Automaton); isWrapped {
-			st.Resends = wrap.Resends()
-			st.Duplicates = wrap.Duplicates()
-			st.Pending = wrap.PendingEnvelopes()
-			st.Abandoned = wrap.Abandoned()
-		}
-		rep := core.UnwrapReplica(a)
-		st.Applied = rep.AppliedCount()
-		st.Rebuilds = rep.Rebuilds()
-		st.Snapshot = rep.Snapshot()
-		if b, batched := rep.Inner().(interface{ BatchStats() etob.BatchStats }); batched {
-			bs := b.BatchStats()
-			st.BatchFlushes = bs.Flushes
-			st.BatchOps = bs.Ops
-			st.BatchTarget = bs.Target
-			st.BatchQueued = bs.Queued
-		}
-	})
-	if !ok {
+	select {
+	case <-n.proc.Done():
 		http.Error(w, "replica stopped", http.StatusServiceUnavailable)
 		return
+	default:
 	}
+	n.reg.Collect()
+	n.snapMu.Lock()
+	snap := n.snap
+	n.snapMu.Unlock()
+	st := Status{
+		ID:          int(n.cfg.ID),
+		N:           n.proc.N(),
+		Leader:      int(n.reg.Value(obs.MetricOmegaLeader)),
+		Applied:     int(n.reg.Value(obs.MetricSMRApplied)),
+		Rebuilds:    int(n.reg.Value(obs.MetricSMRRebuilds)),
+		Accepted:    n.reg.Value(obs.MetricNodeAccepted),
+		Rejected:    n.reg.Value(obs.MetricNodeRejected),
+		Degraded:    n.reg.Value(obs.MetricNodeDegraded) != 0,
+		Dropped:     n.reg.Value(obs.MetricTransportDropped),
+		Resends:     n.reg.Value(obs.MetricRetransmitResends),
+		Duplicates:  n.reg.Value(obs.MetricRetransmitDuplicates),
+		Pending:     int(n.reg.Value(obs.MetricRetransmitPending)),
+		Abandoned:   n.reg.Value(obs.MetricRetransmitAbandoned),
+		DedupSparse: int(n.reg.Value(obs.MetricRetransmitSparse)),
+
+		InboxDropped: n.reg.Value(obs.MetricTransportInboxDrop),
+		Flushes:      n.reg.Value(obs.MetricTransportFlushes),
+		Coalesced:    n.reg.Value(obs.MetricTransportCoalesced),
+		Redials:      n.reg.Value(obs.MetricTransportRedials),
+		LeaderFlaps:  n.reg.Value(obs.MetricOmegaFlaps),
+
+		BatchFlushes:       n.reg.Value(obs.MetricBatchFlushes),
+		BatchFullFlushes:   n.reg.Value(obs.MetricBatchFullFlushes),
+		BatchLingerFlushes: n.reg.Value(obs.MetricBatchLingerFlushes),
+		BatchOps:           n.reg.Value(obs.MetricBatchOps),
+		BatchTarget:        int(n.reg.Value(obs.MetricBatchTarget)),
+		BatchQueued:        int(n.reg.Value(obs.MetricBatchQueued)),
+		Undelivered:        int(n.reg.Value(obs.MetricEtobUndelivered)),
+	}
+	if n.fault != nil {
+		st.Injected = n.reg.Value(obs.MetricTransportInjected)
+	}
+	st.Snapshot = snap
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
 }

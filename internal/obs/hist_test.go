@@ -1,8 +1,9 @@
-package loadgen
+package obs
 
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 )
 
@@ -73,6 +74,48 @@ func TestHistogramQuantileError(t *testing.T) {
 	}
 }
 
+func TestHistogramMergeQuantileErrorBound(t *testing.T) {
+	// Merging shards must not degrade the quantile error: record one stream
+	// split round-robin across 8 shard histograms, merge them, and check the
+	// merged quantiles against the sorted reference with the same ~3.2%
+	// bound as the single-histogram test. Bucket-wise addition is exact, so
+	// the merged histogram must equal the monolithic one sample for sample.
+	rng := rand.New(rand.NewSource(7))
+	shards := make([]Histogram, 8)
+	var mono Histogram
+	vals := make([]int64, 0, 16_000)
+	for i := 0; i < 16_000; i++ {
+		v := rng.Int63n(1 << 22)
+		vals = append(vals, v)
+		shards[i%len(shards)].Record(v)
+		mono.Record(v)
+	}
+	var merged Histogram
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	if merged.Count() != mono.Count() || merged.Min() != mono.Min() ||
+		merged.Max() != mono.Max() || merged.Sum() != mono.Sum() {
+		t.Fatalf("merged %s != monolithic %s", merged.String(), mono.String())
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if m, g := mono.Quantile(q), merged.Quantile(q); m != g {
+			t.Errorf("q=%v: merged %d != monolithic %d", q, g, m)
+		}
+		rank := int(q*float64(len(vals))+0.5) - 1
+		want := vals[rank]
+		got := merged.Quantile(q)
+		relErr := float64(got-want) / float64(want)
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > 0.04 {
+			t.Errorf("q=%v: merged %d vs reference %d (rel err %.3f)", q, got, want, relErr)
+		}
+	}
+}
+
 func TestHistogramMergeAndClamp(t *testing.T) {
 	var a, b Histogram
 	a.Record(-5) // clamps to 0
@@ -92,5 +135,42 @@ func TestHistogramMergeAndClamp(t *testing.T) {
 	}
 	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
 		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	// N goroutines hammer one histogram; the totals must come out exact
+	// (atomic adds lose nothing) and the extremes must be the true extremes
+	// (the CAS loops converge). Run under -race this also proves Record and
+	// the read accessors are data-race free.
+	const workers, per = 8, 10_000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(rng.Int63n(1 << 30))
+				if i%1000 == 0 {
+					_ = h.Quantile(0.99) // concurrent reads must be safe too
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var sum int64
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < per; i++ {
+			sum += rng.Int63n(1 << 30)
+		}
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %d, want %d", h.Sum(), sum)
 	}
 }

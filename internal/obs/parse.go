@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text exposition (the format WritePrometheus
+// emits) into a sample map keyed by the sample name including its label
+// block, e.g.
+//
+//	{"retransmit_resends_total": 12, `http_request_duration_us{quantile="0.5"}`: 340}
+//
+// It is deliberately strict — every sample must belong to a metric family
+// declared by a preceding # TYPE line with a known kind, and every value must
+// parse as a number — so tests can use it both to read counters back and to
+// assert that an endpoint serves VALID exposition, not just plausible text.
+// Values are truncated to int64 (this repo's metrics are all integral).
+func ParseText(r io.Reader) (map[string]int64, error) {
+	samples := make(map[string]int64)
+	declared := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				switch fields[3] {
+				case kindCounter, kindGauge, kindSummary, "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown metric kind %q", lineNo, fields[3])
+				}
+				declared[fields[2]] = fields[3]
+			}
+			continue // HELP and other comments pass through unchecked
+		}
+		// A sample line: name[{labels}] value [timestamp].
+		rest := line
+		var key string
+		if brace := strings.IndexByte(rest, '{'); brace >= 0 {
+			close := strings.IndexByte(rest, '}')
+			if close < brace {
+				return nil, fmt.Errorf("obs: line %d: unbalanced label braces in %q", lineNo, line)
+			}
+			key = rest[:close+1]
+			rest = strings.TrimSpace(rest[close+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("obs: line %d: sample without value in %q", lineNo, line)
+			}
+			key = fields[0]
+			rest = strings.Join(fields[1:], " ")
+		}
+		base := key
+		if brace := strings.IndexByte(base, '{'); brace >= 0 {
+			base = base[:brace]
+		}
+		family := base
+		for _, suffix := range [...]string{"_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(base, suffix); ok {
+				if _, isDecl := declared[trimmed]; isDecl {
+					family = trimmed
+				}
+			}
+		}
+		kind, ok := declared[family]
+		if !ok {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no preceding # TYPE declaration", lineNo, key)
+		}
+		_ = kind
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("obs: line %d: malformed sample %q", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", lineNo, fields[0], err)
+		}
+		samples[key] = int64(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}

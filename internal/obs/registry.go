@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (d < 0 is a programmer error; it is applied
+// as-is rather than hiding the bug behind a clamp).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Set overwrites the counter. It exists for MIRRORED counters: sources that
+// keep their own monotonic count (an automaton's event-loop-local resend
+// tally, a transport's atomic frame counter) are copied into the registry by
+// an OnScrape hook, where Set is the natural verb. Code that owns its counter
+// should use Add/Inc.
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready to use;
+// all methods are safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add increments (or with d < 0 decrements) the gauge.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kinds of registry entries, in the order they appear in an exposition line's
+// # TYPE comment.
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+	kindSummary = "summary"
+)
+
+// entry is one registered metric.
+type entry struct {
+	kind    string
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64 // non-nil for CounterFunc/GaugeFunc entries
+	hist    *Histogram
+}
+
+// Registry is a named collection of metrics with a Prometheus text
+// exposition. Constructors are idempotent — asking twice for the same name
+// returns the same metric — so independent layers can share a registry
+// without coordinating initialization order. Registering a name that already
+// exists with a DIFFERENT kind panics: that is a naming bug, not a runtime
+// condition.
+//
+// Scrape-time collection: layers whose counters live inside a single-threaded
+// event loop (the protocol automata) cannot be read by a scraping goroutine
+// directly. They register an OnScrape hook that snapshots those counters into
+// mirrored registry metrics (Counter.Set / Gauge.Set) under whatever
+// synchronization the layer requires — typically one runtime.Proc.Inspect.
+// Hooks run, in registration order, at the start of every WritePrometheus and
+// ServeHTTP call, so a scrape always sees a fresh snapshot and an idle
+// registry costs nothing.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	hooks   []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// validName reports whether name matches the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the entry for name, creating it with kind when absent.
+// Panics on an invalid name or a kind conflict.
+func (r *Registry) lookup(name, kind string) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		e = &entry{kind: kind}
+		r.entries[name] = e
+		return e
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, e.kind, kind))
+	}
+	return e
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, kindCounter)
+	if e.fn != nil {
+		panic(fmt.Sprintf("obs: metric %q is a CounterFunc", name))
+	}
+	if e.counter == nil {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, kindGauge)
+	if e.fn != nil {
+		panic(fmt.Sprintf("obs: metric %q is a GaugeFunc", name))
+	}
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape time.
+// fn must be safe to call from the scraping goroutine (read an atomic, take a
+// lock); re-registering the same name replaces the function, which is what a
+// restarted component wants. Use for sources that already maintain an atomic
+// monotonic count — the registry then stores nothing.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, kindCounter)
+	if e.counter != nil {
+		panic(fmt.Sprintf("obs: metric %q is a Counter", name))
+	}
+	e.fn = fn
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time;
+// the same contract as CounterFunc.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, kindGauge)
+	if e.gauge != nil {
+		panic(fmt.Sprintf("obs: metric %q is a Gauge", name))
+	}
+	e.fn = fn
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed. It is exposed as a Prometheus summary: quantile-labelled samples
+// plus _sum and _count.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, kindSummary)
+	if e.hist == nil {
+		e.hist = &Histogram{}
+	}
+	return e.hist
+}
+
+// OnScrape registers a hook that runs at the start of every scrape, before
+// any metric is read. Hooks run in registration order.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// Names returns the registered metric names, sorted. Histogram entries
+// report their base name (the exposition expands them to quantile samples).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Value returns the current value of the counter or gauge registered under
+// name (0 when absent). It exists so a /status handler can read the same
+// numbers a /metrics scrape would report. It does NOT run OnScrape hooks;
+// callers that need fresh mirrored values run them via Collect.
+func (r *Registry) Value(name string) int64 {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	switch {
+	case e.fn != nil:
+		return e.fn()
+	case e.counter != nil:
+		return e.counter.Value()
+	case e.gauge != nil:
+		return e.gauge.Value()
+	}
+	return 0
+}
+
+// Collect runs the OnScrape hooks without producing an exposition, so
+// non-scrape readers (a /status handler built on Value) see the same fresh
+// snapshot a scrape would.
+func (r *Registry) Collect() {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// WritePrometheus runs the OnScrape hooks and writes every metric in the
+// Prometheus text exposition format (version 0.0.4), sorted by name so the
+// output is deterministic for a deterministic metric state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.Collect()
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]*entry, len(names))
+	for i, name := range names {
+		entries[i] = r.entries[name]
+	}
+	r.mu.Unlock()
+
+	for i, name := range names {
+		e := entries[i]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, e.kind); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case e.hist != nil:
+			h := e.hist
+			for _, q := range [...]struct {
+				label string
+				q     float64
+			}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+				if _, err = fmt.Fprintf(w, "%s{quantile=%q} %d\n", name, q.label, h.Quantile(q.q)); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum()); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+		case e.fn != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, e.fn())
+		case e.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, e.counter.Value())
+		case e.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, e.gauge.Value())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeHTTP makes the registry mountable at GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

@@ -45,6 +45,9 @@ type Proc struct {
 	clockBase time.Time
 	msgSeq    atomic.Int64
 	lastBeat  []atomic.Int64 // index q-1: last heartbeat receipt from q, unix nanos
+
+	prevLeader model.ProcID // event-loop-local: Ω output at the previous step
+	flaps      atomic.Int64 // Ω output changes observed across steps
 }
 
 type localOp struct {
@@ -131,6 +134,14 @@ func (p *Proc) Leader() model.ProcID {
 	return p.leader()
 }
 
+// LeaderFlaps returns how many times the heartbeat Ω's output has CHANGED
+// across this process's steps — the oscillation count the paper's eventual
+// guarantees ask to see settle. It is sampled per step (the granularity at
+// which the automaton can observe Ω), so a flap between two steps that
+// round-trips to the same leader is invisible, exactly as it is to the
+// protocol. Safe to read from any goroutine.
+func (p *Proc) LeaderFlaps() int64 { return p.flaps.Load() }
+
 // PeersHeard returns how many PEERS (self excluded) this process has received
 // a heartbeat from within the given window. It is the live connectivity
 // signal the service plane's degraded mode keys on: a replica that has heard
@@ -215,6 +226,15 @@ func (p *Proc) handle(f Frame) {
 // trigger, FD, clock, and emissions — to the StepLog.
 func (p *Proc) step(kind trace.StepKind, from model.ProcID, payload, in any, h func(*liveCtx)) {
 	ctx := &liveCtx{p: p, t: p.now(), leader: p.leader()}
+	// Ω flap accounting: prevLeader is touched only here, inside the
+	// single-threaded event loop; the counter is atomic so /metrics can read
+	// it from a scraping goroutine. The init step seeds without counting.
+	if ctx.leader != p.prevLeader {
+		if p.prevLeader != model.NoProc {
+			p.flaps.Add(1)
+		}
+		p.prevLeader = ctx.leader
+	}
 	if p.opts.StepLog != nil {
 		ctx.rec = &trace.Step{
 			P: p.self, Kind: kind, From: from, Payload: payload, In: in,

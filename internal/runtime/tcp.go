@@ -109,6 +109,7 @@ type TCPTransport struct {
 	inboxDrop atomic.Int64 // subset of dropped: inbox-overflow drops
 	flushes   atomic.Int64 // connection writes (each carrying >= 1 frame)
 	coalesced atomic.Int64 // frames that rode an earlier frame's flush
+	redials   atomic.Int64 // dial attempts after a dial or write failure
 	peers     map[model.ProcID]*tcpPeer
 	wg        sync.WaitGroup
 }
@@ -186,6 +187,11 @@ func (t *TCPTransport) InboxDropped() int64 { return t.inboxDrop.Load() }
 // Flushes returns how many connection writes the writers performed; each
 // flush carries one or more coalesced frames.
 func (t *TCPTransport) Flushes() int64 { return t.flushes.Load() }
+
+// Redials returns how many dial attempts followed a connection failure — a
+// failed dial retried, or a fresh dial after a broken write. A steadily
+// climbing count is the transport-level signature of a flapping peer.
+func (t *TCPTransport) Redials() int64 { return t.redials.Load() }
 
 // Coalesced returns how many frames were carried by a flush they did not
 // trigger — the frames whose syscall the coalescing writer saved.
@@ -372,8 +378,11 @@ func (t *TCPTransport) writer(peer *tcpPeer) {
 			}
 		}
 		if conn == nil {
-			if failStreak > 0 && !t.pause(capBackoff(t.cfg.RedialBackoff, t.cfg.MaxRedialBackoff, failStreak)) {
-				return // endpoint closed while backing off
+			if failStreak > 0 {
+				if !t.pause(capBackoff(t.cfg.RedialBackoff, t.cfg.MaxRedialBackoff, failStreak)) {
+					return // endpoint closed while backing off
+				}
+				t.redials.Add(1)
 			}
 			var dialErrs int
 			conn, dialErrs = t.dial(peer)
@@ -457,6 +466,7 @@ func (t *TCPTransport) dial(peer *tcpPeer) (net.Conn, int) {
 			return nil, errs
 		case <-time.After(backoff):
 		}
+		t.redials.Add(1)
 		backoff *= 2
 		if backoff > t.cfg.MaxRedialBackoff {
 			backoff = t.cfg.MaxRedialBackoff

@@ -1,0 +1,17 @@
+package sim
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the kernel's run counters on reg under the
+// canonical kernel_* names as read-at-scrape functions. The kernel already
+// maintains these counters for its own accounting, so a metrics-on run
+// executes the identical per-step instruction stream as a metrics-off run —
+// the overhead contract scripts/metrics_overhead.sh enforces. The kernel is
+// single-threaded; scrape between Run calls (or after the run), not from a
+// concurrent goroutine mid-run.
+func (k *Kernel) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc(obs.MetricKernelSteps, k.Steps)
+	reg.CounterFunc(obs.MetricKernelSent, k.MessagesSent)
+	reg.CounterFunc(obs.MetricKernelDropped, k.MessagesDropped)
+	reg.CounterFunc(obs.MetricKernelLost, k.MessagesLost)
+}
