@@ -36,6 +36,11 @@
 //	bench -json BENCH_6.json -latency-only
 //	                            # ONLY the latency sweep — skip the
 //	                            # experiment tables (CI latency smoke)
+//	bench -json BENCH_8.json -scalen 5,16,64,256
+//	                            # additionally run the En cluster-size sweep
+//	                            # (the same ETOB workload at each n, all-to-all
+//	                            # vs gossip dissemination) into the report's
+//	                            # "scaling_n" section
 //	bench -json BENCH_7.json -metrics
 //	                            # additionally rerun the suite with the obs
 //	                            # metrics registry attached to every cell's
@@ -47,7 +52,7 @@
 //	bench -profile mem          # the experiment run; -profile-dir sets
 //	                            # where the profile lands (default ".")
 //
-// The -json report (schema "repro-bench/5", see internal/bench.Report)
+// The -json report (schema "repro-bench/6", see internal/bench.Report)
 // records per-experiment wall time (median-of-(-repeat) per cell) with its
 // run-to-run spread, kernel steps/sec, the kernel and CHT microbenchmarks
 // (ns/op, allocs/op), the optional scaling sweep, the optional open-loop
@@ -86,6 +91,7 @@ func run() int {
 	repeat := flag.Int("repeat", 1, "run every cell N times and record the median cell time (tames single-core noise)")
 	jsonPath := flag.String("json", "", "write a machine-readable report (BENCH_<n>.json) to this path")
 	scaling := flag.String("scaling", "", "comma-separated worker counts to sweep for the -json scaling section, e.g. 1,2,8")
+	scaleN := flag.String("scalen", "", "comma-separated cluster sizes for the -json scaling_n section (En experiment), e.g. 5,16,64,256")
 	latency := flag.Bool("latency", false, "run the open-loop latency sweep into the -json report's latency section")
 	latencyPresets := flag.String("latency-presets", "", "comma-separated network presets for the latency sweep (default uniform,lossy,hostile)")
 	latencyOnly := flag.Bool("latency-only", false, "run ONLY the latency sweep, skipping the experiment tables (implies -latency; requires -json)")
@@ -108,8 +114,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "bench: running shard %d/%d (tables are partial; reassemble with the other shards)\n", sh.Index, sh.Count)
 	}
 	wantLatency := *latency || *latencyOnly
-	if *jsonPath == "" && (*scaling != "" || wantLatency || *metrics) {
-		fmt.Fprintln(os.Stderr, "bench: -scaling/-latency/-metrics require -json")
+	if *jsonPath == "" && (*scaling != "" || *scaleN != "" || wantLatency || *metrics) {
+		fmt.Fprintln(os.Stderr, "bench: -scaling/-scalen/-latency/-metrics require -json")
 		return 2
 	}
 	if *metrics && *latencyOnly {
@@ -156,6 +162,23 @@ func run() int {
 			return 2
 		}
 		report.AddScaling(points)
+	}
+	if *scaleN != "" {
+		var ns []int
+		for _, s := range strings.Split(*scaleN, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "bench: bad -scalen entry %q (want integers >= 2)\n", s)
+				return 2
+			}
+			ns = append(ns, n)
+		}
+		fmt.Fprintf(os.Stderr, "bench: running En cluster-size sweep at n = %s\n", *scaleN)
+		report.ScalingN = bench.ScaleN(ns, *quick, *seed)
+		for _, r := range report.ScalingN {
+			fmt.Fprintf(os.Stderr, "bench:   n=%-4d %-10s fanout %-3d %8.1f env/op %10.0f bytes/proc %9.0f steps/s %5.1f%% delivered\n",
+				r.N, r.Mode, r.SendFanout, r.EnvPerOp, r.BytesPerProc, r.StepsPerSec, r.DeliveredPct)
+		}
 	}
 	if wantLatency {
 		var presets []string

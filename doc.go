@@ -64,10 +64,29 @@
 // median-of-N cell timing (-repeat N) to tame single-core noise, with
 // rows reassembled deterministically so parallel output is byte-identical
 // to serial; cmd/bench -json writes a machine-readable BENCH_<n>.json
-// (schema repro-bench/5: per-experiment wall time with its run-to-run
+// (schema repro-bench/6: per-experiment wall time with its run-to-run
 // spread, kernel steps/sec, microbenchmark ns/op and allocs/op, optional
 // worker-scaling sweep, optional open-loop latency sweep, optional
-// metrics-on/off overhead audit) tracking the perf trajectory. The broadcast layers batch under load: etob.BatchOptions
+// metrics-on/off overhead audit, optional cluster-size scaling sweep)
+// tracking the perf trajectory.
+//
+// Cluster size n is a first-class scaling axis. The ETOB layer has a gossip
+// dissemination mode (etob.GossipFactory, gossip.Options, shared peer
+// sampling in internal/gossip): a flush sends op deltas to a seeded
+// ceil(log2 n)+1 peer sample instead of all-to-all, rumors age out after
+// ceil(log2 n) hops, and a digest-based anti-entropy rotation repairs the
+// tail — eventual delivery is all the eventual specs need, and with gossip
+// off every path is bit-identical to the historical one (golden-pinned).
+// The EC layer disseminates promote values the same way (ec.GossipDrivenFactory,
+// origin-stamped so values absorb by their proposer, not their carrier), and
+// gossip envelopes ride internal/retransmit's at-least-once layer unchanged.
+// Underneath, the kernel applies broadcasts as one batched heap entry per
+// send expanded at pop instead of n immediate inserts, fd.Cached bounds memo
+// state with a per-process LRU over segments, and the CT/Paxos/ABD quorum
+// layers count thresholds at insert instead of rescanning their maps per
+// delivery. cmd/bench -scalen runs the En experiment — the same workload at
+// n in {5..256}, gossip vs all-to-all columns, steps/sec and bytes/proc —
+// into the report's "scaling_n" section. The broadcast layers batch under load: etob.BatchOptions
 // coalesces k pending ops into one update(CG) broadcast (flush on depth k or
 // a linger deadline; k=1 is bit-for-bit the historical path) with an optional
 // AIMD controller that grows the window under queue pressure and halves it

@@ -52,3 +52,22 @@ func TestGoldenQuickSuite(t *testing.T) {
 		t.Errorf("E1–E12 quick suite drifted from the pre-adversary snapshot.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
+
+// TestGoldenQuickSuiteE13E14 completes the E1–E14 gossip-off pin: E13/E14
+// quick tables against the snapshot committed with the gossip dissemination
+// mode. Gossip is strictly opt-in (zero-value gossip.Options), so the new
+// dissemination layer, the digest anti-entropy, and the En scaling sweep may
+// not move one cell of any existing experiment.
+func TestGoldenQuickSuiteE13E14(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_quick_E13_E14.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := (Runner{Opts: Options{Quick: true}, Parallel: 1}).Run([]string{"E13", "E14"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := formatAll(results); got != string(want) {
+		t.Errorf("E13–E14 quick tables drifted from the gossip-era snapshot.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -91,6 +92,89 @@ func microKernels() []struct {
 	}
 }
 
+// bcastAuto broadcasts once per input and is otherwise inert; rotorAuto
+// unicasts to a rotating peer on every tick. Both mirror the big-n automata
+// in internal/sim/kernel_bench_test.go, restated because cmd/bench cannot
+// import test files.
+type bcastAuto struct{}
+
+func (bcastAuto) Init(model.Context)                    {}
+func (bcastAuto) Tick(model.Context)                    {}
+func (bcastAuto) Recv(model.Context, model.ProcID, any) {}
+func (bcastAuto) Input(ctx model.Context, _ any)        { ctx.Broadcast("payload") }
+
+type rotorAuto struct {
+	self  model.ProcID
+	n     int
+	ticks int
+}
+
+func (a *rotorAuto) Init(model.Context) {}
+func (a *rotorAuto) Tick(ctx model.Context) {
+	a.ticks++
+	peer := model.ProcID((int(a.self)-1+a.ticks)%a.n + 1)
+	if peer != a.self {
+		ctx.Send(peer, "x")
+	}
+}
+func (a *rotorAuto) Recv(model.Context, model.ProcID, any) {}
+func (a *rotorAuto) Input(model.Context, any)              {}
+
+// microScale defines the big-n microbenchmarks parameterized over cluster
+// size — broadcast fan-out, heap churn, and the fd.Cached hit path — the
+// axes the gossip/scaling work optimizes. They mirror BenchmarkKernelBroadcastN,
+// BenchmarkKernelHeapChurnN, and BenchmarkCachedHitPathN in
+// internal/sim/kernel_bench_test.go. quick drops the n=256 points so CI
+// smoke jobs stay fast; full runs record all three sizes.
+func microScale(quick bool) []struct {
+	name string
+	run  func(seed int64)
+} {
+	ns := []int{5, 64, 256}
+	if quick {
+		ns = []int{5, 64}
+	}
+	var out []struct {
+		name string
+		run  func(seed int64)
+	}
+	for _, n := range ns {
+		n := n
+		out = append(out, []struct {
+			name string
+			run  func(seed int64)
+		}{
+			{fmt.Sprintf("kernel/broadcast/n=%d", n), func(seed int64) {
+				fp := model.NewFailurePattern(n)
+				k := sim.New(fp, fd.NewOmegaStable(fp, 1), func(model.ProcID, int) model.Automaton {
+					return bcastAuto{}
+				}, sim.Options{Seed: seed, MinDelay: 3, MaxDelay: 30})
+				for j := 0; j < 32; j++ {
+					k.ScheduleInput(model.ProcID(j%n+1), model.Time(20+j*10), "go")
+				}
+				k.Run(400)
+			}},
+			{fmt.Sprintf("kernel/heap-churn/n=%d", n), func(seed int64) {
+				fp := model.NewFailurePattern(n)
+				k := sim.New(fp, fd.NewOmegaStable(fp, 1), func(p model.ProcID, n int) model.Automaton {
+					return &rotorAuto{self: p, n: n}
+				}, sim.Options{Seed: seed, Network: func() sim.NetworkModel { return sim.NewJittery(20) }})
+				k.Run(500)
+			}},
+			{fmt.Sprintf("fd/cached-hit/n=%d", n), func(seed int64) {
+				fp := model.NewFailurePattern(n)
+				det := fd.NewCached(fd.NewOmegaSigma(fd.NewOmegaStable(fp, 1), fd.NewSigma(fp, 0)))
+				for t := model.Time(0); t < 2560; t += 5 {
+					for _, p := range model.Procs(n) {
+						det.Value(p, t)
+					}
+				}
+			}},
+		}...)
+	}
+	return out
+}
+
 // microCHT defines the CHT-reduction microbenchmarks tracking the interned
 // engine's hot paths: DAG construction (batched detector sampling), the
 // incremental tree growth over monotone DAG prefixes, and the per-view
@@ -171,6 +255,7 @@ func Microbenchmarks(quick bool) []MicroResult {
 	}
 	benches := microKernels()
 	benches = append(benches, microCHT()...)
+	benches = append(benches, microScale(quick)...)
 	var out []MicroResult
 	for _, m := range benches {
 		m.run(0) // warm-up

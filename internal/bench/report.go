@@ -10,7 +10,15 @@ import (
 // Report is the machine-readable record of a bench run, written by cmd/bench
 // as BENCH_<n>.json to track the perf trajectory across PRs.
 //
-// Schema ("repro-bench/5" — rev 5 adds the optional "metrics" section: the
+// Schema ("repro-bench/6" — rev 6 adds the optional "scaling_n" section: the
+// En cluster-size sweep, two rows per n (all-to-all vs gossip dissemination)
+// recording kernel steps/sec, measured dissemination envelopes and payload
+// bytes per process, and the analytic per-sender fan-out (n−1 vs
+// ceil(log2 n)+1); absent when the sweep was not requested. Note "scaling"
+// (rev 2) remains the WORKER-count sweep — wall-time parallelism — while
+// "scaling_n" scales the simulated cluster itself.
+//
+// Rev 5 adds the optional "metrics" section: the
 // observability plane's overhead audit, comparing each experiment's median
 // cell time with the metrics registry off and on (same seeds, same repeat);
 // "within_spread" reports whether the delta sits inside the run's own
@@ -28,7 +36,7 @@ import (
 // repetitions, taming single-core scheduling noise):
 //
 //	{
-//	  "schema":     "repro-bench/5",
+//	  "schema":     "repro-bench/6",
 //	  "seed":       42,            // base experiment seed
 //	  "quick":      false,         // reduced workloads?
 //	  "parallel":   8,             // worker-pool size of the recorded run
@@ -41,6 +49,11 @@ import (
 //	     "spread_ms": 12.3,        // summed per-cell max−min across the repeats
 //	     "steps_per_sec": 270000}, // kernel steps / cell time
 //	    ...],
+//	  "scaling_n": [               // optional -scalen cluster-size sweep (see ScaleN)
+//	    {"n": 64, "mode": "gossip", "ops": 128, "delivered_pct": 99.2,
+//	     "steps": 123456, "wall_ms": 80.0, "steps_per_sec": 1500000,
+//	     "send_fanout": 7, "envelopes": 9000, "envelopes_per_op": 70.3,
+//	     "bytes": 400000, "bytes_per_proc": 6250.0}, ...],
 //	  "scaling": [                 // optional -scaling sweep, one point per worker
 //	                               // count; each point reruns exactly the experiment
 //	                               // selection listed in "experiments" above
@@ -60,18 +73,19 @@ import (
 //	     "spread_ms": 12.3, "within_spread": true}, ...]
 //	}
 type Report struct {
-	Schema      string         `json:"schema"`
-	Seed        int64          `json:"seed"`
-	Quick       bool           `json:"quick"`
-	Parallel    int            `json:"parallel"`
-	Repeat      int            `json:"repeat"`
-	GoMaxProcs  int            `json:"gomaxprocs"`
-	WallMS      float64        `json:"wall_ms"`
-	Experiments []ExpReport    `json:"experiments"`
-	Scaling     []ScalingPoint  `json:"scaling,omitempty"`
-	Micro       []MicroResult   `json:"micro,omitempty"`
-	Latency     []LatencyResult `json:"latency,omitempty"`
-	Metrics     []MetricsResult `json:"metrics,omitempty"`
+	Schema      string           `json:"schema"`
+	Seed        int64            `json:"seed"`
+	Quick       bool             `json:"quick"`
+	Parallel    int              `json:"parallel"`
+	Repeat      int              `json:"repeat"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	WallMS      float64          `json:"wall_ms"`
+	Experiments []ExpReport      `json:"experiments"`
+	ScalingN    []ScalingNResult `json:"scaling_n,omitempty"`
+	Scaling     []ScalingPoint   `json:"scaling,omitempty"`
+	Micro       []MicroResult    `json:"micro,omitempty"`
+	Latency     []LatencyResult  `json:"latency,omitempty"`
+	Metrics     []MetricsResult  `json:"metrics,omitempty"`
 }
 
 // ExpReport is one experiment's perf accounting inside a Report.
@@ -99,7 +113,7 @@ func NewReport(opts Options, parallel, repeat int, results []Result, wall time.D
 		repeat = 1
 	}
 	r := &Report{
-		Schema:     "repro-bench/5",
+		Schema:     "repro-bench/6",
 		Seed:       opts.seed(),
 		Quick:      opts.Quick,
 		Parallel:   parallel,

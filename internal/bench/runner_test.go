@@ -104,8 +104,8 @@ func TestRunnerRepeatIdenticalRows(t *testing.T) {
 		t.Fatalf("repeat changed the tables:\n--- once ---\n%s\n--- median-of-3 ---\n%s", a, b)
 	}
 	rep := NewReport(opts, 2, 3, thrice, 0)
-	if rep.Schema != "repro-bench/5" || rep.Repeat != 3 {
-		t.Errorf("report schema/repeat = %q/%d, want repro-bench/5 and 3", rep.Schema, rep.Repeat)
+	if rep.Schema != "repro-bench/6" || rep.Repeat != 3 {
+		t.Errorf("report schema/repeat = %q/%d, want repro-bench/6 and 3", rep.Schema, rep.Repeat)
 	}
 	if rep := NewReport(opts, 2, 0, once, 0); rep.Repeat != 1 {
 		t.Errorf("repeat <= 1 must normalize to 1, got %d", rep.Repeat)

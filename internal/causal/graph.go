@@ -248,6 +248,23 @@ func (g *Graph) Extend(prefix []string) ([]string, error) {
 	return out, nil
 }
 
+// WireSize estimates the graph's serialized size in bytes: the summed
+// lengths of every node ID and every edge endpoint (what a length-prefixed
+// codec would ship, modulo framing). The bench suite uses it to charge
+// update(CG_i) messages their real, growing cost when comparing
+// dissemination modes; it is O(nodes + edges), so per-send callers should
+// memoize by graph pointer (clones share storage but not identity).
+func (g *Graph) WireSize() int {
+	sz := 0
+	for i, m := range g.nodes {
+		sz += len(m)
+		for _, d := range g.preds[i] {
+			sz += len(d)
+		}
+	}
+	return sz
+}
+
 // String renders the graph as "m1<-{}; m2<-{m1}; ..." in insertion order.
 func (g *Graph) String() string {
 	var b strings.Builder

@@ -38,15 +38,41 @@ type CT struct {
 	waiting bool // in phase 3: waiting for the coordinator's proposal
 
 	// Coordinator state, per round led by us.
-	gathered map[int]map[model.ProcID]ctEstimate // round → estimates received
-	proposed map[int]bool                        // rounds we already proposed in
-	acks     map[int]map[model.ProcID]bool       // round → positive acks
-	coordVal map[int]string                      // round → value we proposed
+	rounds map[int]*ctRound
 }
 
 type ctEstimate struct {
 	est string
 	ts  int
+}
+
+// ctRound is the coordinator's per-round state, maintained incrementally at
+// insert time: estCount/ackCount are threshold counters and best is the
+// running highest-ts estimate, so reaching a majority costs O(1) per
+// delivery instead of rescanning the collected map (O(n) per delivery,
+// O(n²) per round — measurable at n=64 and dominant at n=256).
+type ctRound struct {
+	estSeen  map[model.ProcID]bool // dedup: count each sender once
+	estCount int
+	best     ctEstimate   // running max-ts estimate, lowest sender on ties
+	bestFrom model.ProcID // sender of best, for the deterministic tie-break
+	proposed bool         // phase 2 fired
+	val      string       // value we proposed
+	ackSeen  map[model.ProcID]bool
+	ackCount int
+}
+
+func (c *CT) roundState(r int) *ctRound {
+	st := c.rounds[r]
+	if st == nil {
+		st = &ctRound{
+			estSeen: make(map[model.ProcID]bool, c.majority),
+			ackSeen: make(map[model.ProcID]bool, c.majority),
+			best:    ctEstimate{ts: -1},
+		}
+		c.rounds[r] = st
+	}
+	return st
 }
 
 // CTEstimateMsg is phase 1: (estimate, ts) to the round's coordinator.
@@ -83,10 +109,7 @@ func NewCT(p model.ProcID, n int) *CT {
 		self:     p,
 		n:        n,
 		majority: n/2 + 1,
-		gathered: make(map[int]map[model.ProcID]ctEstimate),
-		proposed: make(map[int]bool),
-		acks:     make(map[int]map[model.ProcID]bool),
-		coordVal: make(map[int]string),
+		rounds:   make(map[int]*ctRound),
 	}
 }
 
@@ -157,31 +180,30 @@ func (c *CT) Recv(ctx model.Context, from model.ProcID, payload any) {
 }
 
 func (c *CT) onEstimate(ctx model.Context, from model.ProcID, m CTEstimateMsg) {
-	if c.coord(m.Round) != c.self || c.proposed[m.Round] {
+	if c.coord(m.Round) != c.self {
 		return
 	}
-	g := c.gathered[m.Round]
-	if g == nil {
-		g = make(map[model.ProcID]ctEstimate, c.n)
-		c.gathered[m.Round] = g
-	}
-	g[from] = ctEstimate{est: m.Est, ts: m.TS}
-	if len(g) < c.majority {
+	st := c.roundState(m.Round)
+	if st.proposed || st.estSeen[from] {
 		return
 	}
-	// Propose the estimate with the highest timestamp (Paxos-style locking).
-	// Ties are broken by the lowest sender ProcID: iterating the map directly
-	// would let Go's randomized map order pick the winner, breaking the
-	// kernel's bit-for-bit determinism promise.
-	best := ctEstimate{ts: -1}
-	for _, q := range model.Procs(c.n) {
-		if e, ok := g[q]; ok && e.ts > best.ts {
-			best = e
-		}
+	st.estSeen[from] = true
+	st.estCount++
+	// Track the estimate with the highest timestamp (Paxos-style locking)
+	// incrementally. Ties break to the lowest sender ProcID — the same winner
+	// the old per-delivery rescan over model.Procs picked, but arrival-order
+	// independent and without iterating a Go map (whose randomized order
+	// would break the kernel's bit-for-bit determinism promise).
+	if m.TS > st.best.ts || (m.TS == st.best.ts && from < st.bestFrom) {
+		st.best = ctEstimate{est: m.Est, ts: m.TS}
+		st.bestFrom = from
 	}
-	c.proposed[m.Round] = true
-	c.coordVal[m.Round] = best.est
-	ctx.Broadcast(CTProposeMsg{Round: m.Round, Value: best.est})
+	if st.estCount < c.majority {
+		return
+	}
+	st.proposed = true
+	st.val = st.best.est
+	ctx.Broadcast(CTProposeMsg{Round: m.Round, Value: st.best.est})
 }
 
 func (c *CT) onPropose(ctx model.Context, from model.ProcID, m CTProposeMsg) {
@@ -201,14 +223,14 @@ func (c *CT) onAck(ctx model.Context, from model.ProcID, m CTAckMsg) {
 	if c.coord(m.Round) != c.self || !m.OK {
 		return
 	}
-	a := c.acks[m.Round]
-	if a == nil {
-		a = make(map[model.ProcID]bool, c.n)
-		c.acks[m.Round] = a
+	st := c.roundState(m.Round)
+	if st.ackSeen[from] {
+		return
 	}
-	a[from] = true
-	if len(a) == c.majority { // decide exactly once per round
-		ctx.Broadcast(CTDecideMsg{Value: c.coordVal[m.Round]})
+	st.ackSeen[from] = true
+	st.ackCount++
+	if st.ackCount == c.majority { // decide exactly once per round
+		ctx.Broadcast(CTDecideMsg{Value: st.val})
 	}
 }
 

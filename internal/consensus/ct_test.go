@@ -101,6 +101,115 @@ func TestCTBlocksWithoutMajority(t *testing.T) {
 	}
 }
 
+// ctPhaseObs counts, per sender, how many times each recipient was sent a
+// phase-transition message: a CTProposeMsg per (coordinator, round) and a
+// CTDecideMsg per relayer. A recipient appearing twice under one key means
+// the transition fired twice — exactly the regression insert-time counters
+// could introduce (a rescan fires while len == majority only once; a counter
+// mishandling duplicates could re-fire or never fire).
+type ctPhaseObs struct {
+	proposeSends map[int]map[model.ProcID]map[model.ProcID]int // round → coord → recipient → sends
+	decideSends  map[model.ProcID]map[model.ProcID]int         // sender → recipient → sends
+}
+
+func (o *ctPhaseObs) OnSend(_ model.Time, m sim.Message) {
+	switch pm := m.Payload.(type) {
+	case CTProposeMsg:
+		byCoord := o.proposeSends[pm.Round]
+		if byCoord == nil {
+			byCoord = make(map[model.ProcID]map[model.ProcID]int)
+			o.proposeSends[pm.Round] = byCoord
+		}
+		if byCoord[m.From] == nil {
+			byCoord[m.From] = make(map[model.ProcID]int)
+		}
+		byCoord[m.From][m.To]++
+	case CTDecideMsg:
+		if o.decideSends[m.From] == nil {
+			o.decideSends[m.From] = make(map[model.ProcID]int)
+		}
+		o.decideSends[m.From][m.To]++
+	}
+}
+
+func (o *ctPhaseObs) OnDeliver(model.Time, sim.Message)      {}
+func (o *ctPhaseObs) OnOutput(model.ProcID, model.Time, any) {}
+func (o *ctPhaseObs) OnInput(model.ProcID, model.Time, any)  {}
+
+// ctTee fans observer callbacks out to two observers.
+type ctTee struct{ a, b sim.Observer }
+
+func (t ctTee) OnSend(tm model.Time, m sim.Message)    { t.a.OnSend(tm, m); t.b.OnSend(tm, m) }
+func (t ctTee) OnDeliver(tm model.Time, m sim.Message) { t.a.OnDeliver(tm, m); t.b.OnDeliver(tm, m) }
+func (t ctTee) OnOutput(p model.ProcID, tm model.Time, v any) {
+	t.a.OnOutput(p, tm, v)
+	t.b.OnOutput(p, tm, v)
+}
+func (t ctTee) OnInput(p model.ProcID, tm model.Time, v any) {
+	t.a.OnInput(p, tm, v)
+	t.b.OnInput(p, tm, v)
+}
+
+// TestCTPhaseTransitionsOncePerRoundN64 pins, at n=64 across a coordinator
+// crash (so at least two rounds run), that every coordinator broadcasts its
+// round's proposal exactly once and every process broadcasts the decision at
+// most once — i.e. the insert-time threshold counters fire each phase
+// transition exactly when the old per-delivery rescan did.
+func TestCTPhaseTransitionsOncePerRoundN64(t *testing.T) {
+	const n = 64
+	fp := model.NewFailurePattern(n)
+	fp.Crash(1, 5) // round-1 coordinator dies: round 2 must also transition
+	det := fd.NewEventuallyPerfect(fp, 50)
+	obs := &ctPhaseObs{
+		proposeSends: make(map[int]map[model.ProcID]map[model.ProcID]int),
+		decideSends:  make(map[model.ProcID]map[model.ProcID]int),
+	}
+	rec := trace.NewRecorder(n)
+	k := sim.New(fp, det, CTFactory(), sim.Options{Seed: 64})
+	k.SetObserver(ctTee{a: rec, b: obs})
+	for p, v := range allPropose(n) {
+		k.ScheduleInput(p, 10+model.Time(p), model.ProposeInput{Instance: 1, Value: v})
+	}
+	k.RunUntil(120000, func(*sim.Kernel) bool { return rec.AllDecided(fp.Correct(), 1) })
+
+	rep := trace.CheckEC(rec, fp.Correct(), 1)
+	if !rep.OK() || rep.AgreementK != 1 {
+		t.Fatalf("CT consensus spec at n=64: %+v", rep)
+	}
+	if len(obs.proposeSends) < 2 {
+		t.Fatalf("only rounds %v proposed; the crash should force at least two rounds", len(obs.proposeSends))
+	}
+	for round, byCoord := range obs.proposeSends {
+		for coord, recips := range byCoord {
+			for to, sends := range recips {
+				if sends != 1 {
+					t.Errorf("round %d: coordinator %v sent %d proposals to %v, want exactly 1", round, coord, sends, to)
+				}
+			}
+		}
+	}
+	// A deciding coordinator legitimately broadcasts CTDecideMsg twice: once
+	// from the ack-majority path (fires exactly once per round) and once as
+	// the relay-once of onDecide. Everyone else only relays.
+	coords := make(map[model.ProcID]bool)
+	for _, byCoord := range obs.proposeSends {
+		for coord := range byCoord {
+			coords[coord] = true
+		}
+	}
+	for from, recips := range obs.decideSends {
+		limit := 1
+		if coords[from] {
+			limit = 2
+		}
+		for to, sends := range recips {
+			if sends > limit {
+				t.Errorf("%v sent %d decide messages to %v, want at most %d (ack-majority and relay each fire once)", from, sends, to, limit)
+			}
+		}
+	}
+}
+
 func TestCTDecidedAccessorAndIdempotentPropose(t *testing.T) {
 	fp := model.NewFailurePattern(2)
 	det := fd.NewEventuallyPerfect(fp, 0)

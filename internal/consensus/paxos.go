@@ -82,6 +82,25 @@ type voteKey struct {
 	value    string
 }
 
+// voteSet counts distinct voters at insert time: the membership map dedups
+// retransmitted AcceptedMsgs and serves Σ-quorum inclusion checks, while the
+// counter answers the majority test in O(1) per delivery — no rescan of the
+// collected set, which is what hurts at n in the hundreds.
+type voteSet struct {
+	seen  map[model.ProcID]bool
+	count int
+}
+
+// add records a voter, returning true when it was new.
+func (v *voteSet) add(p model.ProcID) bool {
+	if v.seen[p] {
+		return false
+	}
+	v.seen[p] = true
+	v.count++
+	return true
+}
+
 // Log is a totally ordered replicated log: the strong TOB baseline.
 // Broadcast inputs (model.BroadcastInput) are submitted to the leader, chosen
 // via Paxos instances, and delivered in instance order; the evolving d_i is
@@ -96,20 +115,20 @@ type Log struct {
 	accepted map[int]BallotValue
 
 	// Proposer state.
-	ballot    int64                 // our current ballot (0 = none)
-	leading   bool                  // phase 1 complete for our ballot
-	promises  map[model.ProcID]bool // promise senders for our ballot
-	proposals map[int]string        // instance → value proposed under our ballot
-	proposed  map[string]bool       // IDs assigned to an instance by us
-	nextInst  int                   // next free instance
-	maxBallot int64                 // highest ballot seen anywhere
+	ballot    int64           // our current ballot (0 = none)
+	leading   bool            // phase 1 complete for our ballot
+	promises  voteSet         // promise senders for our ballot
+	proposals map[int]string  // instance → value proposed under our ballot
+	proposed  map[string]bool // IDs assigned to an instance by us
+	nextInst  int             // next free instance
+	maxBallot int64           // highest ballot seen anywhere
 
 	// Pending client messages (arrival order, deduplicated).
 	pending    []string
 	pendingSet map[string]bool
 
 	// Learner state.
-	votes     map[voteKey]map[model.ProcID]bool
+	votes     map[voteKey]*voteSet
 	chosen    map[int]string
 	chosenIDs map[string]bool
 	delivered int      // length of the delivered prefix (consecutive instances)
@@ -126,12 +145,12 @@ func NewLog(p model.ProcID, n int, mode QuorumMode) *Log {
 		n:          n,
 		mode:       mode,
 		accepted:   make(map[int]BallotValue),
-		promises:   make(map[model.ProcID]bool),
+		promises:   voteSet{seen: make(map[model.ProcID]bool)},
 		proposals:  make(map[int]string),
 		proposed:   make(map[string]bool),
 		nextInst:   1,
 		pendingSet: make(map[string]bool),
-		votes:      make(map[voteKey]map[model.ProcID]bool),
+		votes:      make(map[voteKey]*voteSet),
 		chosen:     make(map[int]string),
 		chosenIDs:  make(map[string]bool),
 		inD:        make(map[string]bool),
@@ -197,7 +216,7 @@ func (l *Log) Tick(ctx model.Context) {
 		// Start phase 1 with a fresh ballot above everything seen.
 		l.ballot = l.nextBallot()
 		l.leading = false
-		l.promises = make(map[model.ProcID]bool)
+		l.promises = voteSet{seen: make(map[model.ProcID]bool)}
 		ctx.Broadcast(PrepareMsg{Ballot: l.ballot})
 		return
 	}
@@ -253,7 +272,7 @@ func (l *Log) onPromise(ctx model.Context, from model.ProcID, m PromiseMsg) {
 			return
 		}
 	}
-	l.promises[from] = true
+	l.promises.add(from)
 	// Merge accepted values: for each instance keep the highest-ballot value.
 	for inst, bv := range m.Accepted {
 		cur, ok := l.accepted[inst]
@@ -261,7 +280,7 @@ func (l *Log) onPromise(ctx model.Context, from model.ProcID, m PromiseMsg) {
 			l.accepted[inst] = bv
 		}
 	}
-	if !l.quorumReached(ctx, l.promises) {
+	if !l.quorumReached(ctx, &l.promises) {
 		return
 	}
 	l.leading = true
@@ -306,10 +325,10 @@ func (l *Log) onAccepted(ctx model.Context, from model.ProcID, m AcceptedMsg) {
 	key := voteKey{instance: m.Instance, ballot: m.Ballot, value: m.Value}
 	set := l.votes[key]
 	if set == nil {
-		set = make(map[model.ProcID]bool, l.n)
+		set = &voteSet{seen: make(map[model.ProcID]bool, l.n/2+1)}
 		l.votes[key] = set
 	}
-	set[from] = true
+	set.add(from)
 	if _, done := l.chosen[m.Instance]; done {
 		return
 	}
@@ -343,11 +362,15 @@ func (l *Log) deliverPrefix(ctx model.Context) {
 }
 
 // quorumReached reports whether the responder set completes a phase under
-// the configured quorum mode.
-func (l *Log) quorumReached(ctx model.Context, responders map[model.ProcID]bool) bool {
+// the configured quorum mode. The majority test reads the insert-time
+// counter (O(1)); the Σ test must re-check the detector's CURRENT quorum
+// against the membership set on every delivery — Σ's output is time-varying,
+// and liveness in minority environments depends on a later, smaller quorum
+// being able to complete a phase with responders gathered earlier.
+func (l *Log) quorumReached(ctx model.Context, responders *voteSet) bool {
 	switch l.mode {
 	case MajorityQuorums:
-		return len(responders) > l.n/2
+		return responders.count > l.n/2
 	case SigmaQuorums:
 		q, ok := fd.QuorumOf(ctx.FD())
 		if !ok {
@@ -357,7 +380,7 @@ func (l *Log) quorumReached(ctx model.Context, responders map[model.ProcID]bool)
 			return false
 		}
 		for _, p := range q {
-			if !responders[p] {
+			if !responders.seen[p] {
 				return false
 			}
 		}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/fd"
+	"repro/internal/gossip"
 	"repro/internal/model"
 )
 
@@ -56,6 +57,14 @@ type Automaton struct {
 	flushes       int64
 	fullFlushes   int64 // flushes triggered by queue depth
 	lingerFlushes int64 // flushes forced by the linger timeout
+
+	// Gossip dissemination (gossip.go): inert unless gossip.Enabled().
+	gossip   gossip.Options
+	sampler  *gossip.Sampler
+	fresh    []GossipPromote // novel promotes awaiting one coalesced re-forward
+	freshAge int             // max incoming age among fresh (re-forward at +1)
+	aeTick   int             // ticks since the last anti-entropy exchange
+	gstats   GossipStats
 }
 
 var _ model.Automaton = (*Automaton)(nil)
@@ -121,6 +130,10 @@ func (a *Automaton) propose(ctx model.Context, instance int, value string) {
 	}
 	a.count = instance
 	a.values[instance] = value
+	if a.gossip.Enabled() {
+		a.emitGossipPropose(ctx, instance, value)
+		return
+	}
 	if a.batch.Enabled() {
 		a.enqueuePromote(ctx, PromoteMsg{Value: value, Instance: instance})
 		return
@@ -130,6 +143,10 @@ func (a *Automaton) propose(ctx model.Context, instance int, value string) {
 
 // Recv implements model.Automaton.
 func (a *Automaton) Recv(ctx model.Context, from model.ProcID, payload any) {
+	if g, ok := payload.(GossipPromoteMsg); ok {
+		a.recvGossipPromote(g)
+		return
+	}
 	if b, ok := payload.(PromoteBatchMsg); ok {
 		for _, m := range b.Msgs {
 			a.recvPromote(from, m)
@@ -163,6 +180,9 @@ func (a *Automaton) recvPromote(from model.ProcID, m PromoteMsg) {
 func (a *Automaton) Tick(ctx model.Context) {
 	if a.batch.Enabled() {
 		a.tickBatch(ctx)
+	}
+	if a.gossip.Enabled() {
+		a.tickGossip(ctx)
 	}
 	if a.count == 0 || a.decided[a.count] {
 		return

@@ -1,0 +1,171 @@
+package ec
+
+import (
+	"sort"
+
+	"repro/internal/gossip"
+	"repro/internal/model"
+)
+
+// This file is the gossip dissemination mode of Algorithm 4: replacing the
+// "send promote(v, ℓ) to all" of proposeEC with epidemic forwarding to a
+// seeded O(log n) peer sample. Algorithm 4's reception rule writes
+// received_i[j, ℓ] — the state is keyed by the ORIGINATOR, not the carrier —
+// so a relayed promote must travel origin-stamped (GossipPromote.Origin) and
+// the receiver records it under that origin, never under the forwarder.
+// Values are write-once per (origin, instance) (recvPromote keeps the first),
+// which makes absorption order-insensitive and relaying safe.
+//
+// Eventual delivery — the only delivery property the EC proofs use — is
+// guaranteed by the anti-entropy pass: every AntiEntropyEvery ticks each
+// process sends everything it knows (its full received_i table, which
+// includes its own proposals) to the next round-robin peer, in deterministic
+// (origin, instance) order. Known-value tables are monotone, so coverage of
+// every promote widens each rotation and reaches all correct processes in
+// O(n) rotations even if its rumor retired early.
+//
+// With gossip disabled (the zero gossip.Options) none of this code runs and
+// traces are byte-identical to the pre-gossip automaton. When both batching
+// and gossip are enabled, gossip takes precedence on the propose path: the
+// rumor IS a batch carrier (Entries coalesce on forward), so the promote
+// batching queue stays idle.
+
+// GossipPromote is one promote(v, ℓ) as it travels inside a rumor,
+// origin-stamped so relays preserve Algorithm 4's received_i[j, ℓ] keying.
+type GossipPromote struct {
+	Origin   model.ProcID
+	Instance int
+	Value    string
+}
+
+// GossipPromoteMsg is a rumor: origin-stamped promotes plus the hop age used
+// for rumor retirement.
+type GossipPromoteMsg struct {
+	Entries []GossipPromote
+	Age     int
+}
+
+// GossipStats counts the gossip layer's traffic at one automaton.
+type GossipStats struct {
+	Rumors      int64 // rumor emissions (each costs Fanout envelopes)
+	AntiEntropy int64 // full-table repair messages sent
+	Absorbed    int64 // novel promotes learned from rumors
+	Stale       int64 // rumor entries already known (not re-forwarded)
+}
+
+// SetGossip installs the gossip dissemination mode. Must be called before
+// the automaton takes its first step; the zero Options disables gossip.
+func (a *Automaton) SetGossip(o gossip.Options) {
+	if !o.Enabled() {
+		a.gossip = gossip.Options{}
+		a.sampler = nil
+		return
+	}
+	o = o.WithDefaults(a.n)
+	a.gossip = o
+	a.sampler = gossip.NewSampler(a.self, a.n, o)
+}
+
+// GossipStats returns the gossip layer's counters.
+func (a *Automaton) GossipStats() GossipStats { return a.gstats }
+
+// GossipFactory adapts New + SetGossip to model.AutomatonFactory.
+func GossipFactory(g gossip.Options) model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton {
+		a := New(p, n)
+		a.SetGossip(g)
+		return a
+	}
+}
+
+// GossipDrivenFactory is GossipFactory with a closed-loop Driver.
+func GossipDrivenFactory(d Driver, g gossip.Options) model.AutomatonFactory {
+	return func(p model.ProcID, n int) model.Automaton {
+		a := NewDriven(p, n, d)
+		a.SetGossip(g)
+		return a
+	}
+}
+
+// emitGossipPropose disseminates our own promote(v, ℓ) as an age-0 rumor.
+// Gossip sends no self-copy, so the value is recorded locally first (in
+// broadcast mode the sender's own delivery did that).
+func (a *Automaton) emitGossipPropose(ctx model.Context, instance int, value string) {
+	a.recvPromote(a.self, PromoteMsg{Value: value, Instance: instance})
+	msg := GossipPromoteMsg{Entries: []GossipPromote{{Origin: a.self, Instance: instance, Value: value}}}
+	for _, q := range a.sampler.Sample() {
+		ctx.Send(q, msg)
+	}
+	a.gstats.Rumors++
+}
+
+// recvGossipPromote absorbs a rumor and queues the entries that were novel
+// here for one tick-coalesced re-forward at Age+1 while the rumor is young.
+func (a *Automaton) recvGossipPromote(m GossipPromoteMsg) {
+	forward := m.Age+1 <= a.gossip.MaxAge
+	for _, e := range m.Entries {
+		if _, known := a.received[e.Origin][e.Instance]; known {
+			a.gstats.Stale++
+			continue
+		}
+		a.recvPromote(e.Origin, PromoteMsg{Value: e.Value, Instance: e.Instance})
+		a.gstats.Absorbed++
+		if forward {
+			a.fresh = append(a.fresh, e)
+			if m.Age > a.freshAge {
+				a.freshAge = m.Age
+			}
+		}
+	}
+}
+
+// tickGossip runs once per local timeout before the decide step: it
+// re-forwards the tick's accumulated novel promotes as one aged rumor, and
+// every AntiEntropyEvery ticks sends the full known-value table to the next
+// round-robin peer (the deterministic repair channel).
+func (a *Automaton) tickGossip(ctx model.Context) {
+	if len(a.fresh) > 0 {
+		msg := GossipPromoteMsg{Entries: a.fresh, Age: a.freshAge + 1}
+		for _, q := range a.sampler.Sample() {
+			ctx.Send(q, msg)
+		}
+		a.gstats.Rumors++
+		a.fresh = nil
+		a.freshAge = 0
+	}
+	a.aeTick++
+	if a.aeTick >= a.gossip.AntiEntropyEvery {
+		a.aeTick = 0
+		if q, ok := a.sampler.NextPeer(); ok {
+			if entries := a.knownEntries(); len(entries) > 0 {
+				// Repair messages age past MaxAge so receivers never re-rumor
+				// them: anti-entropy traffic stays O(1) messages per process
+				// per period.
+				ctx.Send(q, GossipPromoteMsg{Entries: entries, Age: a.gossip.MaxAge})
+				a.gstats.AntiEntropy++
+			}
+		}
+	}
+}
+
+// knownEntries flattens received_i into origin-stamped entries in
+// deterministic (origin, instance) order — map iteration must not leak into
+// message contents, or traces would stop being seed-stable.
+func (a *Automaton) knownEntries() []GossipPromote {
+	var out []GossipPromote
+	for _, origin := range model.Procs(a.n) {
+		byInst := a.received[origin]
+		if len(byInst) == 0 {
+			continue
+		}
+		insts := make([]int, 0, len(byInst))
+		for i := range byInst {
+			insts = append(insts, i)
+		}
+		sort.Ints(insts)
+		for _, i := range insts {
+			out = append(out, GossipPromote{Origin: origin, Instance: i, Value: byInst[i]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package ec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/gossip"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runGossipEC executes Algorithm 4 with gossip dissemination: promotes travel
+// as origin-stamped rumors to a seeded O(log n) sample instead of n−1 sends.
+// The driver stops after 12 instances: the closed loop re-proposes on every
+// decide, and an unbounded instance stream makes the known-value table — and
+// with it each anti-entropy exchange — grow without limit.
+func runGossipEC(t *testing.T, n int, g gossip.Options, horizon model.Time, seed int64) *trace.Recorder {
+	t.Helper()
+	fp := model.NewFailurePattern(n)
+	det := fd.NewOmegaStable(fp, 1)
+	rec := trace.NewRecorder(n)
+	driver := func(p model.ProcID, inst int) (string, bool) {
+		return fmt.Sprintf("v/%v/%d", p, inst), inst <= 12
+	}
+	k := sim.New(fp, det, GossipDrivenFactory(driver, g), sim.Options{Seed: seed})
+	k.SetObserver(rec)
+	k.Run(horizon)
+	return rec
+}
+
+// TestGossipECSatisfiesSpec: the EC proofs only use eventual delivery of
+// promote(v, ℓ), which rumor + anti-entropy dissemination provides — the full
+// EC spec (termination, integrity, validity, eventual agreement) must hold at
+// n=16 with O(log n) fan-out.
+func TestGossipECSatisfiesSpec(t *testing.T) {
+	const n = 16
+	rec := runGossipEC(t, n, gossip.Options{Enable: true, Seed: 11}, 30000, 11)
+	rep := trace.CheckEC(rec, model.Procs(n), 6)
+	if !rep.OK() {
+		t.Fatalf("EC spec violated under gossip: %+v", rep)
+	}
+	// The stable leader p1's value must win every agreed instance.
+	for _, p := range model.Procs(n) {
+		for _, d := range rec.Decisions(p) {
+			if d.Instance >= rep.AgreementK {
+				want := fmt.Sprintf("v/p1/%d", d.Instance)
+				if d.Value != want {
+					t.Errorf("%v decided %q in instance %d, want leader value %q", p, d.Value, d.Instance, want)
+				}
+			}
+		}
+	}
+	t.Logf("AgreementK = %d, MaxInstance = %d", rep.AgreementK, rep.MaxInstance)
+}
+
+// TestGossipECOriginStamping: relayed promotes must land in received_i[j, ℓ]
+// under the ORIGINATOR j, never the forwarder — decisions adopt the leader's
+// value even at processes the leader never sampled directly.
+func TestGossipECOriginStamping(t *testing.T) {
+	const n = 32
+	rec := runGossipEC(t, n, gossip.Options{Enable: true, Seed: 3}, 30000, 3)
+	rep := trace.CheckEC(rec, model.Procs(n), 4)
+	if !rep.OK() {
+		t.Fatalf("EC spec violated: %+v", rep)
+	}
+	// Fanout at n=32 is 6: the leader samples at most 6 peers per rumor, so
+	// most of the 31 others can only learn promote values via relays or
+	// anti-entropy. Every process deciding the leader's value from
+	// AgreementK on proves origin keying survived multi-hop carriage.
+	decidedAgreed := 0
+	for _, p := range model.Procs(n) {
+		for _, d := range rec.Decisions(p) {
+			if d.Instance >= rep.AgreementK {
+				decidedAgreed++
+			}
+		}
+	}
+	if decidedAgreed < n {
+		t.Errorf("only %d agreed-phase decisions recorded across %d processes", decidedAgreed, n)
+	}
+}
+
+// TestGossipECOffByteIdentical: the gossip factory with the zero options must
+// be byte-identical to the plain driven automaton.
+func TestGossipECOffByteIdentical(t *testing.T) {
+	driver := func(p model.ProcID, inst int) (string, bool) {
+		return fmt.Sprintf("v/%v/%d", p, inst), inst <= 6
+	}
+	run := func(factory model.AutomatonFactory) []string {
+		fp := model.NewFailurePattern(4)
+		det := fd.NewOmegaStable(fp, 1)
+		obs := &ecTraceLog{}
+		k := sim.New(fp, det, factory, sim.Options{Seed: 9})
+		k.SetObserver(obs)
+		k.Run(6000)
+		return obs.events
+	}
+	plain := run(DrivenFactory(driver))
+	off := run(GossipDrivenFactory(driver, gossip.Options{}))
+	if len(plain) != len(off) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(plain), len(off))
+	}
+	for i := range plain {
+		if plain[i] != off[i] {
+			t.Fatalf("traces diverge at event %d:\n  plain: %s\n  off:   %s", i, plain[i], off[i])
+		}
+	}
+}
+
+// ecTraceLog flattens kernel events for byte-identity comparison.
+type ecTraceLog struct{ events []string }
+
+func (o *ecTraceLog) OnSend(t model.Time, m sim.Message) {
+	o.events = append(o.events, fmt.Sprintf("S %d %d %v>%v %T %+v", t, m.ID, m.From, m.To, m.Payload, m.Payload))
+}
+func (o *ecTraceLog) OnDeliver(t model.Time, m sim.Message) {
+	o.events = append(o.events, fmt.Sprintf("D %d %d %v>%v", t, m.ID, m.From, m.To))
+}
+func (o *ecTraceLog) OnOutput(p model.ProcID, t model.Time, v any) {
+	o.events = append(o.events, fmt.Sprintf("O %d %v %+v", t, p, v))
+}
+func (o *ecTraceLog) OnInput(p model.ProcID, t model.Time, v any) {
+	o.events = append(o.events, fmt.Sprintf("I %d %v %+v", t, p, v))
+}

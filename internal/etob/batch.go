@@ -187,6 +187,10 @@ func (a *Automaton) flush(ctx model.Context, full bool) {
 	if a.onFlush != nil {
 		ids = make([]string, 0, flushed)
 	}
+	var gops []GossipOp
+	if a.gossip.Enabled() {
+		gops = make([]GossipOp, 0, flushed)
+	}
 	for i := range a.pending {
 		op := &a.pending[i]
 		deps := op.deps
@@ -197,6 +201,11 @@ func (a *Automaton) flush(ctx model.Context, full bool) {
 		if ids != nil {
 			ids = append(ids, op.id)
 		}
+		if gops != nil {
+			// deps is either frontier()'s fresh slice or the copy enqueue
+			// made, so the rumor can own it past this step.
+			gops = append(gops, GossipOp{ID: op.id, Deps: deps})
+		}
 	}
 	a.pending = a.pending[:0]
 	a.linger = 0
@@ -206,7 +215,11 @@ func (a *Automaton) flush(ctx model.Context, full bool) {
 	} else {
 		a.lingerFlushes++
 	}
-	ctx.Broadcast(UpdateMsg{CG: a.cg.Clone()})
+	if gops != nil {
+		a.emitGossip(ctx, gops)
+	} else {
+		ctx.Broadcast(UpdateMsg{CG: a.cg.Clone()})
+	}
 	if a.onFlush != nil {
 		a.onFlush(ids)
 	}

@@ -23,14 +23,21 @@ type Segmented interface {
 // the detector is Segmented, the segment contract above: within one segment
 // the value cannot change, so one computed value serves every query in it.
 //
-// The cache keeps exactly one entry per process — the segment (or exact
-// time) most recently queried for that process — so memory stays O(n)
-// no matter how long a run gets. This fits both hot query patterns:
+// The cache keeps a small fixed number of entries per process — the
+// cacheWays segments (or exact times) most recently queried for that
+// process, in LRU order — so memory stays O(ways × n) no matter how long a
+// run gets or how many segments its history accumulates. This fits the hot
+// query patterns:
 //
 //   - the kernel's per-step query, where t advances monotonically and stays
 //     inside one segment for long stretches (a stable Ω run is one segment);
 //   - the CHT reduction's sampling, which re-queries identical (p, t) pairs
-//     when verifying DAG properties.
+//     when verifying DAG properties — and, unlike the kernel, hops BACK
+//     across segment boundaries, which a single slot per process would
+//     thrash on (every boundary crossing evicts the segment about to be
+//     re-queried);
+//   - protocol code (quorum Σ re-checks, leadership hooks) interleaving a
+//     current-time query with a recorded earlier instant.
 //
 // Cached values are returned by reference: callers must treat detector
 // values (SigmaValue, SuspectValue, ...) as immutable, which the Detector
@@ -40,15 +47,29 @@ type Segmented interface {
 type Cached struct {
 	inner Detector
 	seg   Segmented // nil when inner does not implement Segmented
-	slots []cacheSlot
+	sets  []cacheSet
 	hits  int64
 	miss  int64
 }
 
+// cacheWays is the per-process associativity: how many distinct segments a
+// process's cache set holds before LRU eviction. Four covers every observed
+// alternation pattern (kernel monotone = 1, CHT build/verify straddling a
+// boundary = 2, quorum code mixing "now" with a recorded instant = 3) with
+// one spare, while keeping the hit path a scan of four adjacent entries.
+const cacheWays = 4
+
+// cacheSet is one process's LRU set, MRU-first: slots[0] is the most
+// recently used of the n valid entries. A hit rotates the entry to the
+// front; a miss inserts at the front, evicting slots[n-1] when full.
+type cacheSet struct {
+	n     int
+	slots [cacheWays]cacheSlot
+}
+
 type cacheSlot struct {
-	valid bool
-	key   model.Time // segment start (Segmented) or exact query time
-	val   any
+	key model.Time // segment start (Segmented) or exact query time
+	val any
 }
 
 var _ Detector = (*Cached)(nil)
@@ -72,29 +93,39 @@ func (c *Cached) Name() string { return c.inner.Name() }
 // Inner returns the wrapped detector.
 func (c *Cached) Inner() Detector { return c.inner }
 
-// Value implements Detector: H(p, t), served from the per-process cache when
-// the query lands in the segment already computed for p.
+// Value implements Detector: H(p, t), served from the per-process LRU set
+// when the query lands in a segment already computed for p.
 func (c *Cached) Value(p model.ProcID, t model.Time) any {
 	i := int(p) - 1
 	if i < 0 {
 		return c.inner.Value(p, t)
 	}
-	if i >= len(c.slots) {
-		grown := make([]cacheSlot, i+1)
-		copy(grown, c.slots)
-		c.slots = grown
+	if i >= len(c.sets) {
+		grown := make([]cacheSet, i+1)
+		copy(grown, c.sets)
+		c.sets = grown
 	}
 	key := t
 	if c.seg != nil {
 		key = c.seg.SegmentStart(p, t)
 	}
-	s := &c.slots[i]
-	if s.valid && s.key == key {
+	set := &c.sets[i]
+	for w := 0; w < set.n; w++ {
+		if set.slots[w].key != key {
+			continue
+		}
+		hit := set.slots[w]
+		copy(set.slots[1:w+1], set.slots[:w]) // move-to-front keeps LRU order
+		set.slots[0] = hit
 		c.hits++
-		return s.val
+		return hit.val
 	}
 	v := c.inner.Value(p, t)
-	s.valid, s.key, s.val = true, key, v
+	if set.n < cacheWays {
+		set.n++
+	}
+	copy(set.slots[1:set.n], set.slots[:set.n-1])
+	set.slots[0] = cacheSlot{key: key, val: v}
 	c.miss++
 	return v
 }

@@ -110,6 +110,30 @@ func TestCachedKernelPatternStaysBounded(t *testing.T) {
 	}
 }
 
+// TestCachedAlternatingSegmentsStayCached pins the LRU-over-segments
+// behavior: a query stream that alternates between two segments of the same
+// process — the CHT verify pass hopping back across a stabilization
+// boundary, or quorum code mixing "now" with a recorded instant — must be
+// all hits after each segment has been computed once. A single slot per
+// process would miss on every query here.
+func TestCachedAlternatingSegmentsStayCached(t *testing.T) {
+	fp := model.NewFailurePattern(3)
+	c := NewCached(NewOmegaEventual(fp, 2, 400)) // two segments per process: [0,400) and [400,∞)
+	for i := 0; i < 100; i++ {
+		for q := 1; q <= 3; q++ {
+			c.Value(model.ProcID(q), 100) // pre-stabilization segment
+			c.Value(model.ProcID(q), 500) // post-stabilization segment
+		}
+	}
+	hits, misses := c.Stats()
+	if misses > 6 {
+		t.Errorf("alternating segments thrash: misses = %d, want <= 6 (2 segments x 3 procs)", misses)
+	}
+	if hits != 600-misses {
+		t.Errorf("hits = %d, want %d", hits, 600-misses)
+	}
+}
+
 // TestCachedValuesBatch checks the batch path against per-process queries,
 // including reuse of the caller's buffer.
 func TestCachedValuesBatch(t *testing.T) {

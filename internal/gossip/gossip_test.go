@@ -1,0 +1,101 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 16: 4, 17: 5, 64: 6, 256: 8, 1000: 10}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	o := Options{Enable: true}.WithDefaults(256)
+	if o.Fanout != 9 || o.MaxAge != 8 || o.AntiEntropyEvery != 4 {
+		t.Errorf("defaults at n=256: %+v, want fanout 9, maxage 8, AE 4", o)
+	}
+	custom := Options{Enable: true, Fanout: 3, MaxAge: 2, AntiEntropyEvery: 16}.WithDefaults(256)
+	if custom.Fanout != 3 || custom.MaxAge != 2 || custom.AntiEntropyEvery != 16 {
+		t.Errorf("explicit fields must survive WithDefaults: %+v", custom)
+	}
+	if (Options{}).Enabled() {
+		t.Error("zero Options must be disabled")
+	}
+}
+
+// TestSamplerDeterministicDistinct: equal seeds replay the identical sample
+// stream; every sample holds fanout distinct peers, never the owner.
+func TestSamplerDeterministicDistinct(t *testing.T) {
+	const n = 64
+	o := Options{Enable: true, Seed: 7}.WithDefaults(n)
+	a := NewSampler(3, n, o)
+	b := NewSampler(3, n, o)
+	other := NewSampler(4, n, o)
+	diverged := false
+	for round := 0; round < 50; round++ {
+		sa, sb, so := a.Sample(), b.Sample(), other.Sample()
+		if len(sa) != o.Fanout {
+			t.Fatalf("round %d: sample size %d, want %d", round, len(sa), o.Fanout)
+		}
+		seen := make(map[model.ProcID]bool, len(sa))
+		for i, p := range sa {
+			if p == 3 {
+				t.Fatalf("round %d: sampler included its owner", round)
+			}
+			if seen[p] {
+				t.Fatalf("round %d: duplicate peer %v in sample", round, p)
+			}
+			seen[p] = true
+			if p != sb[i] {
+				t.Fatalf("round %d: equal seeds diverged at position %d: %v vs %v", round, i, p, sb[i])
+			}
+			if p != so[i] {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("two different processes drew identical streams for 50 rounds — per-process seeding is broken")
+	}
+}
+
+// TestSamplerSmallN: fanout >= n−1 degenerates to all peers, and n=1 has no
+// anti-entropy partner.
+func TestSamplerSmallN(t *testing.T) {
+	s := NewSampler(1, 3, Options{Enable: true, Fanout: 10}.WithDefaults(3))
+	if got := s.Sample(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("fanout >= n-1 must return all peers, got %v", got)
+	}
+	if _, ok := NewSampler(1, 1, Options{Enable: true}.WithDefaults(1)).NextPeer(); ok {
+		t.Error("n=1 must have no anti-entropy partner")
+	}
+}
+
+// TestNextPeerRoundRobin: one rotation covers every peer exactly once — the
+// property the eventual-delivery argument rests on.
+func TestNextPeerRoundRobin(t *testing.T) {
+	const n = 16
+	s := NewSampler(5, n, Options{Enable: true, Seed: 1}.WithDefaults(n))
+	seen := make(map[model.ProcID]int)
+	for i := 0; i < n-1; i++ {
+		p, ok := s.NextPeer()
+		if !ok {
+			t.Fatal("NextPeer returned !ok with peers available")
+		}
+		seen[p]++
+	}
+	for _, p := range model.Procs(n) {
+		if p == 5 {
+			continue
+		}
+		if seen[p] != 1 {
+			t.Errorf("rotation visited %v %d times, want exactly 1", p, seen[p])
+		}
+	}
+}

@@ -92,15 +92,25 @@ const (
 	phaseStore
 )
 
-// pendingOp is the client-side state of one in-flight operation.
+// pendingOp is the client-side state of one in-flight operation. Quorum
+// progress is tracked at insert time — membership sets for the Σ inclusion
+// test, counters for the majority test, and a running best reply — so each
+// delivery costs O(1) instead of copying and rescanning the collected
+// replies (which is O(n) per delivery, O(n²) per phase, at n=256).
 type pendingOp struct {
-	kind    opKind
-	phase   opPhase
-	seq     int64
-	value   string // write: value to store; read: value being written back
-	tag     Tag
-	replies map[model.ProcID]QueryRespMsg
-	acks    map[model.ProcID]bool
+	kind  opKind
+	phase opPhase
+	seq   int64
+	value string // write: value to store; read: value being written back
+	tag   Tag
+
+	replySeen  map[model.ProcID]bool
+	replyCount int
+	best       QueryRespMsg // highest tag among replies so far
+	hasBest    bool
+
+	ackSeen  map[model.ProcID]bool
+	ackCount int
 }
 
 // Register is the per-process automaton: replica + client.
@@ -165,10 +175,10 @@ func (r *Register) startNext(ctx model.Context) {
 	r.queue = r.queue[1:]
 	r.opSeq++
 	op := &pendingOp{
-		phase:   phaseQuery,
-		seq:     r.opSeq,
-		replies: make(map[model.ProcID]QueryRespMsg),
-		acks:    make(map[model.ProcID]bool),
+		phase:     phaseQuery,
+		seq:       r.opSeq,
+		replySeen: make(map[model.ProcID]bool, r.n/2+1),
+		ackSeen:   make(map[model.ProcID]bool, r.n/2+1),
 	}
 	switch in := next.(type) {
 	case WriteInput:
@@ -204,30 +214,28 @@ func (r *Register) onQueryResp(ctx model.Context, from model.ProcID, m QueryResp
 	if op == nil || op.phase != phaseQuery || m.OpSeq != op.seq {
 		return
 	}
-	op.replies[from] = m
-	set := make(map[model.ProcID]bool, len(op.replies))
-	for p := range op.replies {
-		set[p] = true
+	if !op.replySeen[from] {
+		op.replySeen[from] = true
+		op.replyCount++
 	}
-	if !r.quorum(ctx, set) {
+	// Track the highest tag incrementally, folding in retransmitted replies
+	// too: a replica's tag only grows between responses, so the max over all
+	// responses equals the max over each replica's latest — what the old
+	// collect-then-scan computed.
+	if !op.hasBest || op.best.Tag.Less(m.Tag) {
+		op.best = m
+		op.hasBest = true
+	}
+	if !r.quorum(ctx, op.replySeen, op.replyCount) {
 		return
-	}
-	// Highest tag among the quorum.
-	best := QueryRespMsg{}
-	first := true
-	for _, resp := range op.replies {
-		if first || best.Tag.Less(resp.Tag) {
-			best = resp
-			first = false
-		}
 	}
 	op.phase = phaseStore
 	switch op.kind {
 	case opWrite:
-		op.tag = Tag{TS: best.Tag.TS + 1, Writer: r.self}
+		op.tag = Tag{TS: op.best.Tag.TS + 1, Writer: r.self}
 	case opRead:
-		op.tag = best.Tag
-		op.value = best.Value
+		op.tag = op.best.Tag
+		op.value = op.best.Value
 	}
 	ctx.Broadcast(StoreMsg{OpSeq: op.seq, Tag: op.tag, Value: op.value})
 }
@@ -237,8 +245,11 @@ func (r *Register) onStoreAck(ctx model.Context, from model.ProcID, m StoreAckMs
 	if op == nil || op.phase != phaseStore || m.OpSeq != op.seq {
 		return
 	}
-	op.acks[from] = true
-	if !r.quorum(ctx, op.acks) {
+	if !op.ackSeen[from] {
+		op.ackSeen[from] = true
+		op.ackCount++
+	}
+	if !r.quorum(ctx, op.ackSeen, op.ackCount) {
 		return
 	}
 	r.op = nil
@@ -267,10 +278,15 @@ func (r *Register) Tick(ctx model.Context) {
 	}
 }
 
-func (r *Register) quorum(ctx model.Context, responders map[model.ProcID]bool) bool {
+// quorum decides phase completion: the majority test reads the insert-time
+// counter (O(1)); the Σ test re-checks the detector's CURRENT quorum against
+// the membership set on every delivery — Σ's output is time-varying, and
+// liveness in minority environments depends on a later, smaller quorum
+// completing a phase with responders gathered earlier.
+func (r *Register) quorum(ctx model.Context, responders map[model.ProcID]bool, count int) bool {
 	switch r.mode {
 	case Majority:
-		return len(responders) > r.n/2
+		return count > r.n/2
 	case SigmaFD:
 		q, ok := fd.QuorumOf(ctx.FD())
 		if !ok || len(q) == 0 {

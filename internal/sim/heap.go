@@ -44,6 +44,17 @@ func (h *eventHeap) len() int { return len(h.keys) }
 // Callers must ensure the heap is non-empty.
 func (h *eventHeap) peekTime() model.Time { return h.keys[0].t }
 
+// topSlot returns the slab index of the minimum event without removing it.
+// The index stays valid across heap operations (slots are only recycled by
+// pop), so callers that dispatch in place — the batched-delivery path — hold
+// the index, not the pointer, and re-resolve through slot() after any
+// operation that may grow the slab.
+func (h *eventHeap) topSlot() int32 { return h.keys[0].slot }
+
+// slot resolves a slab index to the event stored there. The pointer is only
+// valid until the next emplace (which may grow and move the slab).
+func (h *eventHeap) slot(i int32) *event { return &h.slots[i] }
+
 // emplace enqueues a key for time t and returns a pointer to the payload
 // slot so the caller can fill the event IN PLACE — one write instead of
 // build-then-copy. The pointer is only valid until the next heap operation
@@ -79,7 +90,7 @@ func (h *eventHeap) pop() event {
 	}
 	s := &h.slots[top.slot]
 	e := *s
-	s.msg.Payload, s.in = nil, nil // release payload references to the GC
+	s.msg.Payload, s.in, s.recips = nil, nil, nil // release references to the GC
 	h.free = append(h.free, top.slot)
 	return e
 }

@@ -162,6 +162,7 @@ const (
 	evTick
 	evInput
 	evRestart
+	evDeliverBatch
 )
 
 type event struct {
@@ -170,8 +171,21 @@ type event struct {
 	kind eventKind
 	p    model.ProcID // target process (tick, input, restart)
 	gen  int32        // tick-chain generation (tick); see Kernel.tickGen
-	msg  Message      // deliver
+	msg  Message      // deliver; for a batch, the shared template (To/ID unset)
 	in   any          // input
+
+	// Batched broadcast delivery (evDeliverBatch): one heap entry carries
+	// every recipient of one broadcast whose link delay landed on the same
+	// arrival instant (the delay class). recips is pooled storage owned by
+	// the event until its final member dispatches; baseID reconstructs each
+	// member's message ID (IDs were stamped per recipient at send time, in
+	// process order, so member q's ID is baseID+q-1); cursor is the index of
+	// the next member to deliver — members dispatch ONE PER LOOP ITERATION in
+	// RunUntil, so event granularity (and stop-callback semantics) is
+	// identical to n individual delivery events.
+	recips []model.ProcID
+	baseID int64
+	cursor int32
 }
 
 // Kernel is a deterministic simulation of one run R = (F, H, H_I, H_O, S, T).
@@ -196,6 +210,14 @@ type Kernel struct {
 	// Without it, a down interval short enough to contain no tick would leave
 	// the old chain alive next to the restart's new one.
 	tickGen []int32 // index p-1
+	// bcClasses is the broadcast-time delay-classing scratch (reused across
+	// broadcasts): recipients of one broadcast grouped by drawn delay, so the
+	// heap receives one entry per distinct arrival instant instead of one per
+	// recipient. recipPool recycles the member slices when batch events
+	// complete, keeping steady-state broadcast delivery allocation-free.
+	bcClasses []bcClass
+	recipPool [][]model.ProcID
+
 	// restartDue marks (p, t) pairs whose evRestart has not yet dispatched.
 	// Pre-run inputs carry smaller FIFO seqs than the restart events enqueued
 	// in start(), so at an equal instant the input would otherwise execute
@@ -403,6 +425,14 @@ func (k *Kernel) Run(until model.Time) {
 
 // RunUntil executes the simulation until the clock passes maxTime, the event
 // queue drains, or stop (if non-nil) returns true after some event.
+//
+// Batched broadcast deliveries (evDeliverBatch) expand here: the batch stays
+// at the heap root — nothing enqueued during a member's step can order before
+// it, since new events receive strictly larger sequence numbers — and one
+// member dispatches per loop iteration, so the stop callback fires between
+// individual deliveries exactly as it did when every recipient had its own
+// heap entry. The batch pops (and its recipient slice recycles) only after
+// its last member.
 func (k *Kernel) RunUntil(maxTime model.Time, stop func(k *Kernel) bool) {
 	k.start()
 	if maxTime > k.opts.MaxTime {
@@ -413,12 +443,44 @@ func (k *Kernel) RunUntil(maxTime model.Time, stop func(k *Kernel) bool) {
 			k.now = maxTime
 			return
 		}
-		e := k.queue.pop()
-		k.now = e.t
-		k.dispatch(&e)
+		if si := k.queue.topSlot(); k.queue.slot(si).kind == evDeliverBatch {
+			top := k.queue.slot(si)
+			k.now = top.t
+			k.deliverBatchMember(top)
+			// The member's step may have grown the slab; re-resolve before
+			// checking for exhaustion.
+			if top = k.queue.slot(si); int(top.cursor) >= len(top.recips) {
+				e := k.queue.pop()
+				k.recipPool = append(k.recipPool, e.recips[:0])
+			}
+		} else {
+			e := k.queue.pop()
+			k.now = e.t
+			k.dispatch(&e)
+		}
 		if stop != nil && stop(k) {
 			return
 		}
+	}
+}
+
+// deliverBatchMember dispatches the next recipient of a batched broadcast
+// delivery, reconstructing the member's Message from the shared template and
+// the send-time ID base. The cursor advances before the step runs so the
+// progress survives any slab growth the step causes.
+func (k *Kernel) deliverBatchMember(e *event) {
+	q := e.recips[e.cursor]
+	e.cursor++
+	m := e.msg
+	m.To = q
+	m.ID = e.baseID + int64(q-1)
+	if k.up(q, e.t) {
+		k.obs.OnDeliver(e.t, m)
+		k.step(q, func(ctx *stepCtx) {
+			k.autos[q].Recv(ctx, m.From, m.Payload)
+		}, m.Depth, m.ID)
+	} else {
+		k.nDropped++
 	}
 }
 
@@ -471,6 +533,9 @@ func (k *Kernel) dispatch(e *event) {
 		k.step(e.p, func(ctx *stepCtx) { k.autos[e.p].Init(ctx) }, 0, 0)
 		next := k.enqueue(e.t + k.opts.TickInterval)
 		next.kind, next.p, next.gen = evTick, e.p, k.tickGen[e.p-1]
+	case evDeliverBatch:
+		// Batches never reach dispatch: RunUntil expands them in place.
+		panic("sim: evDeliverBatch escaped RunUntil's batch expansion")
 	default:
 		panic(fmt.Sprintf("sim: unknown event kind %d", e.kind))
 	}
@@ -550,12 +615,46 @@ func (k *Kernel) send(c *stepCtx, to model.ProcID, payload any) {
 	k.dispatchSend(&m)
 }
 
+// bcClass is one delay class of an in-progress broadcast: every recipient
+// whose drawn link delay equals delay, in process order.
+type bcClass struct {
+	delay   model.Time
+	members []model.ProcID // pooled; ownership moves to the batch event
+}
+
+// maxClassScan bounds the linear class lookup per recipient. Past this many
+// distinct delays (a pathological spread — the shipped models draw from a
+// few dozen values at most), later recipients fall into singleton classes
+// rather than paying an O(classes) scan each; correctness and ordering are
+// unaffected because a singleton created after the cutoff always follows
+// every member its delay-mates already enqueued (process order is monotone).
+const maxClassScan = 64
+
+// grabRecips returns an empty pooled recipient slice.
+func (k *Kernel) grabRecips() []model.ProcID {
+	if n := len(k.recipPool); n > 0 {
+		s := k.recipPool[n-1]
+		k.recipPool = k.recipPool[:n-1]
+		return s
+	}
+	return make([]model.ProcID, 0, 8)
+}
+
 // broadcast interns the per-broadcast message value: the template (payload,
 // sender, depth, cause) is built ONCE and only the per-recipient fields (ID,
 // To) are stamped in the loop, instead of reconstructing the full Message for
 // each of the n recipients. Delay draws, message IDs, and observer callbacks
 // happen in exactly the same order as n individual sends, so traces are
 // bit-for-bit unchanged.
+//
+// Delivery is enqueued BATCHED: recipients are grouped by drawn delay and the
+// heap receives one evDeliverBatch entry per distinct arrival instant —
+// O(delay classes) entries instead of O(n) — expanded back into individual
+// delivery steps at pop time (see RunUntil). Each class carries the sequence
+// number its first member would have received, and within one broadcast all
+// same-arrival recipients are consecutive in process order, so the global
+// dispatch order is provably identical to n individual delivery events: the
+// 4-ary slab heap just never sees the fan-out.
 func (k *Kernel) broadcast(c *stepCtx, payload any) {
 	m := Message{
 		From:    c.self,
@@ -564,10 +663,54 @@ func (k *Kernel) broadcast(c *stepCtx, payload any) {
 		Depth:   c.causeDepth + 1,
 		CauseID: c.causeID,
 	}
+	baseID := k.msgSeq + 1
+	classes := k.bcClasses[:0]
 	for _, q := range k.procs {
+		k.msgSeq++
+		k.nSent++
 		m.To = q
-		k.dispatchSend(&m)
+		m.ID = k.msgSeq
+		delay, deliver := k.net.Delay(m.From, q, m.SentAt)
+		if delay < 0 {
+			delay = 0
+		}
+		k.obs.OnSend(m.SentAt, m)
+		if !deliver {
+			k.nLost++
+			continue
+		}
+		ci := -1
+		if len(classes) <= maxClassScan {
+			for i := range classes {
+				if classes[i].delay == delay {
+					ci = i
+					break
+				}
+			}
+		}
+		if ci < 0 {
+			classes = append(classes, bcClass{delay: delay, members: k.grabRecips()})
+			ci = len(classes) - 1
+		}
+		classes[ci].members = append(classes[ci].members, q)
 	}
+	template := Message{
+		From:    c.self,
+		Payload: payload,
+		SentAt:  c.t,
+		Depth:   c.causeDepth + 1,
+		CauseID: c.causeID,
+	}
+	for i := range classes {
+		e := k.enqueue(c.t + classes[i].delay)
+		e.kind = evDeliverBatch
+		e.msg = template
+		e.recips = classes[i].members
+		e.baseID = baseID
+		e.cursor = 0
+		classes[i].members = nil // ownership moved to the event
+	}
+	k.bcClasses = classes[:0]
 }
 
 // dispatchSend stamps the next message ID onto m, draws the link delay, and
